@@ -1,0 +1,77 @@
+//! Benchmarks of the end-to-end Red-QAOA pipeline (Figures 17, 19, 20): the
+//! ideal pipeline, the noisy pipeline, and the throughput model.
+
+use bench::bench_graph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qaoa::optimize::OptimizeOptions;
+use qsim::devices::fake_toronto;
+use red_qaoa::pipeline::{run_ideal, run_noisy, PipelineOptions};
+use red_qaoa::reduction::ReductionOptions;
+use red_qaoa::throughput::dataset_relative_throughput;
+
+fn pipeline_options() -> PipelineOptions {
+    PipelineOptions {
+        layers: 1,
+        reduction: ReductionOptions::default(),
+        optimize: OptimizeOptions {
+            restarts: 2,
+            max_iters: 40,
+        },
+        refine_iters: 20,
+    }
+}
+
+fn bench_ideal_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ideal_pipeline_fig17");
+    group.sample_size(10);
+    for &n in &[8usize, 10] {
+        let graph = bench_graph(n, n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, g| {
+            let mut rng = mathkit::rng::seeded(31);
+            b.iter(|| run_ideal(g, &pipeline_options(), &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_noisy_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("noisy_pipeline_fig19");
+    group.sample_size(10);
+    let graph = bench_graph(8, 77);
+    let noise = fake_toronto().noise;
+    group.bench_function("8_nodes", |b| {
+        let mut rng = mathkit::rng::seeded(37);
+        b.iter(|| run_noisy(&graph, &pipeline_options(), &noise, 8, &mut rng).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_throughput_model(c: &mut Criterion) {
+    let graphs: Vec<_> = (0..8).map(|i| bench_graph(9, 300 + i)).collect();
+    let mut group = c.benchmark_group("throughput_model_fig25");
+    group.sample_size(10);
+    for &qubits in &[27usize, 127] {
+        group.bench_with_input(BenchmarkId::from_parameter(qubits), &graphs, |b, graphs| {
+            let mut rng = mathkit::rng::seeded(41);
+            b.iter(|| {
+                dataset_relative_throughput(
+                    graphs,
+                    qubits,
+                    1,
+                    &ReductionOptions::default(),
+                    &mut rng,
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ideal_pipeline,
+    bench_noisy_pipeline,
+    bench_throughput_model
+);
+criterion_main!(benches);

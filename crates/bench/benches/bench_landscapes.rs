@@ -1,0 +1,63 @@
+//! Benchmarks of energy-landscape evaluation (Figures 2, 3, 6, 14): grid
+//! sweeps, random parameter sets, and the analytic / edge-local fast paths.
+
+use bench::bench_graph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphlib::generators::cycle;
+use qaoa::analytic::analytic_expectation_p1;
+use qaoa::expectation::{edge_local_expectation, QaoaInstance};
+use qaoa::landscape::{random_parameter_set, Landscape};
+use qaoa::params::QaoaParams;
+
+fn bench_landscape_grid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("landscape_grid_fig3");
+    for &n in &[7usize, 10, 13] {
+        let graph = cycle(n).unwrap();
+        let instance = QaoaInstance::new(&graph, 1).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &instance, |b, instance| {
+            b.iter(|| Landscape::evaluate(8, |p| instance.expectation(p)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_parameter_set_p2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parameter_set_mse_fig14");
+    for &n in &[8usize, 10] {
+        let graph = bench_graph(n, n as u64);
+        let instance = QaoaInstance::new(&graph, 2).unwrap();
+        let mut rng = mathkit::rng::seeded(7);
+        let set = random_parameter_set(2, 64, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, set| {
+            b.iter(|| {
+                set.iter()
+                    .map(|p| instance.expectation(p))
+                    .sum::<f64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_analytic_vs_statevector(c: &mut Criterion) {
+    let graph = bench_graph(12, 3);
+    let params = QaoaParams::new(vec![0.7], vec![0.3]).unwrap();
+    let instance = QaoaInstance::new(&graph, 1).unwrap();
+    let mut group = c.benchmark_group("p1_expectation_backends");
+    group.bench_function("statevector", |b| b.iter(|| instance.expectation(&params)));
+    group.bench_function("analytic", |b| {
+        b.iter(|| analytic_expectation_p1(&graph, &params).unwrap())
+    });
+    group.bench_function("edge_local", |b| {
+        b.iter(|| edge_local_expectation(&graph, &params).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_landscape_grid,
+    bench_parameter_set_p2,
+    bench_analytic_vs_statevector
+);
+criterion_main!(benches);

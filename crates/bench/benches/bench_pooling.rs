@@ -1,0 +1,44 @@
+//! Benchmarks of the pooling baselines against the SA search (Figure 8):
+//! the cost of producing a reduced graph with each method.
+
+use bench::bench_graph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pooling::{AsaPooling, PoolingMethod, SagPooling, TopKPooling};
+use red_qaoa::annealing::{anneal_subgraph, SaOptions};
+
+fn bench_pooling_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pooling_methods_fig8");
+    for &n in &[12usize, 24, 48] {
+        let graph = bench_graph(n, n as u64);
+        let keep = 0.7;
+        group.bench_with_input(BenchmarkId::new("topk", n), &graph, |b, g| {
+            b.iter(|| TopKPooling::new().pool(g, keep).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("sag", n), &graph, |b, g| {
+            b.iter(|| SagPooling::new().pool(g, keep).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("asa", n), &graph, |b, g| {
+            b.iter(|| AsaPooling::new().pool(g, keep).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("sa", n), &graph, |b, g| {
+            let k = (n as f64 * keep).ceil() as usize;
+            let mut rng = mathkit::rng::seeded(23);
+            b.iter(|| anneal_subgraph(g, k, &SaOptions::default(), &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_feature_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("node_features");
+    for &n in &[20usize, 60] {
+        let graph = bench_graph(n, 200 + n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, g| {
+            b.iter(|| pooling::node_features(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pooling_methods, bench_feature_extraction);
+criterion_main!(benches);

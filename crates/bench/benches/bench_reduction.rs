@@ -1,0 +1,60 @@
+//! Benchmarks of the Red-QAOA graph-reduction engine (Figure 18): the SA
+//! inner loop and the full binary-search reduction at several graph sizes.
+
+use bench::bench_graph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use red_qaoa::annealing::{anneal_subgraph, CoolingSchedule, SaOptions};
+use red_qaoa::reduction::{reduce, ReductionOptions};
+
+fn bench_sa_single_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sa_anneal_fixed_size");
+    for &n in &[20usize, 50, 100] {
+        let graph = bench_graph(n, n as u64);
+        let k = (n * 2) / 3;
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, graph| {
+            let mut rng = mathkit::rng::seeded(11);
+            b.iter(|| anneal_subgraph(graph, k, &SaOptions::default(), &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_reduction_fig18(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduction_fig18");
+    group.sample_size(10);
+    for &n in &[20usize, 60, 120, 240] {
+        let graph = bench_graph(n, 500 + n as u64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, graph| {
+            let mut rng = mathkit::rng::seeded(13);
+            b.iter(|| reduce(graph, &ReductionOptions::default(), &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_cooling_schedules(c: &mut Criterion) {
+    let graph = bench_graph(40, 9);
+    let mut group = c.benchmark_group("cooling_schedule_ablation_fig8");
+    for (label, cooling) in [
+        ("constant", CoolingSchedule::Constant(0.95)),
+        ("adaptive", CoolingSchedule::Adaptive { base: 0.95 }),
+    ] {
+        let options = SaOptions {
+            cooling,
+            ..Default::default()
+        };
+        group.bench_function(label, |b| {
+            let mut rng = mathkit::rng::seeded(17);
+            b.iter(|| anneal_subgraph(&graph, 26, &options, &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sa_single_size,
+    bench_full_reduction_fig18,
+    bench_cooling_schedules
+);
+criterion_main!(benches);

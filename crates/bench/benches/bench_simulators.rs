@@ -1,0 +1,106 @@
+//! Benchmarks of the quantum-simulation substrate: statevector, density
+//! matrix, trajectory noise, and routing. These back the runtime arguments of
+//! the methodology section (which simulator backend is used at which size).
+
+use bench::bench_graph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qaoa::circuit::qaoa_circuit;
+use qaoa::params::QaoaParams;
+use qsim::circuit::{Circuit, Gate};
+use qsim::density::DensityMatrix;
+use qsim::devices::heavy_hex_like;
+use qsim::noise::{NoiseModel, ReadoutError};
+use qsim::statevector::StateVector;
+use qsim::trajectory::{noisy_probabilities, TrajectoryOptions};
+use qsim::transpile::{decompose_to_native, route_trivial};
+
+fn ghz_circuit(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.push(Gate::H(0)).unwrap();
+    for q in 1..n {
+        c.push(Gate::Cnot(q - 1, q)).unwrap();
+    }
+    c
+}
+
+fn bench_statevector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector");
+    for &n in &[8usize, 12, 16] {
+        let circuit = ghz_circuit(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &circuit, |b, circuit| {
+            b.iter(|| StateVector::from_circuit(circuit).probabilities())
+        });
+    }
+    group.finish();
+}
+
+fn bench_density_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("density_matrix");
+    for &n in &[4usize, 6] {
+        let circuit = ghz_circuit(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &circuit, |b, circuit| {
+            b.iter(|| {
+                let mut dm = DensityMatrix::new(circuit.qubit_count()).unwrap();
+                dm.apply_circuit(circuit);
+                dm.probabilities()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_trajectory_noise(c: &mut Criterion) {
+    let noise = NoiseModel::new(
+        1e-3,
+        1e-2,
+        ReadoutError::new(0.02, 0.03),
+        90.0,
+        70.0,
+        35.0,
+        300.0,
+    );
+    let mut group = c.benchmark_group("trajectory_noise");
+    for &n in &[8usize, 10] {
+        let graph = bench_graph(n, n as u64);
+        let params = QaoaParams::new(vec![0.6], vec![0.4]).unwrap();
+        let circuit = qaoa_circuit(&graph, &params).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &circuit, |b, circuit| {
+            let mut rng = mathkit::rng::seeded(1);
+            b.iter(|| {
+                noisy_probabilities(
+                    circuit,
+                    &noise,
+                    TrajectoryOptions { trajectories: 8 },
+                    &mut rng,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing_sabre_substitute");
+    for &n in &[8usize, 12, 16] {
+        let graph = bench_graph(n, 100 + n as u64);
+        let params = QaoaParams::new(vec![0.6], vec![0.4]).unwrap();
+        let circuit = qaoa_circuit(&graph, &params).unwrap();
+        let coupling = heavy_hex_like(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &circuit, |b, circuit| {
+            b.iter(|| {
+                let routed = route_trivial(circuit, &coupling).unwrap();
+                decompose_to_native(&routed.circuit).two_qubit_gate_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_statevector,
+    bench_density_matrix,
+    bench_trajectory_noise,
+    bench_routing
+);
+criterion_main!(benches);

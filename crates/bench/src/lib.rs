@@ -1,0 +1,36 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! The benches in `benches/` regenerate the data behind the paper's figures
+//! at reduced sizes (Criterion runs each body many times, so the per-run
+//! configurations are kept small). Run them with `cargo bench --workspace`;
+//! each group is named after the figure(s) it covers.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use graphlib::generators::connected_gnp;
+use graphlib::Graph;
+use mathkit::rng::{derive_seed, seeded};
+
+/// Deterministic seed used by all benchmarks.
+pub const BENCH_SEED: u64 = 0xBE4C_2024;
+
+/// A small connected Erdős–Rényi benchmark graph of the given size.
+pub fn bench_graph(nodes: usize, stream: u64) -> Graph {
+    let mut rng = seeded(derive_seed(BENCH_SEED, stream));
+    connected_gnp(nodes, 0.4, &mut rng).expect("valid benchmark graph")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_graph_is_deterministic_and_connected() {
+        let a = bench_graph(10, 1);
+        let b = bench_graph(10, 1);
+        assert_eq!(a, b);
+        assert!(graphlib::traversal::is_connected(&a));
+        assert_ne!(bench_graph(10, 2), a);
+    }
+}

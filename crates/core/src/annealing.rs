@@ -1,0 +1,342 @@
+//! Algorithm 1: simulated-annealing subgraph search.
+//!
+//! The SA state is a set of `k` nodes inducing a connected subgraph of the
+//! input graph. A move swaps one selected node for an unselected node; the
+//! objective is the absolute difference between the subgraph's Average Node
+//! Degree (AND) and the original graph's AND, with a penalty for
+//! disconnecting the subgraph. Moves that improve the objective are always
+//! accepted; worse moves are accepted with probability
+//! `exp(-(Δf)/T)` where the temperature `T` follows either a constant
+//! (`T ← α·T`) or an adaptive cooling schedule.
+
+use crate::RedQaoaError;
+use graphlib::metrics::average_node_degree;
+use graphlib::subgraph::{induced_subgraph, random_connected_subgraph, Subgraph};
+use graphlib::traversal::connected_components;
+use graphlib::Graph;
+use rand::Rng;
+
+/// Cooling schedule of the simulated annealer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CoolingSchedule {
+    /// Multiply the temperature by a constant factor every step: `T ← α·T`.
+    Constant(f64),
+    /// Adaptive cooling: the factor starts at `base` and decreases as the
+    /// run accumulates consecutive rejections, so stagnating searches cool
+    /// (and therefore terminate) faster. This is the lower-overhead schedule
+    /// the paper equips Red-QAOA with by default.
+    Adaptive {
+        /// Cooling factor applied when moves are still being accepted.
+        base: f64,
+    },
+}
+
+impl CoolingSchedule {
+    fn factor(&self, consecutive_rejections: usize) -> f64 {
+        match *self {
+            CoolingSchedule::Constant(alpha) => alpha,
+            CoolingSchedule::Adaptive { base } => {
+                // Each streak of 5 rejections strengthens the cooling.
+                let boost = 1.0 + consecutive_rejections as f64 / 5.0;
+                base.powf(boost)
+            }
+        }
+    }
+
+    fn validate(&self) -> Result<(), RedQaoaError> {
+        let alpha = match *self {
+            CoolingSchedule::Constant(a) | CoolingSchedule::Adaptive { base: a } => a,
+        };
+        if alpha <= 0.0 || alpha >= 1.0 {
+            return Err(RedQaoaError::InvalidParameter(
+                "cooling factor must be in (0, 1)",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Configuration of the simulated-annealing search (the inputs of
+/// Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaOptions {
+    /// Initial temperature `T0`.
+    pub initial_temp: f64,
+    /// Stopping temperature `Tf`.
+    pub final_temp: f64,
+    /// Cooling schedule (`α` and the `is_adaptive` flag of the pseudocode).
+    pub cooling: CoolingSchedule,
+    /// Penalty added to the objective per extra connected component of the
+    /// candidate subgraph (keeps the search on connected subgraphs).
+    pub disconnection_penalty: f64,
+}
+
+impl Default for SaOptions {
+    fn default() -> Self {
+        Self {
+            initial_temp: 1.0,
+            final_temp: 1e-3,
+            cooling: CoolingSchedule::Adaptive { base: 0.95 },
+            disconnection_penalty: 10.0,
+        }
+    }
+}
+
+/// Outcome of one SA run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaOutcome {
+    /// The best subgraph found.
+    pub subgraph: Subgraph,
+    /// Final objective value (|AND difference| of the best subgraph).
+    pub objective: f64,
+    /// Number of SA iterations performed.
+    pub iterations: usize,
+    /// Number of accepted moves.
+    pub accepted: usize,
+}
+
+fn objective(graph: &Graph, nodes: &[usize], target_and: f64, penalty: f64) -> (f64, Subgraph) {
+    let sub = induced_subgraph(graph, nodes).expect("nodes are valid");
+    let and = average_node_degree(&sub.graph);
+    let components = connected_components(&sub.graph).len();
+    let value = (and - target_and).abs() + penalty * (components.saturating_sub(1)) as f64;
+    (value, sub)
+}
+
+/// Runs Algorithm 1: searches for a connected `k`-node subgraph of `graph`
+/// whose AND is as close as possible to the AND of `graph`.
+///
+/// # Errors
+///
+/// Returns [`RedQaoaError::InvalidParameter`] for invalid temperatures or
+/// cooling factors, and [`RedQaoaError::GraphNotReducible`] if `k` is out of
+/// range or no connected subgraph of size `k` can be sampled.
+pub fn anneal_subgraph<R: Rng>(
+    graph: &Graph,
+    k: usize,
+    options: &SaOptions,
+    rng: &mut R,
+) -> Result<SaOutcome, RedQaoaError> {
+    options.cooling.validate()?;
+    if options.initial_temp <= options.final_temp || options.final_temp <= 0.0 {
+        return Err(RedQaoaError::InvalidParameter(
+            "temperatures must satisfy 0 < final < initial",
+        ));
+    }
+    let n = graph.node_count();
+    if k == 0 || k > n {
+        return Err(RedQaoaError::GraphNotReducible(
+            "subgraph size must be between 1 and the node count",
+        ));
+    }
+    let target_and = average_node_degree(graph);
+
+    // Line 3: random connected initial subgraph.
+    let initial = random_connected_subgraph(graph, k, rng)
+        .map_err(|_| RedQaoaError::GraphNotReducible("no connected subgraph of this size"))?;
+    let mut current_nodes = initial.nodes.clone();
+    let (mut current_value, _) = objective(graph, &current_nodes, target_and, options.disconnection_penalty);
+    let mut best_nodes = current_nodes.clone();
+    let mut best_value = current_value;
+
+    let mut temperature = options.initial_temp;
+    let mut iterations = 0usize;
+    let mut accepted = 0usize;
+    let mut consecutive_rejections = 0usize;
+
+    while temperature > options.final_temp {
+        iterations += 1;
+        // Line 6: neighbouring subgraph — swap one inside node for an outside
+        // node (prefer outside nodes adjacent to the current selection so the
+        // subgraph tends to stay connected).
+        let inside_idx = rng.gen_range(0..current_nodes.len());
+        let mut outside_candidates: Vec<usize> = Vec::new();
+        for &u in &current_nodes {
+            for v in graph.neighbors(u) {
+                if !current_nodes.contains(&v) {
+                    outside_candidates.push(v);
+                }
+            }
+        }
+        if outside_candidates.is_empty() {
+            // Selection already covers its whole component; fall back to any
+            // outside node.
+            outside_candidates = (0..n).filter(|u| !current_nodes.contains(u)).collect();
+        }
+        if outside_candidates.is_empty() {
+            break; // k == n, nothing to swap.
+        }
+        let new_node = outside_candidates[rng.gen_range(0..outside_candidates.len())];
+        let mut candidate_nodes = current_nodes.clone();
+        candidate_nodes[inside_idx] = new_node;
+        candidate_nodes.sort_unstable();
+        candidate_nodes.dedup();
+        if candidate_nodes.len() < k {
+            // The swap duplicated an existing node; skip this move.
+            temperature *= options.cooling.factor(consecutive_rejections);
+            continue;
+        }
+
+        let (candidate_value, _) =
+            objective(graph, &candidate_nodes, target_and, options.disconnection_penalty);
+
+        // Lines 9–16: Metropolis acceptance.
+        let accept = if candidate_value < current_value {
+            true
+        } else {
+            let p: f64 = rng.gen();
+            p < (-(candidate_value - current_value) / temperature).exp()
+        };
+        if accept {
+            current_nodes = candidate_nodes;
+            current_value = candidate_value;
+            accepted += 1;
+            consecutive_rejections = 0;
+            if current_value < best_value {
+                best_value = current_value;
+                best_nodes = current_nodes.clone();
+            }
+        } else {
+            consecutive_rejections += 1;
+        }
+
+        // Lines 17–21: cooling.
+        temperature *= options.cooling.factor(consecutive_rejections);
+    }
+
+    let (final_value, subgraph) =
+        objective(graph, &best_nodes, target_and, options.disconnection_penalty);
+    Ok(SaOutcome {
+        subgraph,
+        objective: final_value,
+        iterations,
+        accepted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlib::generators::{complete, connected_gnp, cycle};
+    use graphlib::traversal::is_connected;
+    use mathkit::rng::seeded;
+
+    #[test]
+    fn reduces_cycle_to_connected_subgraph_with_matching_and() {
+        let g = cycle(12).unwrap();
+        let mut rng = seeded(1);
+        let out = anneal_subgraph(&g, 8, &SaOptions::default(), &mut rng).unwrap();
+        assert_eq!(out.subgraph.graph.node_count(), 8);
+        assert!(is_connected(&out.subgraph.graph));
+        // A connected 8-node subgraph of a cycle is a path: AND = 2*7/8 = 1.75
+        // against the cycle's 2.0, so the objective is 0.25.
+        assert!(out.objective <= 0.25 + 1e-9, "objective {}", out.objective);
+        assert!(out.iterations > 0);
+    }
+
+    #[test]
+    fn finds_perfect_match_inside_complete_graph() {
+        // Any k-subgraph of K_n is K_k; the best achievable |AND diff| is
+        // (n-1)-(k-1) = n-k, and SA should find exactly that.
+        let g = complete(8);
+        let mut rng = seeded(2);
+        let out = anneal_subgraph(&g, 6, &SaOptions::default(), &mut rng).unwrap();
+        assert!((out.objective - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn objective_decreases_relative_to_random_subgraph_on_average() {
+        let mut rng = seeded(3);
+        let g = connected_gnp(16, 0.3, &mut rng).unwrap();
+        let target = average_node_degree(&g);
+        let k = 10;
+        let mut sa_better = 0;
+        for trial in 0..5u64 {
+            let mut rng_sa = seeded(100 + trial);
+            let sa = anneal_subgraph(&g, k, &SaOptions::default(), &mut rng_sa).unwrap();
+            let mut rng_rand = seeded(200 + trial);
+            let random = random_connected_subgraph(&g, k, &mut rng_rand).unwrap();
+            let random_obj = (average_node_degree(&random.graph) - target).abs();
+            if sa.objective <= random_obj + 1e-12 {
+                sa_better += 1;
+            }
+        }
+        assert!(sa_better >= 4, "SA beat random only {sa_better}/5 times");
+    }
+
+    #[test]
+    fn constant_and_adaptive_cooling_both_work() {
+        let g = cycle(10).unwrap();
+        for cooling in [
+            CoolingSchedule::Constant(0.9),
+            CoolingSchedule::Adaptive { base: 0.9 },
+        ] {
+            let mut rng = seeded(5);
+            let options = SaOptions {
+                cooling,
+                ..Default::default()
+            };
+            let out = anneal_subgraph(&g, 6, &options, &mut rng).unwrap();
+            assert!(is_connected(&out.subgraph.graph));
+        }
+    }
+
+    #[test]
+    fn adaptive_cooling_terminates_in_fewer_iterations_when_stuck() {
+        // On a complete graph every same-size subgraph has the same AND, so
+        // every move is neutral; the adaptive schedule should cool faster
+        // than a slow constant schedule.
+        let g = complete(10);
+        let mut rng_a = seeded(7);
+        let adaptive = anneal_subgraph(
+            &g,
+            5,
+            &SaOptions {
+                cooling: CoolingSchedule::Adaptive { base: 0.99 },
+                ..Default::default()
+            },
+            &mut rng_a,
+        )
+        .unwrap();
+        let mut rng_c = seeded(7);
+        let constant = anneal_subgraph(
+            &g,
+            5,
+            &SaOptions {
+                cooling: CoolingSchedule::Constant(0.99),
+                ..Default::default()
+            },
+            &mut rng_c,
+        )
+        .unwrap();
+        assert!(adaptive.iterations <= constant.iterations);
+    }
+
+    #[test]
+    fn whole_graph_request_returns_graph_itself() {
+        let g = cycle(6).unwrap();
+        let mut rng = seeded(9);
+        let out = anneal_subgraph(&g, 6, &SaOptions::default(), &mut rng).unwrap();
+        assert_eq!(out.subgraph.graph.node_count(), 6);
+        assert!(out.objective < 1e-12);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let g = cycle(6).unwrap();
+        let mut rng = seeded(1);
+        assert!(anneal_subgraph(&g, 0, &SaOptions::default(), &mut rng).is_err());
+        assert!(anneal_subgraph(&g, 7, &SaOptions::default(), &mut rng).is_err());
+        let bad_cooling = SaOptions {
+            cooling: CoolingSchedule::Constant(1.5),
+            ..Default::default()
+        };
+        assert!(anneal_subgraph(&g, 3, &bad_cooling, &mut rng).is_err());
+        let bad_temp = SaOptions {
+            initial_temp: 0.5,
+            final_temp: 1.0,
+            ..Default::default()
+        };
+        assert!(anneal_subgraph(&g, 3, &bad_temp, &mut rng).is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! **Red-QAOA**: efficient variational optimization through circuit reduction.
+//!
+//! This crate is the Rust implementation of the paper's contribution
+//! (ASPLOS 2024). Red-QAOA replaces the noise-sensitive QAOA
+//! parameter-optimization loop on a large input graph `G` with the same loop
+//! on a *distilled* graph `G'` whose energy landscape is nearly identical.
+//! The distilled graph is found by a simulated-annealing search that matches
+//! the Average Node Degree (AND) of `G` (Algorithm 1), wrapped in a binary
+//! search over the subgraph size so the smallest acceptable graph is used.
+//! Once parameters converge on `G'` they are transferred back to `G` for the
+//! final solution-finding step.
+//!
+//! Module map:
+//!
+//! * [`annealing`] — Algorithm 1: simulated-annealing subgraph search with
+//!   constant and adaptive cooling.
+//! * [`reduction`] — the binary search over subgraph sizes and the
+//!   node/edge-reduction bookkeeping.
+//! * [`mse`] — ideal and noisy energy-landscape comparisons between the
+//!   original and reduced graphs (the paper's headline metric).
+//! * [`pipeline`] — the end-to-end Red-QAOA flow (reduce → optimize on `G'` →
+//!   transfer → finish on `G`).
+//! * [`transfer`] — the parameter-transfer baseline built on random regular
+//!   surrogate graphs (Section 5.6 / Figure 21).
+//! * [`throughput`] — the multi-programming throughput model (Figure 25).
+//!
+//! # Example
+//!
+//! ```
+//! use graphlib::generators::connected_gnp;
+//! use red_qaoa::reduction::{reduce, ReductionOptions};
+//!
+//! let mut rng = mathkit::rng::seeded(7);
+//! let graph = connected_gnp(12, 0.35, &mut rng).unwrap();
+//! let reduced = reduce(&graph, &ReductionOptions::default(), &mut rng).unwrap();
+//! assert!(reduced.subgraph.graph.node_count() <= graph.node_count());
+//! assert!(reduced.and_ratio >= 0.7 - 1e-9);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod annealing;
+pub mod mse;
+pub mod pipeline;
+pub mod reduction;
+pub mod throughput;
+pub mod transfer;
+
+/// Errors produced by the Red-QAOA engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RedQaoaError {
+    /// The input graph cannot be reduced (too small, edgeless, or empty).
+    GraphNotReducible(&'static str),
+    /// A configuration parameter was outside its documented domain.
+    InvalidParameter(&'static str),
+    /// An error bubbled up from the graph substrate.
+    Graph(graphlib::GraphError),
+    /// An error bubbled up from the QAOA library.
+    Qaoa(qaoa::QaoaError),
+}
+
+impl std::fmt::Display for RedQaoaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RedQaoaError::GraphNotReducible(what) => write!(f, "graph not reducible: {what}"),
+            RedQaoaError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            RedQaoaError::Graph(e) => write!(f, "graph error: {e}"),
+            RedQaoaError::Qaoa(e) => write!(f, "qaoa error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RedQaoaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RedQaoaError::Graph(e) => Some(e),
+            RedQaoaError::Qaoa(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<graphlib::GraphError> for RedQaoaError {
+    fn from(e: graphlib::GraphError) -> Self {
+        RedQaoaError::Graph(e)
+    }
+}
+
+impl From<qaoa::QaoaError> for RedQaoaError {
+    fn from(e: qaoa::QaoaError) -> Self {
+        RedQaoaError::Qaoa(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_format_and_convert() {
+        let e: RedQaoaError = graphlib::GraphError::SelfLoop(1).into();
+        assert!(e.to_string().contains("graph error"));
+        let e: RedQaoaError = qaoa::QaoaError::DegenerateGraph.into();
+        assert!(e.to_string().contains("qaoa error"));
+        assert!(!RedQaoaError::GraphNotReducible("x").to_string().is_empty());
+        assert!(!RedQaoaError::InvalidParameter("y").to_string().is_empty());
+    }
+}

@@ -1,0 +1,342 @@
+//! The end-to-end Red-QAOA pipeline (Figure 4).
+//!
+//! 1. **Graph reduction** — distill `G` into `G'` with the SA search.
+//! 2. **Parameter search on `G'`** — run the classical optimization loop on
+//!    the small (cheap, noise-tolerant) circuit.
+//! 3. **Transfer & solution finding on `G`** — seed the original graph's
+//!    optimization with the parameters found on `G'` and run a short
+//!    refinement, then report the final expectation / approximation ratio.
+//!
+//! The pipeline also exposes the plain-QAOA baseline (optimize directly on
+//! `G` with the same budget) so experiments can report relative improvements.
+
+use crate::reduction::{reduce, ReducedGraph, ReductionOptions};
+use crate::RedQaoaError;
+use mathkit::optim::{FnObjective, NelderMead, NelderMeadOptions};
+use qaoa::expectation::QaoaInstance;
+use qaoa::maxcut::brute_force_maxcut;
+use qaoa::optimize::{approximation_ratio, maximize_with_restarts, OptimizeOptions};
+use qaoa::params::QaoaParams;
+use qsim::noise::NoiseModel;
+use qsim::trajectory::TrajectoryOptions;
+use rand::Rng;
+
+/// Configuration of the full pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineOptions {
+    /// Number of QAOA layers `p`.
+    pub layers: usize,
+    /// Graph-reduction configuration.
+    pub reduction: ReductionOptions,
+    /// Optimization protocol used on the reduced graph (and for the baseline).
+    pub optimize: OptimizeOptions,
+    /// Nelder–Mead iterations of the final refinement on the original graph.
+    pub refine_iters: usize,
+}
+
+impl Default for PipelineOptions {
+    fn default() -> Self {
+        Self {
+            layers: 1,
+            reduction: ReductionOptions::default(),
+            optimize: OptimizeOptions {
+                restarts: 3,
+                max_iters: 80,
+            },
+            refine_iters: 30,
+        }
+    }
+}
+
+/// Outcome of an ideal (noise-free) pipeline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineOutcome {
+    /// The reduction found in step 1.
+    pub reduction: ReducedGraph,
+    /// Parameters found on the reduced graph.
+    pub transferred_params: QaoaParams,
+    /// Final parameters after refinement on the original graph.
+    pub final_params: QaoaParams,
+    /// Final expectation value on the original graph.
+    pub final_value: f64,
+    /// Best expectation achieved by the plain-QAOA baseline with the same
+    /// optimization budget on the original graph.
+    pub baseline_value: f64,
+    /// Average over the baseline's restarts (Figure 17's "average result").
+    pub baseline_average: f64,
+    /// Average over Red-QAOA's restarts on the reduced graph, re-evaluated on
+    /// the original graph.
+    pub red_qaoa_average: f64,
+    /// Exact MaxCut of the original graph (ground truth), when brute force is
+    /// feasible.
+    pub ground_truth: Option<usize>,
+}
+
+impl PipelineOutcome {
+    /// Red-QAOA's approximation ratio, if the ground truth is known.
+    pub fn approximation_ratio(&self) -> Option<f64> {
+        self.ground_truth
+            .map(|c| approximation_ratio(self.final_value, c as f64).expect("positive cut"))
+    }
+
+    /// Baseline approximation ratio, if the ground truth is known.
+    pub fn baseline_approximation_ratio(&self) -> Option<f64> {
+        self.ground_truth
+            .map(|c| approximation_ratio(self.baseline_value, c as f64).expect("positive cut"))
+    }
+
+    /// Ratio of Red-QAOA's best value to the baseline's best value
+    /// (the headline metric of Figure 17).
+    pub fn relative_best(&self) -> f64 {
+        if self.baseline_value.abs() < f64::EPSILON {
+            return 1.0;
+        }
+        self.final_value / self.baseline_value
+    }
+}
+
+fn refine_on_instance(
+    instance: &QaoaInstance,
+    start: &QaoaParams,
+    iters: usize,
+) -> (QaoaParams, f64) {
+    if iters == 0 {
+        return (start.clone(), instance.expectation(start));
+    }
+    let nm = NelderMead::new(NelderMeadOptions {
+        max_iters: iters,
+        ..Default::default()
+    });
+    let layers = start.layers();
+    let mut objective = FnObjective::new(2 * layers, |flat: &[f64]| {
+        let params = QaoaParams::from_flat(flat).expect("optimizer keeps the shape");
+        -instance.expectation(&params)
+    });
+    let result = nm.minimize(&mut objective, &start.to_flat());
+    let params = QaoaParams::from_flat(&result.params).expect("valid shape");
+    (params, -result.value)
+}
+
+/// Runs the ideal (noise-free) Red-QAOA pipeline on `graph` and the
+/// plain-QAOA baseline with the same budget.
+///
+/// # Errors
+///
+/// Returns [`RedQaoaError`] if the graph cannot be reduced or is too large
+/// for exact simulation.
+pub fn run_ideal<R: Rng>(
+    graph: &graphlib::Graph,
+    options: &PipelineOptions,
+    rng: &mut R,
+) -> Result<PipelineOutcome, RedQaoaError> {
+    let reduction = reduce(graph, &options.reduction, rng)?;
+    let reduced_instance = QaoaInstance::new(reduction.graph(), options.layers)?;
+    let original_instance = QaoaInstance::new(graph, options.layers)?;
+
+    // Step 2: parameter search on the reduced graph.
+    let reduced_outcome = maximize_with_restarts(
+        options.layers,
+        |p| reduced_instance.expectation(p),
+        &options.optimize,
+        rng,
+    )?;
+    let transferred_params = reduced_outcome.best_params.clone();
+
+    // Step 3: transfer and refine on the original graph.
+    let (final_params, final_value) =
+        refine_on_instance(&original_instance, &transferred_params, options.refine_iters);
+
+    // Plain-QAOA baseline with the same protocol, directly on the original.
+    let baseline_outcome = maximize_with_restarts(
+        options.layers,
+        |p| original_instance.expectation(p),
+        &options.optimize,
+        rng,
+    )?;
+
+    // Re-evaluate Red-QAOA's per-restart results on the original graph so the
+    // "average result" columns are comparable.
+    let red_qaoa_average = {
+        let values: Vec<f64> = reduced_outcome
+            .restart_values
+            .iter()
+            .map(|_| original_instance.expectation(&transferred_params))
+            .collect();
+        values.iter().sum::<f64>() / values.len().max(1) as f64
+    };
+
+    let ground_truth = if graph.node_count() <= 22 {
+        Some(brute_force_maxcut(graph)?.best_cut)
+    } else {
+        None
+    };
+
+    Ok(PipelineOutcome {
+        reduction,
+        transferred_params,
+        final_params,
+        final_value,
+        baseline_value: baseline_outcome.best_value,
+        baseline_average: baseline_outcome.average_restart_value(),
+        red_qaoa_average,
+        ground_truth,
+    })
+}
+
+/// Outcome of a noisy pipeline run (Figures 19 and 20).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoisyPipelineOutcome {
+    /// The reduction used by Red-QAOA.
+    pub reduction: ReducedGraph,
+    /// Parameters found by optimizing the *reduced* graph under noise,
+    /// re-evaluated ideally on the original graph.
+    pub red_qaoa_ideal_value: f64,
+    /// Parameters found by optimizing the *original* graph under noise,
+    /// re-evaluated ideally on the original graph.
+    pub baseline_ideal_value: f64,
+    /// Exact MaxCut of the original graph, when feasible.
+    pub ground_truth: Option<usize>,
+}
+
+impl NoisyPipelineOutcome {
+    /// Relative improvement of Red-QAOA's approximation over the noisy
+    /// baseline: `(red - baseline) / baseline`.
+    pub fn relative_improvement(&self) -> f64 {
+        if self.baseline_ideal_value.abs() < f64::EPSILON {
+            return 0.0;
+        }
+        (self.red_qaoa_ideal_value - self.baseline_ideal_value) / self.baseline_ideal_value
+    }
+}
+
+/// Runs the noisy pipeline: both Red-QAOA (optimizing the reduced circuit
+/// under noise) and the baseline (optimizing the original circuit under the
+/// same noise) are given the same budget; the parameters each finds are then
+/// re-evaluated with an ideal simulator on the original graph, mirroring the
+/// protocol of Section 6.5.
+///
+/// # Errors
+///
+/// Returns [`RedQaoaError`] if the graph cannot be reduced or simulated.
+pub fn run_noisy<R: Rng>(
+    graph: &graphlib::Graph,
+    options: &PipelineOptions,
+    noise: &NoiseModel,
+    trajectories: usize,
+    rng: &mut R,
+) -> Result<NoisyPipelineOutcome, RedQaoaError> {
+    let reduction = reduce(graph, &options.reduction, rng)?;
+    let reduced_instance = QaoaInstance::new(reduction.graph(), options.layers)?;
+    let original_instance = QaoaInstance::new(graph, options.layers)?;
+    let traj = TrajectoryOptions {
+        trajectories: trajectories.max(1),
+    };
+
+    // Dedicated noise streams for the two optimizations keep the runs
+    // independent while leaving `rng` free to drive the restart protocol.
+    let red_seed: u64 = rng.gen();
+    let baseline_seed: u64 = rng.gen();
+
+    // Red-QAOA: noisy optimization of the reduced circuit.
+    let red_noise_rng = std::cell::RefCell::new(mathkit::rng::seeded(red_seed));
+    let red_outcome = maximize_with_restarts(
+        options.layers,
+        |p| {
+            reduced_instance.noisy_expectation(p, noise, traj, &mut *red_noise_rng.borrow_mut())
+        },
+        &options.optimize,
+        rng,
+    )?;
+
+    // Baseline: noisy optimization of the original circuit.
+    let baseline_noise_rng = std::cell::RefCell::new(mathkit::rng::seeded(baseline_seed));
+    let baseline_outcome = maximize_with_restarts(
+        options.layers,
+        |p| {
+            original_instance.noisy_expectation(
+                p,
+                noise,
+                traj,
+                &mut *baseline_noise_rng.borrow_mut(),
+            )
+        },
+        &options.optimize,
+        rng,
+    )?;
+
+    let red_qaoa_ideal_value = original_instance.expectation(&red_outcome.best_params);
+    let baseline_ideal_value = original_instance.expectation(&baseline_outcome.best_params);
+    let ground_truth = if graph.node_count() <= 22 {
+        Some(brute_force_maxcut(graph)?.best_cut)
+    } else {
+        None
+    };
+
+    Ok(NoisyPipelineOutcome {
+        reduction,
+        red_qaoa_ideal_value,
+        baseline_ideal_value,
+        ground_truth,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlib::generators::connected_gnp;
+    use mathkit::rng::seeded;
+    use qsim::devices::fake_toronto;
+
+    fn quick_options() -> PipelineOptions {
+        PipelineOptions {
+            layers: 1,
+            optimize: OptimizeOptions {
+                restarts: 2,
+                max_iters: 50,
+            },
+            refine_iters: 25,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ideal_pipeline_reaches_near_baseline_quality() {
+        let mut rng = seeded(1);
+        let graph = connected_gnp(10, 0.4, &mut rng).unwrap();
+        let outcome = run_ideal(&graph, &quick_options(), &mut rng).unwrap();
+        assert!(outcome.reduction.graph().node_count() <= graph.node_count());
+        let ratio = outcome.relative_best();
+        assert!(ratio > 0.9, "Red-QAOA reached only {ratio:.3} of baseline");
+        let approx = outcome.approximation_ratio().unwrap();
+        assert!(approx > 0.5 && approx <= 1.0, "approximation ratio {approx}");
+        assert!(outcome.baseline_approximation_ratio().unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn transfer_then_refine_improves_or_matches_transfer_alone() {
+        let mut rng = seeded(2);
+        let graph = connected_gnp(9, 0.45, &mut rng).unwrap();
+        let outcome = run_ideal(&graph, &quick_options(), &mut rng).unwrap();
+        let original_instance = QaoaInstance::new(&graph, 1).unwrap();
+        let transferred_value = original_instance.expectation(&outcome.transferred_params);
+        assert!(outcome.final_value + 1e-9 >= transferred_value);
+    }
+
+    #[test]
+    fn noisy_pipeline_reports_comparable_values() {
+        let mut rng = seeded(3);
+        let graph = connected_gnp(8, 0.45, &mut rng).unwrap();
+        let noise = fake_toronto().noise;
+        let outcome = run_noisy(&graph, &quick_options(), &noise, 16, &mut rng).unwrap();
+        assert!(outcome.red_qaoa_ideal_value > 0.0);
+        assert!(outcome.baseline_ideal_value > 0.0);
+        assert!(outcome.relative_improvement().abs() < 1.0);
+        assert!(outcome.ground_truth.is_some());
+    }
+
+    #[test]
+    fn pipeline_errors_on_degenerate_graphs() {
+        let mut rng = seeded(4);
+        assert!(run_ideal(&graphlib::Graph::new(3), &quick_options(), &mut rng).is_err());
+    }
+}

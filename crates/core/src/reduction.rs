@@ -1,0 +1,331 @@
+//! Graph reduction: binary search over subgraph sizes.
+//!
+//! Red-QAOA runs the SA search (Algorithm 1) inside a binary search over the
+//! subgraph size `k`: the smallest `k` whose best subgraph reaches the
+//! required AND ratio (default 0.7, Section 4.3) is returned. The binary
+//! search is what gives the `n log n` preprocessing scaling reported in
+//! Figure 18.
+
+use crate::annealing::{anneal_subgraph, SaOptions};
+use crate::RedQaoaError;
+use graphlib::metrics::{and_ratio, average_node_degree};
+use graphlib::subgraph::Subgraph;
+use graphlib::Graph;
+use rand::Rng;
+
+/// Default minimum acceptable AND ratio between the reduced and original
+/// graphs (Section 4.3: a 0.7 ratio corresponds to the 0.02 MSE threshold).
+pub const DEFAULT_AND_RATIO_THRESHOLD: f64 = 0.7;
+
+/// Configuration of the full reduction step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReductionOptions {
+    /// Minimum acceptable AND ratio (reduced AND / original AND).
+    pub and_ratio_threshold: f64,
+    /// SA configuration used at every candidate size.
+    pub sa: SaOptions,
+    /// Number of independent SA runs per candidate size (the best one wins).
+    pub sa_runs: usize,
+    /// Smallest subgraph size the search will consider.
+    pub min_size: usize,
+    /// Smallest subgraph size as a fraction of the original node count. The
+    /// AND ratio alone would let dense graphs collapse onto tiny cliques
+    /// whose landscapes no longer resemble the original's; bounding the
+    /// reduction (default: keep at least 65% of the nodes) keeps Red-QAOA in
+    /// the ~25–40% node-reduction regime the paper reports.
+    pub min_size_fraction: f64,
+}
+
+impl Default for ReductionOptions {
+    fn default() -> Self {
+        Self {
+            and_ratio_threshold: DEFAULT_AND_RATIO_THRESHOLD,
+            sa: SaOptions::default(),
+            sa_runs: 2,
+            min_size: 3,
+            min_size_fraction: 0.65,
+        }
+    }
+}
+
+/// The result of reducing a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReducedGraph {
+    /// The reduced (distilled) graph with its mapping back to the original.
+    pub subgraph: Subgraph,
+    /// AND ratio achieved (reduced AND / original AND).
+    pub and_ratio: f64,
+    /// Fraction of nodes removed.
+    pub node_reduction: f64,
+    /// Fraction of edges removed.
+    pub edge_reduction: f64,
+}
+
+impl ReducedGraph {
+    /// Convenience accessor for the reduced graph itself.
+    pub fn graph(&self) -> &Graph {
+        &self.subgraph.graph
+    }
+}
+
+fn best_subgraph_of_size<R: Rng>(
+    graph: &Graph,
+    k: usize,
+    options: &ReductionOptions,
+    rng: &mut R,
+) -> Result<Subgraph, RedQaoaError> {
+    let mut best: Option<(f64, Subgraph)> = None;
+    for _ in 0..options.sa_runs.max(1) {
+        let outcome = anneal_subgraph(graph, k, &options.sa, rng)?;
+        let replace = match &best {
+            None => true,
+            Some((obj, _)) => outcome.objective < *obj,
+        };
+        if replace {
+            best = Some((outcome.objective, outcome.subgraph));
+        }
+    }
+    Ok(best.expect("at least one SA run").1)
+}
+
+/// Reduces `graph` to the smallest subgraph whose AND ratio meets the
+/// threshold.
+///
+/// The search is a binary search on the subgraph size: if the best subgraph
+/// found at size `k` meets the threshold the search tries smaller sizes,
+/// otherwise larger ones. The accepted subgraph of the smallest feasible size
+/// is returned; if no proper subgraph qualifies the original graph is
+/// returned unreduced (a valid, if disappointing, outcome the pipeline
+/// handles gracefully).
+///
+/// # Errors
+///
+/// Returns [`RedQaoaError::GraphNotReducible`] for graphs with fewer than 2
+/// nodes or no edges, and [`RedQaoaError::InvalidParameter`] for a threshold
+/// outside `(0, 1]`.
+pub fn reduce<R: Rng>(
+    graph: &Graph,
+    options: &ReductionOptions,
+    rng: &mut R,
+) -> Result<ReducedGraph, RedQaoaError> {
+    if !(options.and_ratio_threshold > 0.0 && options.and_ratio_threshold <= 1.0) {
+        return Err(RedQaoaError::InvalidParameter(
+            "AND ratio threshold must be in (0, 1]",
+        ));
+    }
+    if !(0.0..=1.0).contains(&options.min_size_fraction) {
+        return Err(RedQaoaError::InvalidParameter(
+            "min_size_fraction must be in [0, 1]",
+        ));
+    }
+    let n = graph.node_count();
+    if n < 2 || graph.edge_count() == 0 {
+        return Err(RedQaoaError::GraphNotReducible(
+            "graph needs at least two nodes and one edge",
+        ));
+    }
+    let original_and = average_node_degree(graph);
+
+    let fraction_floor = (options.min_size_fraction * n as f64).ceil() as usize;
+    let mut lo = options.min_size.max(fraction_floor).clamp(2, n);
+    let mut hi = n;
+    let mut accepted: Option<Subgraph> = None;
+
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let candidate = best_subgraph_of_size(graph, mid, options, rng)?;
+        let ratio = if original_and <= f64::EPSILON {
+            1.0
+        } else {
+            average_node_degree(&candidate.graph) / original_and
+        };
+        if ratio >= options.and_ratio_threshold && candidate.graph.edge_count() > 0 {
+            accepted = Some(candidate);
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+
+    let subgraph = match accepted {
+        Some(sub) => sub,
+        None => {
+            // Try the final size (lo == hi); fall back to the whole graph.
+            let candidate = best_subgraph_of_size(graph, lo, options, rng)?;
+            let ratio = and_ratio(graph, &candidate.graph);
+            if ratio >= options.and_ratio_threshold && candidate.graph.edge_count() > 0 {
+                candidate
+            } else {
+                Subgraph {
+                    graph: graph.clone(),
+                    nodes: (0..n).collect(),
+                }
+            }
+        }
+    };
+
+    let node_reduction = 1.0 - subgraph.graph.node_count() as f64 / n as f64;
+    let edge_reduction = 1.0 - subgraph.graph.edge_count() as f64 / graph.edge_count() as f64;
+    let ratio = and_ratio(graph, &subgraph.graph);
+    Ok(ReducedGraph {
+        subgraph,
+        and_ratio: ratio,
+        node_reduction,
+        edge_reduction,
+    })
+}
+
+/// Reduces every graph of a slice and reports the mean node and edge
+/// reduction ratios (the quantities of Figures 13 and 15).
+///
+/// Graphs that fail to reduce (too small / edgeless) are skipped.
+pub fn mean_reduction_ratios<R: Rng>(
+    graphs: &[Graph],
+    options: &ReductionOptions,
+    rng: &mut R,
+) -> (f64, f64) {
+    let mut node_sum = 0.0;
+    let mut edge_sum = 0.0;
+    let mut count = 0usize;
+    for g in graphs {
+        if let Ok(reduced) = reduce(g, options, rng) {
+            node_sum += reduced.node_reduction;
+            edge_sum += reduced.edge_reduction;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        (0.0, 0.0)
+    } else {
+        (node_sum / count as f64, edge_sum / count as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlib::generators::{complete, connected_gnp, cycle, star};
+    use graphlib::traversal::is_connected;
+    use mathkit::rng::seeded;
+
+    #[test]
+    fn reduction_meets_threshold_and_shrinks_graph() {
+        let mut rng = seeded(1);
+        let g = connected_gnp(14, 0.4, &mut rng).unwrap();
+        let reduced = reduce(&g, &ReductionOptions::default(), &mut rng).unwrap();
+        assert!(reduced.and_ratio >= DEFAULT_AND_RATIO_THRESHOLD - 1e-9);
+        assert!(reduced.graph().node_count() <= g.node_count());
+        assert!(reduced.graph().node_count() >= 3);
+        assert!(is_connected(reduced.graph()));
+        assert!(reduced.node_reduction >= 0.0 && reduced.node_reduction < 1.0);
+        assert!(reduced.edge_reduction >= 0.0 && reduced.edge_reduction < 1.0);
+    }
+
+    #[test]
+    fn reduction_of_dense_graph_achieves_substantial_shrink() {
+        let mut rng = seeded(2);
+        let g = connected_gnp(16, 0.5, &mut rng).unwrap();
+        let reduced = reduce(&g, &ReductionOptions::default(), &mut rng).unwrap();
+        assert!(
+            reduced.node_reduction > 0.2,
+            "node reduction only {:.2}",
+            reduced.node_reduction
+        );
+    }
+
+    #[test]
+    fn complete_graph_cannot_meet_tight_threshold_and_falls_back() {
+        // Every proper subgraph of K_n has a strictly smaller AND; with a
+        // threshold of 0.99 nothing qualifies, so the original is returned.
+        let g = complete(8);
+        let mut rng = seeded(3);
+        let options = ReductionOptions {
+            and_ratio_threshold: 0.99,
+            ..Default::default()
+        };
+        let reduced = reduce(&g, &options, &mut rng).unwrap();
+        assert_eq!(reduced.graph().node_count(), 8);
+        assert_eq!(reduced.node_reduction, 0.0);
+        assert!((reduced.and_ratio - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_graphs_are_hard_to_reduce() {
+        // Removing any leaf of a star lowers the AND proportionally, so the
+        // reduction is limited — the behaviour the paper reports for dense
+        // hub-like IMDb graphs.
+        let g = star(9).unwrap();
+        let mut rng = seeded(4);
+        let reduced = reduce(&g, &ReductionOptions::default(), &mut rng).unwrap();
+        assert!(reduced.and_ratio >= DEFAULT_AND_RATIO_THRESHOLD - 1e-9);
+        assert!(reduced.graph().node_count() >= 5);
+    }
+
+    #[test]
+    fn cycles_reduce_aggressively() {
+        // Any path subgraph of a cycle keeps AND close to 2, so cycles can be
+        // shrunk down to the minimum size.
+        let g = cycle(16).unwrap();
+        let mut rng = seeded(5);
+        let reduced = reduce(&g, &ReductionOptions::default(), &mut rng).unwrap();
+        assert!(
+            reduced.graph().node_count() <= 11,
+            "kept {} nodes",
+            reduced.graph().node_count()
+        );
+        assert!(reduced.node_reduction >= 0.3);
+    }
+
+    #[test]
+    fn threshold_validation_and_degenerate_graphs() {
+        let mut rng = seeded(6);
+        let g = cycle(6).unwrap();
+        let bad = ReductionOptions {
+            and_ratio_threshold: 0.0,
+            ..Default::default()
+        };
+        assert!(reduce(&g, &bad, &mut rng).is_err());
+        assert!(reduce(&Graph::new(1), &ReductionOptions::default(), &mut rng).is_err());
+        assert!(reduce(&Graph::new(5), &ReductionOptions::default(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn mean_ratios_over_a_small_collection() {
+        let mut rng = seeded(7);
+        let graphs: Vec<Graph> = (0..4)
+            .map(|_| connected_gnp(10, 0.4, &mut rng).unwrap())
+            .collect();
+        let (node_red, edge_red) =
+            mean_reduction_ratios(&graphs, &ReductionOptions::default(), &mut rng);
+        assert!((0.0..1.0).contains(&node_red));
+        assert!((0.0..1.0).contains(&edge_red));
+        // Edge reduction should be at least as large as node reduction on
+        // average (removing nodes removes their incident edges).
+        assert!(edge_red + 1e-9 >= node_red);
+    }
+
+    #[test]
+    fn lower_threshold_allows_smaller_graphs() {
+        let mut rng = seeded(8);
+        let g = connected_gnp(14, 0.45, &mut rng).unwrap();
+        let strict = reduce(
+            &g,
+            &ReductionOptions {
+                and_ratio_threshold: 0.9,
+                ..Default::default()
+            },
+            &mut seeded(100),
+        )
+        .unwrap();
+        let loose = reduce(
+            &g,
+            &ReductionOptions {
+                and_ratio_threshold: 0.5,
+                ..Default::default()
+            },
+            &mut seeded(100),
+        )
+        .unwrap();
+        assert!(loose.graph().node_count() <= strict.graph().node_count());
+    }
+}

@@ -1,0 +1,135 @@
+//! Multi-programming throughput model (Figure 25).
+//!
+//! Large devices can run several independent QAOA circuits concurrently by
+//! partitioning their qubits (multi-programming). Red-QAOA's reduced circuits
+//! need fewer qubits and fewer layers of gates, so more of them fit per batch
+//! and each batch finishes sooner. The relative throughput reported here is
+//!
+//! ```text
+//! (circuits-per-batch(reduced) / duration(reduced))
+//!   ───────────────────────────────────────────────
+//! (circuits-per-batch(original) / duration(original))
+//! ```
+//!
+//! averaged over a dataset, using the depth lower bound of the QAOA circuit
+//! as the duration proxy.
+
+use crate::reduction::{reduce, ReductionOptions};
+use crate::RedQaoaError;
+use graphlib::Graph;
+use qaoa::circuit::circuit_stats;
+use rand::Rng;
+
+/// Number of circuits of `circuit_qubits` qubits that fit concurrently on a
+/// device with `device_qubits` qubits. Zero if the circuit does not fit.
+pub fn circuits_per_batch(device_qubits: usize, circuit_qubits: usize) -> usize {
+    if circuit_qubits == 0 {
+        return 0;
+    }
+    device_qubits / circuit_qubits
+}
+
+/// Relative execution throughput of the reduced graph versus the original on
+/// a device with `device_qubits` qubits, for `layers`-layer QAOA.
+///
+/// Returns `1.0` when either circuit does not fit on the device (no
+/// multi-programming benefit can be claimed).
+pub fn relative_throughput(
+    original: &Graph,
+    reduced: &Graph,
+    device_qubits: usize,
+    layers: usize,
+) -> f64 {
+    let orig_stats = circuit_stats(original, layers);
+    let red_stats = circuit_stats(reduced, layers);
+    let orig_batch = circuits_per_batch(device_qubits, orig_stats.qubits);
+    let red_batch = circuits_per_batch(device_qubits, red_stats.qubits);
+    if orig_batch == 0 || red_batch == 0 {
+        return 1.0;
+    }
+    let orig_rate = orig_batch as f64 / orig_stats.depth_lower_bound.max(1) as f64;
+    let red_rate = red_batch as f64 / red_stats.depth_lower_bound.max(1) as f64;
+    red_rate / orig_rate
+}
+
+/// Mean relative throughput of Red-QAOA over a dataset on one device.
+///
+/// Each graph is reduced with the supplied options; graphs that fail to
+/// reduce (degenerate) are skipped.
+pub fn dataset_relative_throughput<R: Rng>(
+    graphs: &[Graph],
+    device_qubits: usize,
+    layers: usize,
+    options: &ReductionOptions,
+    rng: &mut R,
+) -> Result<f64, RedQaoaError> {
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for g in graphs {
+        let reduced = match reduce(g, options, rng) {
+            Ok(r) => r,
+            Err(_) => continue,
+        };
+        total += relative_throughput(g, reduced.graph(), device_qubits, layers);
+        count += 1;
+    }
+    if count == 0 {
+        return Err(RedQaoaError::GraphNotReducible(
+            "no graph in the dataset could be reduced",
+        ));
+    }
+    Ok(total / count as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlib::generators::{connected_gnp, cycle};
+    use mathkit::rng::seeded;
+
+    #[test]
+    fn batch_packing_is_floor_division() {
+        assert_eq!(circuits_per_batch(27, 9), 3);
+        assert_eq!(circuits_per_batch(27, 10), 2);
+        assert_eq!(circuits_per_batch(27, 28), 0);
+        assert_eq!(circuits_per_batch(27, 0), 0);
+    }
+
+    #[test]
+    fn reduced_graphs_improve_throughput() {
+        let original = cycle(12).unwrap();
+        let reduced = cycle(8).unwrap();
+        let t = relative_throughput(&original, &reduced, 27, 1);
+        assert!(t > 1.0, "throughput {t}");
+        // Identical graphs give exactly 1.
+        assert!((relative_throughput(&original, &original, 27, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversized_circuits_fall_back_to_unity() {
+        let original = cycle(30).unwrap();
+        let reduced = cycle(28).unwrap();
+        assert_eq!(relative_throughput(&original, &reduced, 27, 1), 1.0);
+    }
+
+    #[test]
+    fn dataset_throughput_is_above_one_for_reducible_graphs() {
+        let mut rng = seeded(1);
+        let graphs: Vec<Graph> = (0..5)
+            .map(|_| connected_gnp(10, 0.4, &mut rng).unwrap())
+            .collect();
+        let t = dataset_relative_throughput(&graphs, 27, 1, &ReductionOptions::default(), &mut rng)
+            .unwrap();
+        assert!(t >= 1.0, "dataset throughput {t}");
+        assert!(t < 5.0, "dataset throughput {t} implausibly high");
+    }
+
+    #[test]
+    fn empty_dataset_errors() {
+        let mut rng = seeded(2);
+        assert!(
+            dataset_relative_throughput(&[], 27, 1, &ReductionOptions::default(), &mut rng)
+                .is_err()
+        );
+    }
+}

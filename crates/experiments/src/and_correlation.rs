@@ -1,0 +1,264 @@
+//! Figures 5 and 7: the correlations that justify Red-QAOA's design.
+//!
+//! * Figure 5 — across all unique non-isomorphic connected subgraphs of a set
+//!   of random graphs, the landscape MSE correlates with the subgraph's
+//!   Average-Node-Degree ratio; a 6th-degree polynomial is fitted to the
+//!   scatter.
+//! * Figure 7 — across subgraphs of random 15-node graphs, the landscape MSE
+//!   correlates with the distance between the landscapes' optima, validating
+//!   MSE as the similarity metric.
+
+use graphlib::generators::connected_gnp;
+use graphlib::isomorphism::unique_up_to_isomorphism;
+use graphlib::metrics::average_node_degree;
+use graphlib::subgraph::enumerate_connected_subgraphs;
+use graphlib::Graph;
+use mathkit::polyfit::{polyfit, Polynomial};
+use mathkit::rng::{derive_seed, seeded};
+use qaoa::expectation::QaoaInstance;
+use qaoa::landscape::{random_parameter_set, sample_mse, Landscape};
+use qaoa::params::QaoaParams;
+use red_qaoa::RedQaoaError;
+
+/// One point of the Figure 5 scatter plot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AndMsePoint {
+    /// Subgraph AND divided by the original graph's AND.
+    pub and_ratio: f64,
+    /// Normalized landscape MSE between subgraph and original.
+    pub mse: f64,
+}
+
+/// Configuration of the Figure 5 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig5Config {
+    /// Number of random source graphs (the paper uses 15).
+    pub graph_count: usize,
+    /// Nodes per source graph.
+    pub nodes: usize,
+    /// Edge probability of the source graphs.
+    pub edge_probability: f64,
+    /// Subgraph sizes to enumerate (node counts).
+    pub subgraph_sizes: Vec<usize>,
+    /// Landscape grid width (the paper uses 30).
+    pub width: usize,
+    /// Polynomial degree of the fit (the paper uses 6).
+    pub fit_degree: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig5Config {
+    fn default() -> Self {
+        Self {
+            graph_count: 6,
+            nodes: 9,
+            edge_probability: 0.4,
+            subgraph_sizes: vec![5, 6, 7, 8],
+            width: 12,
+            fit_degree: 6,
+            seed: crate::DEFAULT_SEED,
+        }
+    }
+}
+
+/// Result of the Figure 5 experiment: the scatter points and the polynomial
+/// fit.
+#[derive(Debug, Clone)]
+pub struct Fig5Result {
+    /// Scatter points (one per unique non-isomorphic connected subgraph).
+    pub points: Vec<AndMsePoint>,
+    /// Least-squares polynomial fitted to the scatter.
+    pub fit: Polynomial,
+    /// Pearson correlation between (1 - AND ratio) and MSE.
+    pub correlation: f64,
+}
+
+/// Runs the Figure 5 experiment.
+///
+/// # Errors
+///
+/// Returns [`RedQaoaError`] if landscapes cannot be evaluated or the fit is
+/// degenerate.
+pub fn run_fig5(config: &Fig5Config) -> Result<Fig5Result, RedQaoaError> {
+    let mut points = Vec::new();
+    for g_idx in 0..config.graph_count {
+        let mut rng = seeded(derive_seed(config.seed, g_idx as u64));
+        let graph = connected_gnp(config.nodes, config.edge_probability, &mut rng)?;
+        let instance = QaoaInstance::new(&graph, 1)?;
+        let reference = Landscape::evaluate(config.width, |p| instance.expectation(p));
+        let original_and = average_node_degree(&graph);
+        for &size in &config.subgraph_sizes {
+            if size >= graph.node_count() {
+                continue;
+            }
+            let subs = enumerate_connected_subgraphs(&graph, size)?;
+            let graphs: Vec<Graph> = subs.iter().map(|s| s.graph.clone()).collect();
+            let unique = unique_up_to_isomorphism(&graphs);
+            for idx in unique {
+                let sub = &graphs[idx];
+                if sub.edge_count() == 0 {
+                    continue;
+                }
+                let sub_instance = QaoaInstance::new(sub, 1)?;
+                let landscape =
+                    Landscape::evaluate(config.width, |p| sub_instance.expectation(p));
+                points.push(AndMsePoint {
+                    and_ratio: average_node_degree(sub) / original_and,
+                    mse: reference.mse_to(&landscape)?,
+                });
+            }
+        }
+    }
+    let xs: Vec<f64> = points.iter().map(|p| p.and_ratio).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.mse).collect();
+    let degree = config.fit_degree.min(points.len().saturating_sub(1)).max(1);
+    let fit = polyfit(&xs, &ys, degree).map_err(|_| {
+        RedQaoaError::InvalidParameter("polynomial fit failed (too few scatter points)")
+    })?;
+    let inverted: Vec<f64> = xs.iter().map(|x| 1.0 - x).collect();
+    let correlation = mathkit::stats::pearson(&inverted, &ys).unwrap_or(0.0);
+    Ok(Fig5Result {
+        points,
+        fit,
+        correlation,
+    })
+}
+
+/// One point of the Figure 7 scatter: MSE vs optimum distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MseDistancePoint {
+    /// Normalized landscape MSE between subgraph and original.
+    pub mse: f64,
+    /// Periodic parameter-space distance between their optima.
+    pub optimum_distance: f64,
+}
+
+/// Configuration of the Figure 7 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig7Config {
+    /// Nodes of the source graph (the paper uses 15).
+    pub nodes: usize,
+    /// Edge probability.
+    pub edge_probability: f64,
+    /// QAOA layers (the paper uses 2).
+    pub layers: usize,
+    /// Number of random parameter sets (the paper uses 2048).
+    pub parameter_sets: usize,
+    /// Number of sampled connected subgraphs.
+    pub subgraph_samples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig7Config {
+    fn default() -> Self {
+        Self {
+            nodes: 12,
+            edge_probability: 0.35,
+            layers: 2,
+            parameter_sets: 256,
+            subgraph_samples: 24,
+            seed: crate::DEFAULT_SEED,
+        }
+    }
+}
+
+/// Runs the Figure 7 experiment and returns the scatter points plus the
+/// Pearson correlation between MSE and optimum distance.
+///
+/// # Errors
+///
+/// Returns [`RedQaoaError`] if evaluation fails.
+pub fn run_fig7(config: &Fig7Config) -> Result<(Vec<MseDistancePoint>, f64), RedQaoaError> {
+    let mut rng = seeded(config.seed);
+    let graph = connected_gnp(config.nodes, config.edge_probability, &mut rng)?;
+    let instance = QaoaInstance::new(&graph, config.layers)?;
+    let set = random_parameter_set(config.layers, config.parameter_sets, &mut rng);
+    let reference: Vec<f64> = set.iter().map(|p| instance.expectation(p)).collect();
+    let ref_best = best_params(&set, &reference);
+
+    let mut points = Vec::new();
+    for i in 0..config.subgraph_samples {
+        let mut sub_rng = seeded(derive_seed(config.seed, 1000 + i as u64));
+        let size = 4 + (i % (config.nodes.saturating_sub(4)).max(1));
+        let sub = match graphlib::subgraph::random_connected_subgraph(&graph, size, &mut sub_rng) {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        if sub.graph.edge_count() == 0 {
+            continue;
+        }
+        let sub_instance = QaoaInstance::new(&sub.graph, config.layers)?;
+        let values: Vec<f64> = set.iter().map(|p| sub_instance.expectation(p)).collect();
+        let mse = sample_mse(&reference, &values)?;
+        let sub_best = best_params(&set, &values);
+        points.push(MseDistancePoint {
+            mse,
+            optimum_distance: ref_best.periodic_distance(&sub_best),
+        });
+    }
+    let xs: Vec<f64> = points.iter().map(|p| p.mse).collect();
+    let ys: Vec<f64> = points.iter().map(|p| p.optimum_distance).collect();
+    let correlation = mathkit::stats::pearson(&xs, &ys).unwrap_or(0.0);
+    Ok((points, correlation))
+}
+
+fn best_params(set: &[QaoaParams], values: &[f64]) -> QaoaParams {
+    let idx = mathkit::stats::argmax(values).expect("non-empty values");
+    set[idx].clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_shows_negative_correlation_between_and_ratio_and_mse() {
+        let config = Fig5Config {
+            graph_count: 2,
+            nodes: 7,
+            subgraph_sizes: vec![4, 5, 6],
+            width: 8,
+            fit_degree: 3,
+            ..Default::default()
+        };
+        let result = run_fig5(&config).unwrap();
+        assert!(result.points.len() > 5, "only {} points", result.points.len());
+        // Lower AND ratio (further from the original) should mean higher MSE:
+        // positive correlation between (1 - ratio) and MSE.
+        assert!(
+            result.correlation > 0.2,
+            "correlation {}",
+            result.correlation
+        );
+        // The fit should evaluate to something small near ratio = 1.
+        assert!(result.fit.eval(1.0) < result.fit.eval(0.4).max(0.05));
+    }
+
+    #[test]
+    fn fig7_mse_correlates_with_optimum_distance() {
+        let config = Fig7Config {
+            nodes: 9,
+            layers: 1,
+            parameter_sets: 128,
+            subgraph_samples: 16,
+            ..Default::default()
+        };
+        let (points, correlation) = run_fig7(&config).unwrap();
+        assert!(points.len() >= 8);
+        assert!(correlation >= 0.0, "correlation {correlation}");
+        // Robust monotonicity check: subgraphs in the high-MSE half must not
+        // have closer optima (on average) than those in the low-MSE half.
+        let mut sorted = points.clone();
+        sorted.sort_by(|a, b| a.mse.partial_cmp(&b.mse).unwrap());
+        let half = sorted.len() / 2;
+        let mean = |xs: &[MseDistancePoint]| {
+            xs.iter().map(|p| p.optimum_distance).sum::<f64>() / xs.len().max(1) as f64
+        };
+        assert!(
+            mean(&sorted[half..]) + 1e-9 >= mean(&sorted[..half]),
+            "high-MSE half has closer optima than low-MSE half"
+        );
+    }
+}

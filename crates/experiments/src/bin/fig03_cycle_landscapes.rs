@@ -1,0 +1,10 @@
+//! Figure 3: energy landscapes of 7- and 10-node cycle graphs coincide.
+use experiments::landscapes::{landscape_rows, run_fig3};
+use experiments::print_table;
+
+fn main() {
+    let result = run_fig3(16).expect("figure 3 experiment failed");
+    println!("# Figure 3: MSE between 7-node and 10-node cycle landscapes = {:.2e}", result.mse);
+    print_table("7-node cycle landscape", &["beta ->"], &landscape_rows(&result.small));
+    print_table("10-node cycle landscape", &["beta ->"], &landscape_rows(&result.large));
+}

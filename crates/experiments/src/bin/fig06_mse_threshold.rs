@@ -1,0 +1,12 @@
+//! Figure 6: landscape MSE vs optimal-point drift for random graphs.
+use experiments::landscapes::run_fig6;
+use experiments::DEFAULT_SEED;
+
+fn main() {
+    let rows = run_fig6(6, 9, 12, DEFAULT_SEED).expect("figure 6 experiment failed");
+    println!("# Figure 6: MSE and optimum drift vs a reference landscape");
+    println!("graph\tmse\toptimum_distance");
+    for r in &rows {
+        println!("{}\t{:.4}\t{:.4}", r.graph_index, r.mse, r.optimum_distance);
+    }
+}

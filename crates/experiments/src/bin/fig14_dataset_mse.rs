@@ -1,0 +1,14 @@
+//! Figure 14: ideal landscape MSE for AIDS, IMDb, LINUX at p = 1, 2, 3.
+use experiments::dataset_eval::{run_small_datasets, DatasetEvalConfig};
+
+fn main() {
+    let config = DatasetEvalConfig::default();
+    let rows = run_small_datasets(&config).expect("figure 14 experiment failed");
+    println!("# Figure 14: mean ideal MSE by dataset and layer count");
+    println!("dataset\tp\tmse");
+    for r in &rows {
+        for (i, mse) in r.mse_per_layer.iter().enumerate() {
+            println!("{}\t{}\t{:.4}", r.dataset, config.layers[i], mse);
+        }
+    }
+}

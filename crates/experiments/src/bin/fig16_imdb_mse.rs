@@ -1,0 +1,14 @@
+//! Figure 16: IMDb small vs medium ideal MSE at p = 1, 2, 3.
+use experiments::dataset_eval::{run_imdb_scaling, DatasetEvalConfig};
+
+fn main() {
+    let config = DatasetEvalConfig::default();
+    let rows = run_imdb_scaling(&config).expect("figure 16 experiment failed");
+    println!("# Figure 16: IMDb ideal MSE by size split and layer count");
+    println!("split\tp\tmse");
+    for r in &rows {
+        for (i, mse) in r.mse_per_layer.iter().enumerate() {
+            println!("{}\t{}\t{:.4}", r.dataset, config.layers[i], mse);
+        }
+    }
+}

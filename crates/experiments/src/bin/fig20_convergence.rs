@@ -1,0 +1,11 @@
+//! Figure 20: convergence of noisy QAOA, baseline vs Red-QAOA.
+use experiments::convergence::{run_fig20, Fig20Config};
+
+fn main() {
+    let curves = run_fig20(&Fig20Config::default()).expect("figure 20 experiment failed");
+    println!("# Figure 20: running-best ideal expectation (reduced graph kept {} nodes)", curves.reduced_nodes);
+    println!("evaluation\tbaseline\tred_qaoa");
+    for (i, (b, r)) in curves.baseline.iter().zip(&curves.red_qaoa).enumerate() {
+        println!("{i}\t{b:.4}\t{r:.4}");
+    }
+}

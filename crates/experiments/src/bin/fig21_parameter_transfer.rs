@@ -1,0 +1,11 @@
+//! Figure 21: Red-QAOA vs parameter transfer across graph families.
+use experiments::transfer_cmp::{run_fig21, Fig21Config};
+
+fn main() {
+    let rows = run_fig21(&Fig21Config::default()).expect("figure 21 experiment failed");
+    println!("# Figure 21: ideal landscape MSE, parameter transfer vs Red-QAOA");
+    println!("family\ttransfer_mse\tred_qaoa_mse");
+    for r in &rows {
+        println!("{}\t{:.4}\t{:.4}", r.family, r.transfer_mse, r.red_qaoa_mse);
+    }
+}

@@ -1,0 +1,12 @@
+//! Figure 23: baseline vs Red-QAOA noisy MSE on the Rigetti Aspen-M-3 model.
+use experiments::noisy_mse::{run_fig23, NoisyMseConfig};
+
+fn main() {
+    let config = NoisyMseConfig { node_counts: vec![5, 6, 7, 8, 9, 10], ..Default::default() };
+    let rows = run_fig23(&config).expect("figure 23 experiment failed");
+    println!("# Figure 23: noisy landscape MSE on Aspen-M-3 class noise");
+    println!("nodes\tbaseline_mse\tred_qaoa_mse");
+    for r in &rows {
+        println!("{}\t{:.4}\t{:.4}", r.nodes, r.baseline_mse, r.red_qaoa_mse);
+    }
+}

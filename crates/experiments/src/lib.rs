@@ -1,0 +1,68 @@
+//! Reproduction harness for the Red-QAOA evaluation.
+//!
+//! Every figure and table of the paper's evaluation section maps to a module
+//! here and to a binary (`cargo run --release -p experiments --bin figXX`).
+//! Each module exposes a `Config` with scaled-down-but-faithful defaults, a
+//! `run` function returning structured data, and a `report` helper that
+//! prints the same rows/series the paper plots. Absolute values depend on the
+//! simulated substrate; the *shape* of each result (who wins, by roughly what
+//! factor, where crossovers fall) is what the defaults are tuned to
+//! reproduce. EXPERIMENTS.md records paper-vs-measured numbers.
+//!
+//! Module ↔ figure map:
+//!
+//! | Module | Figures |
+//! |--------|---------|
+//! | [`convergence`] | 1, 20 |
+//! | [`landscapes`] | 2, 3, 6, 11, 12, 22 |
+//! | [`and_correlation`] | 5, 7 |
+//! | [`pooling_cmp`] | 8, 19 |
+//! | [`sa_effectiveness`] | 9 |
+//! | [`noisy_mse`] | 10, 23, 24 |
+//! | [`dataset_eval`] | 13, 14, 15, 16, Table 1 |
+//! | [`end_to_end`] | 17 |
+//! | [`runtime`] | 18 |
+//! | [`transfer_cmp`] | 21 |
+//! | [`throughput_cmp`] | 25 |
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod and_correlation;
+pub mod convergence;
+pub mod dataset_eval;
+pub mod end_to_end;
+pub mod landscapes;
+pub mod noisy_mse;
+pub mod pooling_cmp;
+pub mod runtime;
+pub mod sa_effectiveness;
+pub mod throughput_cmp;
+pub mod transfer_cmp;
+
+/// Default seed shared by all experiment binaries, so a full run of the
+/// harness is reproducible end to end.
+pub const DEFAULT_SEED: u64 = 0xA5F0_2024;
+
+/// Prints a TSV header followed by data rows (the common output format of
+/// the experiment binaries).
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("# {title}");
+    println!("{}", header.join("\t"));
+    for row in rows {
+        println!("{}", row.join("\t"));
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn print_table_does_not_panic() {
+        super::print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+    }
+}

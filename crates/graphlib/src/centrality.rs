@@ -1,0 +1,190 @@
+//! Node centrality measures.
+//!
+//! The paper's GNN-pooling baselines consume a per-node feature vector made of
+//! the node degree, clustering coefficient, betweenness centrality, closeness
+//! centrality, and eigenvector centrality (Section 5.5). This module provides
+//! the three centralities; degree and clustering live in [`crate::metrics`].
+
+use crate::traversal::bfs_distances;
+use crate::Graph;
+use mathkit::linalg::{power_iteration, Matrix};
+use std::collections::VecDeque;
+
+/// Betweenness centrality of every node (Brandes' algorithm, unweighted),
+/// normalized by `(n-1)(n-2)/2` for graphs with more than two nodes so values
+/// lie in `[0, 1]`.
+pub fn betweenness_centrality(graph: &Graph) -> Vec<f64> {
+    let n = graph.node_count();
+    let mut centrality = vec![0.0; n];
+    if n == 0 {
+        return centrality;
+    }
+    for s in 0..n {
+        // Single-source shortest paths with path counting.
+        let mut stack: Vec<usize> = Vec::new();
+        let mut predecessors: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut sigma = vec![0.0f64; n];
+        sigma[s] = 1.0;
+        let mut dist = vec![i64::MAX; n];
+        dist[s] = 0;
+        let mut queue = VecDeque::from([s]);
+        while let Some(v) = queue.pop_front() {
+            stack.push(v);
+            for w in graph.neighbors(v) {
+                if dist[w] == i64::MAX {
+                    dist[w] = dist[v] + 1;
+                    queue.push_back(w);
+                }
+                if dist[w] == dist[v] + 1 {
+                    sigma[w] += sigma[v];
+                    predecessors[w].push(v);
+                }
+            }
+        }
+        // Accumulation.
+        let mut delta = vec![0.0f64; n];
+        while let Some(w) = stack.pop() {
+            for &v in &predecessors[w] {
+                delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+            }
+            if w != s {
+                centrality[w] += delta[w];
+            }
+        }
+    }
+    // Undirected graphs count each pair twice.
+    for c in centrality.iter_mut() {
+        *c /= 2.0;
+    }
+    if n > 2 {
+        let scale = 2.0 / ((n - 1) as f64 * (n - 2) as f64);
+        for c in centrality.iter_mut() {
+            *c *= scale;
+        }
+    }
+    centrality
+}
+
+/// Closeness centrality of every node: `(reachable - 1) / total_distance`,
+/// scaled by the fraction of the graph that is reachable (the formula
+/// NetworkX uses with `wf_improved = true`). Isolated nodes get 0.
+pub fn closeness_centrality(graph: &Graph) -> Vec<f64> {
+    let n = graph.node_count();
+    let mut centrality = vec![0.0; n];
+    if n <= 1 {
+        return centrality;
+    }
+    for u in 0..n {
+        let dist = bfs_distances(graph, u);
+        let mut total = 0usize;
+        let mut reachable = 0usize;
+        for (v, &d) in dist.iter().enumerate() {
+            if v != u && d != usize::MAX {
+                total += d;
+                reachable += 1;
+            }
+        }
+        if total > 0 {
+            let c = reachable as f64 / total as f64;
+            // Wasserman–Faust scaling for disconnected graphs.
+            centrality[u] = c * reachable as f64 / (n - 1) as f64;
+        }
+    }
+    centrality
+}
+
+/// Eigenvector centrality of every node via power iteration on the adjacency
+/// matrix, normalized to unit Euclidean norm. Graphs with no edges yield all
+/// zeros.
+pub fn eigenvector_centrality(graph: &Graph) -> Vec<f64> {
+    let n = graph.node_count();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut a = Matrix::zeros(n, n);
+    for (u, v) in graph.edges() {
+        a.set(u, v, 1.0);
+        a.set(v, u, 1.0);
+    }
+    match power_iteration(&a, 1000, 1e-10) {
+        Ok(pair) => pair.vector.iter().map(|x| x.abs()).collect(),
+        Err(_) => vec![0.0; n],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete, cycle, path, star};
+    use crate::Graph;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn betweenness_of_path_center() {
+        let g = path(3).unwrap();
+        let b = betweenness_centrality(&g);
+        // Middle node lies on the single shortest path between the endpoints.
+        assert!((b[1] - 1.0).abs() < EPS, "{b:?}");
+        assert!(b[0].abs() < EPS);
+        assert!(b[2].abs() < EPS);
+    }
+
+    #[test]
+    fn betweenness_of_star_center() {
+        let g = star(5).unwrap();
+        let b = betweenness_centrality(&g);
+        assert!((b[0] - 1.0).abs() < EPS, "{b:?}");
+        assert!(b[1..].iter().all(|&x| x.abs() < EPS));
+    }
+
+    #[test]
+    fn betweenness_of_complete_graph_is_zero() {
+        let b = betweenness_centrality(&complete(5));
+        assert!(b.iter().all(|&x| x.abs() < EPS));
+    }
+
+    #[test]
+    fn closeness_of_star() {
+        let g = star(5).unwrap();
+        let c = closeness_centrality(&g);
+        assert!((c[0] - 1.0).abs() < EPS);
+        // Leaves: distances 1 + 2*3 = 7, reachable 4 => 4/7.
+        assert!((c[1] - 4.0 / 7.0).abs() < EPS, "{c:?}");
+    }
+
+    #[test]
+    fn closeness_handles_isolated_nodes() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let c = closeness_centrality(&g);
+        assert_eq!(c[2], 0.0);
+        assert!(c[0] > 0.0);
+    }
+
+    #[test]
+    fn eigenvector_centrality_symmetric_on_cycle() {
+        let g = cycle(6).unwrap();
+        let e = eigenvector_centrality(&g);
+        for w in e.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-6, "{e:?}");
+        }
+        let norm: f64 = e.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eigenvector_centrality_star_center_dominates() {
+        let g = star(6).unwrap();
+        let e = eigenvector_centrality(&g);
+        assert!(e[0] > e[1]);
+    }
+
+    #[test]
+    fn centralities_of_trivial_graphs() {
+        assert!(eigenvector_centrality(&Graph::new(0)).is_empty());
+        assert_eq!(betweenness_centrality(&Graph::new(2)), vec![0.0, 0.0]);
+        assert_eq!(closeness_centrality(&Graph::new(1)), vec![0.0]);
+        let no_edges = eigenvector_centrality(&Graph::new(3));
+        assert!(no_edges.iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,226 @@
+//! Graph isomorphism utilities for small graphs.
+//!
+//! The subgraph-enumeration experiments of the paper keep only *unique
+//! non-isomorphic* subgraphs. Exact isomorphism testing is exponential in
+//! general; the graphs involved here are tiny (≤ ~15 nodes), so a
+//! Weisfeiler–Lehman style canonical hash plus a brute-force permutation
+//! check for very small graphs is plenty.
+
+use crate::Graph;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// A hash that is invariant under node relabelling.
+///
+/// Two isomorphic graphs always produce the same certificate; two graphs with
+/// different certificates are definitely non-isomorphic. (Equal certificates
+/// do not *prove* isomorphism, but collisions are extremely unlikely for the
+/// small, sparse graphs used in this project; use [`are_isomorphic`] when an
+/// exact answer is required.)
+pub fn wl_certificate(graph: &Graph) -> u64 {
+    let n = graph.node_count();
+    if n == 0 {
+        return 0;
+    }
+    // Initial colors: (degree, local triangle count). Plain 1-WL with degree
+    // seeds cannot separate regular graphs (e.g. two triangles vs a 6-cycle);
+    // seeding with the per-node triangle count fixes the common cases that
+    // arise among small QAOA subgraphs.
+    let mut colors: Vec<u64> = (0..n)
+        .map(|u| {
+            let neighbors: Vec<usize> = graph.neighbors(u).collect();
+            let mut triangles = 0u64;
+            for i in 0..neighbors.len() {
+                for j in (i + 1)..neighbors.len() {
+                    if graph.has_edge(neighbors[i], neighbors[j]) {
+                        triangles += 1;
+                    }
+                }
+            }
+            let mut hasher = DefaultHasher::new();
+            (graph.degree(u) as u64).hash(&mut hasher);
+            triangles.hash(&mut hasher);
+            hasher.finish()
+        })
+        .collect();
+    // Refine for n rounds (enough to stabilize on such small graphs).
+    for _ in 0..n {
+        let mut new_colors = Vec::with_capacity(n);
+        for u in 0..n {
+            let mut neighbor_colors: Vec<u64> = graph.neighbors(u).map(|v| colors[v]).collect();
+            neighbor_colors.sort_unstable();
+            let mut hasher = DefaultHasher::new();
+            colors[u].hash(&mut hasher);
+            neighbor_colors.hash(&mut hasher);
+            new_colors.push(hasher.finish());
+        }
+        // Keep the raw hashes: they are label-invariant functions of the
+        // structure, and compressing them to palette indices would erase
+        // cross-graph distinctions (only within-graph partitions would
+        // survive).
+        colors = new_colors;
+    }
+    let mut multiset = colors;
+    multiset.sort_unstable();
+    let mut hasher = DefaultHasher::new();
+    (n as u64).hash(&mut hasher);
+    (graph.edge_count() as u64).hash(&mut hasher);
+    multiset.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Exact isomorphism test by brute-force permutation search with degree
+/// pruning. Intended for graphs with at most ~10 nodes.
+///
+/// # Panics
+///
+/// Panics if either graph has more than 12 nodes (the factorial search would
+/// be unreasonable).
+pub fn are_isomorphic(a: &Graph, b: &Graph) -> bool {
+    assert!(
+        a.node_count() <= 12 && b.node_count() <= 12,
+        "are_isomorphic is limited to graphs with at most 12 nodes"
+    );
+    if a.node_count() != b.node_count() || a.edge_count() != b.edge_count() {
+        return false;
+    }
+    let mut deg_a = a.degrees();
+    let mut deg_b = b.degrees();
+    deg_a.sort_unstable();
+    deg_b.sort_unstable();
+    if deg_a != deg_b {
+        return false;
+    }
+    let n = a.node_count();
+    let degrees_a = a.degrees();
+    let degrees_b = b.degrees();
+    // Backtracking mapping from a-nodes to b-nodes.
+    let mut mapping = vec![usize::MAX; n];
+    let mut used = vec![false; n];
+    fn backtrack(
+        a: &Graph,
+        b: &Graph,
+        degrees_a: &[usize],
+        degrees_b: &[usize],
+        mapping: &mut Vec<usize>,
+        used: &mut Vec<bool>,
+        depth: usize,
+    ) -> bool {
+        let n = a.node_count();
+        if depth == n {
+            return true;
+        }
+        for candidate in 0..n {
+            if used[candidate] || degrees_a[depth] != degrees_b[candidate] {
+                continue;
+            }
+            // Check consistency with already-mapped nodes.
+            let mut ok = true;
+            for prev in 0..depth {
+                if a.has_edge(depth, prev) != b.has_edge(candidate, mapping[prev]) {
+                    ok = false;
+                    break;
+                }
+            }
+            if !ok {
+                continue;
+            }
+            mapping[depth] = candidate;
+            used[candidate] = true;
+            if backtrack(a, b, degrees_a, degrees_b, mapping, used, depth + 1) {
+                return true;
+            }
+            used[candidate] = false;
+            mapping[depth] = usize::MAX;
+        }
+        false
+    }
+    backtrack(a, b, &degrees_a, &degrees_b, &mut mapping, &mut used, 0)
+}
+
+/// Deduplicates a collection of graphs up to isomorphism, returning indices of
+/// one representative per class (certificate bucketing plus exact check for
+/// small graphs).
+pub fn unique_up_to_isomorphism(graphs: &[Graph]) -> Vec<usize> {
+    let mut buckets: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut representatives = Vec::new();
+    for (i, g) in graphs.iter().enumerate() {
+        let cert = wl_certificate(g);
+        let bucket = buckets.entry(cert).or_default();
+        let mut duplicate = false;
+        for &rep in bucket.iter() {
+            let exact = if g.node_count() <= 12 && graphs[rep].node_count() <= 12 {
+                are_isomorphic(g, &graphs[rep])
+            } else {
+                true // trust the certificate for larger graphs
+            };
+            if exact {
+                duplicate = true;
+                break;
+            }
+        }
+        if !duplicate {
+            bucket.push(i);
+            representatives.push(i);
+        }
+    }
+    representatives
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete, cycle, path, star};
+    use crate::Graph;
+
+    #[test]
+    fn relabelled_graphs_share_certificates() {
+        // Path 0-1-2-3 and the same path with labels permuted.
+        let a = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let b = Graph::from_edges(4, &[(2, 0), (0, 3), (3, 1)]).unwrap();
+        assert_eq!(wl_certificate(&a), wl_certificate(&b));
+        assert!(are_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn different_graphs_differ() {
+        let c = cycle(4).unwrap();
+        let p = path(4).unwrap();
+        assert_ne!(wl_certificate(&c), wl_certificate(&p));
+        assert!(!are_isomorphic(&c, &p));
+        let s = star(4).unwrap();
+        assert!(!are_isomorphic(&s, &p));
+    }
+
+    #[test]
+    fn isomorphism_respects_edge_structure_not_just_degrees() {
+        // Two 6-node graphs with the same degree sequence but different
+        // structure: two triangles vs a 6-cycle.
+        let two_triangles = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+            .unwrap();
+        let hexagon = cycle(6).unwrap();
+        assert_eq!(two_triangles.degrees(), hexagon.degrees());
+        assert!(!are_isomorphic(&two_triangles, &hexagon));
+        assert_ne!(wl_certificate(&two_triangles), wl_certificate(&hexagon));
+    }
+
+    #[test]
+    fn unique_filtering_collapses_isomorphs() {
+        let graphs = vec![
+            path(3).unwrap(),
+            Graph::from_edges(3, &[(2, 1), (1, 0)]).unwrap(), // same path relabelled
+            complete(3),
+            star(3).unwrap(), // star(3) is the path P3 again
+        ];
+        let unique = unique_up_to_isomorphism(&graphs);
+        assert_eq!(unique.len(), 2);
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        assert_eq!(wl_certificate(&Graph::new(0)), 0);
+        assert!(are_isomorphic(&Graph::new(1), &Graph::new(1)));
+        assert!(!are_isomorphic(&Graph::new(1), &Graph::new(2)));
+    }
+}

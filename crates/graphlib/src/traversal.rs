@@ -1,0 +1,160 @@
+//! Breadth-first traversal utilities: connectivity, components, distances.
+
+use crate::Graph;
+use std::collections::VecDeque;
+
+/// Breadth-first search distances from `source` to every node.
+///
+/// Unreachable nodes get `usize::MAX`.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn bfs_distances(graph: &Graph, source: usize) -> Vec<usize> {
+    assert!(source < graph.node_count(), "source out of range");
+    let mut dist = vec![usize::MAX; graph.node_count()];
+    dist[source] = 0;
+    let mut queue = VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        for v in graph.neighbors(u) {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected components, each sorted ascending; components are ordered by
+/// their smallest node.
+pub fn connected_components(graph: &Graph) -> Vec<Vec<usize>> {
+    let n = graph.node_count();
+    let mut seen = vec![false; n];
+    let mut components = Vec::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        let mut component = Vec::new();
+        let mut queue = VecDeque::from([start]);
+        seen[start] = true;
+        while let Some(u) = queue.pop_front() {
+            component.push(u);
+            for v in graph.neighbors(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        component.sort_unstable();
+        components.push(component);
+    }
+    components
+}
+
+/// Returns `true` if the graph is connected. The empty graph and singleton
+/// graphs are considered connected.
+pub fn is_connected(graph: &Graph) -> bool {
+    graph.node_count() <= 1 || connected_components(graph).len() == 1
+}
+
+/// Diameter (longest shortest path) of a connected graph.
+///
+/// Returns `None` for disconnected or empty graphs.
+pub fn diameter(graph: &Graph) -> Option<usize> {
+    if graph.node_count() == 0 || !is_connected(graph) {
+        return None;
+    }
+    let mut best = 0;
+    for u in 0..graph.node_count() {
+        let dist = bfs_distances(graph, u);
+        for d in dist {
+            if d != usize::MAX && d > best {
+                best = d;
+            }
+        }
+    }
+    Some(best)
+}
+
+/// Nodes within graph distance `radius` of either endpoint of the edge
+/// `(u, v)`. This is the "subgraph around an edge" construction used in the
+/// QAOA locality argument (Section 3.3): for `p` QAOA layers the expectation
+/// of an edge term only depends on nodes within distance `p` of the edge.
+///
+/// # Panics
+///
+/// Panics if either node is out of range.
+pub fn nodes_within_distance_of_edge(
+    graph: &Graph,
+    u: usize,
+    v: usize,
+    radius: usize,
+) -> Vec<usize> {
+    let du = bfs_distances(graph, u);
+    let dv = bfs_distances(graph, v);
+    let mut nodes: Vec<usize> = (0..graph.node_count())
+        .filter(|&w| {
+            (du[w] != usize::MAX && du[w] <= radius) || (dv[w] != usize::MAX && dv[w] <= radius)
+        })
+        .collect();
+    nodes.sort_unstable();
+    nodes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{cycle, path, star};
+    use crate::Graph;
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path(5).unwrap();
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_unreachable_is_max() {
+        let g = Graph::from_edges(4, &[(0, 1)]).unwrap();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], usize::MAX);
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (4, 5)]).unwrap();
+        let comps = connected_components(&g);
+        assert_eq!(comps, vec![vec![0, 1, 2], vec![3], vec![4, 5]]);
+        assert!(!is_connected(&g));
+        assert!(is_connected(&cycle(5).unwrap()));
+        assert!(is_connected(&Graph::new(0)));
+        assert!(is_connected(&Graph::new(1)));
+    }
+
+    #[test]
+    fn diameter_of_known_graphs() {
+        assert_eq!(diameter(&path(5).unwrap()), Some(4));
+        assert_eq!(diameter(&cycle(6).unwrap()), Some(3));
+        assert_eq!(diameter(&star(7).unwrap()), Some(2));
+        let disconnected = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        assert_eq!(diameter(&disconnected), None);
+        assert_eq!(diameter(&Graph::new(0)), None);
+    }
+
+    #[test]
+    fn edge_neighborhood_growth_with_radius() {
+        let g = path(7).unwrap();
+        // Edge (3, 4) at radius 0 covers just its endpoints.
+        assert_eq!(nodes_within_distance_of_edge(&g, 3, 4, 0), vec![3, 4]);
+        assert_eq!(nodes_within_distance_of_edge(&g, 3, 4, 1), vec![2, 3, 4, 5]);
+        assert_eq!(
+            nodes_within_distance_of_edge(&g, 3, 4, 2),
+            vec![1, 2, 3, 4, 5, 6]
+        );
+    }
+}

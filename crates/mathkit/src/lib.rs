@@ -1,0 +1,98 @@
+//! Numerics, statistics, and derivative-free optimization kit.
+//!
+//! `mathkit` is the lowest-level substrate of the Red-QAOA reproduction. It
+//! provides the building blocks that the Python reference implementation
+//! obtained from NumPy/SciPy:
+//!
+//! * [`Complex64`](complex::Complex64) — complex arithmetic for the quantum
+//!   simulators in the `qsim` crate.
+//! * [`stats`] — means, variances, the mean-squared-error metric of the
+//!   paper (Equation 12), min–max normalization, and box-plot summaries.
+//! * [`polyfit`] — least-squares polynomial fitting (used by Figure 5 and
+//!   Figure 18 of the paper).
+//! * [`linalg`] — small dense-matrix helpers (Gaussian elimination, power
+//!   iteration) shared by the fitting code and by graph centrality measures.
+//! * [`optim`] — derivative-free optimizers (Nelder–Mead, SPSA, grid search)
+//!   standing in for SciPy's COBYLA in the classical QAOA loop.
+//! * [`rng`] — deterministic seeding helpers so that every experiment in the
+//!   repository is reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use mathkit::stats::mse;
+//!
+//! let a = [0.0, 0.5, 1.0];
+//! let b = [0.0, 0.6, 1.0];
+//! let err = mse(&a, &b).unwrap();
+//! assert!(err > 0.0 && err < 0.01);
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod complex;
+pub mod linalg;
+pub mod optim;
+pub mod polyfit;
+pub mod rng;
+pub mod stats;
+
+pub use complex::Complex64;
+
+/// Errors produced by `mathkit` routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MathError {
+    /// Input slices were empty where at least one element is required.
+    EmptyInput,
+    /// Two inputs that must have equal lengths did not.
+    LengthMismatch {
+        /// Length of the first input.
+        left: usize,
+        /// Length of the second input.
+        right: usize,
+    },
+    /// A linear system was singular (or numerically close to singular).
+    SingularMatrix,
+    /// A parameter was outside of its documented domain.
+    InvalidParameter(&'static str),
+}
+
+impl std::fmt::Display for MathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MathError::EmptyInput => write!(f, "input slice was empty"),
+            MathError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            MathError::SingularMatrix => write!(f, "matrix was singular"),
+            MathError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for MathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_nonempty() {
+        let errors = [
+            MathError::EmptyInput,
+            MathError::LengthMismatch { left: 1, right: 2 },
+            MathError::SingularMatrix,
+            MathError::InvalidParameter("x"),
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MathError>();
+    }
+}

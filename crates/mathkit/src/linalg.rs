@@ -1,0 +1,345 @@
+//! Small dense-matrix helpers.
+//!
+//! Only the routines needed by the rest of the workspace are provided:
+//! a row-major [`Matrix`] type, Gaussian elimination with partial pivoting
+//! (used by the polynomial fitter), and power iteration (used by eigenvector
+//! centrality in `graphlib`).
+
+use crate::MathError;
+
+/// A dense, row-major `f64` matrix.
+///
+/// # Example
+///
+/// ```
+/// use mathkit::linalg::Matrix;
+///
+/// let m = Matrix::identity(3);
+/// assert_eq!(m.get(1, 1), 1.0);
+/// assert_eq!(m.get(0, 2), 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a matrix of zeros with the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::InvalidParameter`] if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<f64>) -> Result<Self, MathError> {
+        if data.len() != rows * cols {
+            return Err(MathError::InvalidParameter(
+                "data length must equal rows * cols",
+            ));
+        }
+        Ok(Self { rows, cols, data })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        assert!(r < self.rows && c < self.cols, "matrix index out of range");
+        self.data[r * self.cols + c]
+    }
+
+    /// Sets the element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        assert!(r < self.rows && c < self.cols, "matrix index out of range");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::LengthMismatch`] if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[f64]) -> Result<Vec<f64>, MathError> {
+        if v.len() != self.cols {
+            return Err(MathError::LengthMismatch {
+                left: self.cols,
+                right: v.len(),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for r in 0..self.rows {
+            let mut acc = 0.0;
+            for c in 0..self.cols {
+                acc += self.get(r, c) * v[c];
+            }
+            out[r] = acc;
+        }
+        Ok(out)
+    }
+
+    /// Matrix–matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::LengthMismatch`] if the inner dimensions differ.
+    pub fn mul(&self, rhs: &Matrix) -> Result<Matrix, MathError> {
+        if self.cols != rhs.rows {
+            return Err(MathError::LengthMismatch {
+                left: self.cols,
+                right: rhs.rows,
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(r, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    out.data[r * rhs.cols + c] += a * rhs.get(k, c);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.set(c, r, self.get(r, c));
+            }
+        }
+        out
+    }
+}
+
+/// Solves the linear system `a x = b` by Gaussian elimination with partial
+/// pivoting.
+///
+/// # Errors
+///
+/// Returns [`MathError::LengthMismatch`] if the shapes are inconsistent and
+/// [`MathError::SingularMatrix`] if the matrix is (numerically) singular.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, MathError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(MathError::LengthMismatch {
+            left: a.rows(),
+            right: a.cols(),
+        });
+    }
+    if b.len() != n {
+        return Err(MathError::LengthMismatch {
+            left: n,
+            right: b.len(),
+        });
+    }
+    // Build augmented matrix.
+    let mut m = vec![vec![0.0; n + 1]; n];
+    for r in 0..n {
+        for c in 0..n {
+            m[r][c] = a.get(r, c);
+        }
+        m[r][n] = b[r];
+    }
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        for r in (col + 1)..n {
+            if m[r][col].abs() > m[pivot][col].abs() {
+                pivot = r;
+            }
+        }
+        if m[pivot][col].abs() < 1e-12 {
+            return Err(MathError::SingularMatrix);
+        }
+        m.swap(col, pivot);
+        // Eliminate below.
+        for r in (col + 1)..n {
+            let factor = m[r][col] / m[col][col];
+            for c in col..=n {
+                m[r][c] -= factor * m[col][c];
+            }
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for r in (0..n).rev() {
+        let mut acc = m[r][n];
+        for c in (r + 1)..n {
+            acc -= m[r][c] * x[c];
+        }
+        x[r] = acc / m[r][r];
+    }
+    Ok(x)
+}
+
+/// Result of [`power_iteration`]: the dominant eigenvalue and its eigenvector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Eigenpair {
+    /// Dominant eigenvalue estimate.
+    pub value: f64,
+    /// Corresponding unit eigenvector.
+    pub vector: Vec<f64>,
+}
+
+/// Estimates the dominant eigenpair of a square matrix by power iteration.
+///
+/// Used for eigenvector centrality, where the matrix is the (non-negative)
+/// adjacency matrix of a connected graph, so convergence is well behaved.
+///
+/// # Errors
+///
+/// Returns [`MathError::InvalidParameter`] if the matrix is not square or is
+/// empty, or if `max_iters == 0`.
+pub fn power_iteration(a: &Matrix, max_iters: usize, tol: f64) -> Result<Eigenpair, MathError> {
+    let n = a.rows();
+    if n == 0 || a.cols() != n {
+        return Err(MathError::InvalidParameter(
+            "power iteration requires a non-empty square matrix",
+        ));
+    }
+    if max_iters == 0 {
+        return Err(MathError::InvalidParameter("max_iters must be positive"));
+    }
+    let mut v = vec![1.0 / (n as f64).sqrt(); n];
+    let mut value = 0.0;
+    for _ in 0..max_iters {
+        let w = a.mul_vec(&v)?;
+        let norm = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm < 1e-15 {
+            // Matrix annihilates the iterate (e.g. empty graph); return zeros.
+            return Ok(Eigenpair {
+                value: 0.0,
+                vector: vec![0.0; n],
+            });
+        }
+        let next: Vec<f64> = w.iter().map(|x| x / norm).collect();
+        let new_value = norm;
+        let delta: f64 = next
+            .iter()
+            .zip(&v)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        v = next;
+        value = new_value;
+        if delta < tol {
+            break;
+        }
+    }
+    Ok(Eigenpair { value, vector: v })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solves_trivially() {
+        let a = Matrix::identity(3);
+        let b = vec![1.0, 2.0, 3.0];
+        assert_eq!(solve(&a, &b).unwrap(), b);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5 ; x - y = 1  => x = 2, y = 1
+        let a = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, -1.0]).unwrap();
+        let x = solve(&a, &[5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_detects_singular() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert_eq!(solve(&a, &[1.0, 2.0]), Err(MathError::SingularMatrix));
+    }
+
+    #[test]
+    fn matrix_vector_product() {
+        let a = Matrix::from_rows(2, 3, vec![1.0, 0.0, 2.0, 0.0, 1.0, -1.0]).unwrap();
+        let y = a.mul_vec(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn matrix_matrix_product_and_transpose() {
+        let a = Matrix::from_rows(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let b = Matrix::from_rows(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let c = a.mul(&b).unwrap();
+        assert_eq!(c.get(0, 0), 2.0);
+        assert_eq!(c.get(0, 1), 1.0);
+        assert_eq!(c.get(1, 0), 4.0);
+        assert_eq!(c.get(1, 1), 3.0);
+        let t = a.transpose();
+        assert_eq!(t.get(0, 1), 3.0);
+        assert_eq!(t.get(1, 0), 2.0);
+    }
+
+    #[test]
+    fn from_rows_validates_length() {
+        assert!(Matrix::from_rows(2, 2, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn power_iteration_on_symmetric_matrix() {
+        // Eigenvalues of [[2,1],[1,2]] are 3 and 1; dominant eigenvector (1,1)/sqrt(2).
+        let a = Matrix::from_rows(2, 2, vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let eig = power_iteration(&a, 500, 1e-12).unwrap();
+        assert!((eig.value - 3.0).abs() < 1e-6);
+        assert!((eig.vector[0] - eig.vector[1]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_iteration_zero_matrix() {
+        let a = Matrix::zeros(3, 3);
+        let eig = power_iteration(&a, 10, 1e-9).unwrap();
+        assert_eq!(eig.value, 0.0);
+    }
+
+    #[test]
+    fn power_iteration_rejects_nonsquare() {
+        let a = Matrix::zeros(2, 3);
+        assert!(power_iteration(&a, 10, 1e-9).is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! Nelder–Mead simplex minimization.
+//!
+//! This is the repository's stand-in for SciPy's COBYLA: both are
+//! derivative-free local optimizers suited to the low-dimensional (2p)
+//! parameter spaces of QAOA. The implementation follows the standard
+//! reflection / expansion / contraction / shrink schedule with the usual
+//! coefficients (1, 2, 0.5, 0.5).
+
+use super::{Objective, OptimResult};
+
+/// Configuration for [`NelderMead`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NelderMeadOptions {
+    /// Maximum number of iterations (simplex updates).
+    pub max_iters: usize,
+    /// Convergence tolerance on the spread of simplex objective values.
+    pub f_tol: f64,
+    /// Initial simplex step added to each coordinate of the start point.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptions {
+    fn default() -> Self {
+        Self {
+            max_iters: 200,
+            f_tol: 1e-8,
+            initial_step: 0.35,
+        }
+    }
+}
+
+/// Nelder–Mead simplex optimizer.
+#[derive(Debug, Clone, Default)]
+pub struct NelderMead {
+    options: NelderMeadOptions,
+}
+
+impl NelderMead {
+    /// Creates an optimizer with the given options.
+    pub fn new(options: NelderMeadOptions) -> Self {
+        Self { options }
+    }
+
+    /// Minimizes `objective` starting from `x0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x0.len()` does not match the objective dimension or is zero.
+    pub fn minimize(&self, objective: &mut dyn Objective, x0: &[f64]) -> OptimResult {
+        let n = objective.dimension();
+        assert!(n > 0, "objective dimension must be positive");
+        assert_eq!(x0.len(), n, "start point dimension mismatch");
+
+        let mut evaluations = 0usize;
+        let eval = |obj: &mut dyn Objective, x: &[f64], count: &mut usize| {
+            *count += 1;
+            obj.evaluate(x)
+        };
+
+        // Build the initial simplex: x0 plus a step along each axis.
+        let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+        simplex.push(x0.to_vec());
+        for i in 0..n {
+            let mut v = x0.to_vec();
+            v[i] += self.options.initial_step;
+            simplex.push(v);
+        }
+        let mut values: Vec<f64> = simplex
+            .iter()
+            .map(|v| eval(objective, v, &mut evaluations))
+            .collect();
+
+        let mut history = Vec::with_capacity(self.options.max_iters);
+
+        for _ in 0..self.options.max_iters {
+            // Order the simplex by objective value.
+            let mut order: Vec<usize> = (0..=n).collect();
+            order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("NaN objective"));
+            let best = order[0];
+            let worst = order[n];
+            let second_worst = order[n - 1];
+            history.push(values[best]);
+
+            let spread = values[worst] - values[best];
+            if spread.abs() < self.options.f_tol {
+                break;
+            }
+
+            // Centroid of all points except the worst.
+            let mut centroid = vec![0.0; n];
+            for &idx in order.iter().take(n) {
+                for (c, &xi) in centroid.iter_mut().zip(&simplex[idx]) {
+                    *c += xi / n as f64;
+                }
+            }
+
+            let reflect: Vec<f64> = centroid
+                .iter()
+                .zip(&simplex[worst])
+                .map(|(c, w)| c + (c - w))
+                .collect();
+            let f_reflect = eval(objective, &reflect, &mut evaluations);
+
+            if f_reflect < values[best] {
+                // Try expansion.
+                let expand: Vec<f64> = centroid
+                    .iter()
+                    .zip(&simplex[worst])
+                    .map(|(c, w)| c + 2.0 * (c - w))
+                    .collect();
+                let f_expand = eval(objective, &expand, &mut evaluations);
+                if f_expand < f_reflect {
+                    simplex[worst] = expand;
+                    values[worst] = f_expand;
+                } else {
+                    simplex[worst] = reflect;
+                    values[worst] = f_reflect;
+                }
+            } else if f_reflect < values[second_worst] {
+                simplex[worst] = reflect;
+                values[worst] = f_reflect;
+            } else {
+                // Contraction toward the better of (worst, reflected).
+                let (toward, f_toward) = if f_reflect < values[worst] {
+                    (reflect.clone(), f_reflect)
+                } else {
+                    (simplex[worst].clone(), values[worst])
+                };
+                let contract: Vec<f64> = centroid
+                    .iter()
+                    .zip(&toward)
+                    .map(|(c, t)| c + 0.5 * (t - c))
+                    .collect();
+                let f_contract = eval(objective, &contract, &mut evaluations);
+                if f_contract < f_toward {
+                    simplex[worst] = contract;
+                    values[worst] = f_contract;
+                } else {
+                    // Shrink everything toward the best vertex.
+                    let best_point = simplex[best].clone();
+                    for idx in 0..=n {
+                        if idx == best {
+                            continue;
+                        }
+                        let shrunk: Vec<f64> = best_point
+                            .iter()
+                            .zip(&simplex[idx])
+                            .map(|(b, x)| b + 0.5 * (x - b))
+                            .collect();
+                        values[idx] = eval(objective, &shrunk, &mut evaluations);
+                        simplex[idx] = shrunk;
+                    }
+                }
+            }
+        }
+
+        // Final best vertex.
+        let mut best = 0;
+        for i in 1..values.len() {
+            if values[i] < values[best] {
+                best = i;
+            }
+        }
+        OptimResult {
+            params: simplex[best].clone(),
+            value: values[best],
+            evaluations,
+            history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::FnObjective;
+
+    #[test]
+    fn minimizes_quadratic_bowl() {
+        let mut obj = FnObjective::new(2, |p: &[f64]| {
+            (p[0] - 1.5) * (p[0] - 1.5) + (p[1] + 0.5) * (p[1] + 0.5)
+        });
+        let result = NelderMead::default().minimize(&mut obj, &[0.0, 0.0]);
+        assert!((result.params[0] - 1.5).abs() < 1e-3, "{:?}", result.params);
+        assert!((result.params[1] + 0.5).abs() < 1e-3, "{:?}", result.params);
+        assert!(result.value < 1e-5);
+        assert!(result.evaluations > 0);
+    }
+
+    #[test]
+    fn minimizes_rosenbrock_reasonably() {
+        let mut obj = FnObjective::new(2, |p: &[f64]| {
+            let a = 1.0 - p[0];
+            let b = p[1] - p[0] * p[0];
+            a * a + 100.0 * b * b
+        });
+        let opts = NelderMeadOptions {
+            max_iters: 2000,
+            ..Default::default()
+        };
+        let result = NelderMead::new(opts).minimize(&mut obj, &[-1.0, 1.0]);
+        assert!(result.value < 1e-4, "value {}", result.value);
+    }
+
+    #[test]
+    fn history_is_monotonically_nonincreasing() {
+        let mut obj = FnObjective::new(1, |p: &[f64]| p[0] * p[0]);
+        let result = NelderMead::default().minimize(&mut obj, &[3.0]);
+        for w in result.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "start point dimension mismatch")]
+    fn panics_on_dimension_mismatch() {
+        let mut obj = FnObjective::new(2, |_: &[f64]| 0.0);
+        let _ = NelderMead::default().minimize(&mut obj, &[0.0]);
+    }
+}

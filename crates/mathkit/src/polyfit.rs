@@ -1,0 +1,210 @@
+//! Least-squares polynomial fitting.
+//!
+//! The paper fits a 6th-degree polynomial to the MSE-vs-AND-ratio scatter
+//! (Figure 5) and an `n log n` model to the preprocessing-runtime data
+//! (Figure 18). Both fits reduce to linear least squares, solved here through
+//! the normal equations and Gaussian elimination from [`crate::linalg`].
+
+use crate::linalg::{solve, Matrix};
+use crate::MathError;
+
+/// A polynomial with coefficients stored from the constant term upwards
+/// (`coeffs[k]` multiplies `x^k`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    /// Coefficients, lowest degree first.
+    pub coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Evaluates the polynomial at `x` using Horner's method.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Degree of the polynomial (number of coefficients minus one).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+}
+
+/// Fits a polynomial of the given degree to `(x, y)` samples by least squares.
+///
+/// # Errors
+///
+/// Returns [`MathError::EmptyInput`] for empty input,
+/// [`MathError::LengthMismatch`] if `xs` and `ys` differ in length,
+/// [`MathError::InvalidParameter`] if there are fewer samples than
+/// coefficients, and [`MathError::SingularMatrix`] if the normal equations are
+/// degenerate (e.g. all `x` identical).
+pub fn polyfit(xs: &[f64], ys: &[f64], degree: usize) -> Result<Polynomial, MathError> {
+    if xs.is_empty() || ys.is_empty() {
+        return Err(MathError::EmptyInput);
+    }
+    if xs.len() != ys.len() {
+        return Err(MathError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    let k = degree + 1;
+    if xs.len() < k {
+        return Err(MathError::InvalidParameter(
+            "need at least degree+1 samples for a polynomial fit",
+        ));
+    }
+    // Design matrix V with V[i][j] = x_i^j, normal equations (V^T V) c = V^T y.
+    let mut vtv = Matrix::zeros(k, k);
+    let mut vty = vec![0.0; k];
+    for (&x, &y) in xs.iter().zip(ys) {
+        let mut powers = vec![1.0; k];
+        for j in 1..k {
+            powers[j] = powers[j - 1] * x;
+        }
+        for r in 0..k {
+            vty[r] += powers[r] * y;
+            for c in 0..k {
+                vtv.set(r, c, vtv.get(r, c) + powers[r] * powers[c]);
+            }
+        }
+    }
+    let coeffs = solve(&vtv, &vty)?;
+    Ok(Polynomial { coeffs })
+}
+
+/// Fits the two-parameter model `y ≈ a * x * ln(x) + b`.
+///
+/// This is the asymptotic model the paper uses for Red-QAOA's preprocessing
+/// overhead in Figure 18. Points with `x <= 1` contribute `x ln x = 0`.
+///
+/// # Errors
+///
+/// Same error conditions as [`polyfit`].
+pub fn fit_n_log_n(xs: &[f64], ys: &[f64]) -> Result<(f64, f64), MathError> {
+    if xs.is_empty() || ys.is_empty() {
+        return Err(MathError::EmptyInput);
+    }
+    if xs.len() != ys.len() {
+        return Err(MathError::LengthMismatch {
+            left: xs.len(),
+            right: ys.len(),
+        });
+    }
+    if xs.len() < 2 {
+        return Err(MathError::InvalidParameter(
+            "need at least two samples to fit n log n",
+        ));
+    }
+    // Linear regression of y on t = x ln x.
+    let ts: Vec<f64> = xs
+        .iter()
+        .map(|&x| if x > 1.0 { x * x.ln() } else { 0.0 })
+        .collect();
+    let n = ts.len() as f64;
+    let st: f64 = ts.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let stt: f64 = ts.iter().map(|t| t * t).sum();
+    let sty: f64 = ts.iter().zip(ys).map(|(t, y)| t * y).sum();
+    let denom = n * stt - st * st;
+    if denom.abs() < 1e-12 {
+        return Err(MathError::SingularMatrix);
+    }
+    let a = (n * sty - st * sy) / denom;
+    let b = (sy - a * st) / n;
+    Ok((a, b))
+}
+
+/// Coefficient of determination (R²) of predictions against observations.
+///
+/// # Errors
+///
+/// Same error conditions as [`crate::stats::mse`]; returns
+/// [`MathError::InvalidParameter`] when the observations are constant.
+pub fn r_squared(observed: &[f64], predicted: &[f64]) -> Result<f64, MathError> {
+    if observed.is_empty() || predicted.is_empty() {
+        return Err(MathError::EmptyInput);
+    }
+    if observed.len() != predicted.len() {
+        return Err(MathError::LengthMismatch {
+            left: observed.len(),
+            right: predicted.len(),
+        });
+    }
+    let mean_obs = observed.iter().sum::<f64>() / observed.len() as f64;
+    let ss_tot: f64 = observed.iter().map(|y| (y - mean_obs) * (y - mean_obs)).sum();
+    if ss_tot < 1e-15 {
+        return Err(MathError::InvalidParameter(
+            "r_squared requires non-constant observations",
+        ));
+    }
+    let ss_res: f64 = observed
+        .iter()
+        .zip(predicted)
+        .map(|(y, f)| (y - f) * (y - f))
+        .sum();
+    Ok(1.0 - ss_res / ss_tot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_exact_quadratic() {
+        let xs: Vec<f64> = (0..10).map(|k| k as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 - 2.0 * x + 0.5 * x * x).collect();
+        let p = polyfit(&xs, &ys, 2).unwrap();
+        assert!((p.coeffs[0] - 3.0).abs() < 1e-8);
+        assert!((p.coeffs[1] + 2.0).abs() < 1e-8);
+        assert!((p.coeffs[2] - 0.5).abs() < 1e-8);
+        assert_eq!(p.degree(), 2);
+    }
+
+    #[test]
+    fn eval_uses_horner_correctly() {
+        let p = Polynomial {
+            coeffs: vec![1.0, 0.0, 2.0],
+        };
+        assert_eq!(p.eval(3.0), 1.0 + 2.0 * 9.0);
+    }
+
+    #[test]
+    fn rejects_insufficient_samples() {
+        assert!(polyfit(&[1.0, 2.0], &[1.0, 2.0], 5).is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_inputs() {
+        assert!(polyfit(&[1.0, 2.0], &[1.0], 1).is_err());
+    }
+
+    #[test]
+    fn sixth_degree_fit_runs_on_noiseless_data() {
+        let xs: Vec<f64> = (0..40).map(|k| 0.2 + 0.02 * k as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (1.0 - x).powi(6)).collect();
+        let p = polyfit(&xs, &ys, 6).unwrap();
+        for (&x, &y) in xs.iter().zip(&ys) {
+            assert!((p.eval(x) - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn n_log_n_fit_recovers_coefficients() {
+        let xs: Vec<f64> = (1..=50).map(|k| (k * 20) as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|&x| 0.003 * x * x.ln() + 2.0).collect();
+        let (a, b) = fit_n_log_n(&xs, &ys).unwrap();
+        assert!((a - 0.003).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn r_squared_perfect_fit_is_one() {
+        let obs = [1.0, 2.0, 3.0];
+        assert!((r_squared(&obs, &obs).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_rejects_constant_observations() {
+        assert!(r_squared(&[1.0, 1.0], &[1.0, 1.0]).is_err());
+    }
+}

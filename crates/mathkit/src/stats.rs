@@ -1,0 +1,452 @@
+//! Descriptive statistics and the landscape-similarity metric of the paper.
+//!
+//! The central quantity is [`mse`], Equation 12 of the Red-QAOA paper: the
+//! mean squared error between two (normalized) energy landscapes sampled at
+//! the same parameter points. [`normalize`] implements the min–max
+//! normalization applied to each landscape before comparison.
+
+use crate::MathError;
+
+/// Arithmetic mean of a slice.
+///
+/// # Errors
+///
+/// Returns [`MathError::EmptyInput`] if `xs` is empty.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), mathkit::MathError> {
+/// assert_eq!(mathkit::stats::mean(&[1.0, 2.0, 3.0])?, 2.0);
+/// # Ok(()) }
+/// ```
+pub fn mean(xs: &[f64]) -> Result<f64, MathError> {
+    if xs.is_empty() {
+        return Err(MathError::EmptyInput);
+    }
+    Ok(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Population variance of a slice.
+///
+/// # Errors
+///
+/// Returns [`MathError::EmptyInput`] if `xs` is empty.
+pub fn variance(xs: &[f64]) -> Result<f64, MathError> {
+    let m = mean(xs)?;
+    Ok(xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64)
+}
+
+/// Population standard deviation of a slice.
+///
+/// # Errors
+///
+/// Returns [`MathError::EmptyInput`] if `xs` is empty.
+pub fn std_dev(xs: &[f64]) -> Result<f64, MathError> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Mean squared error between two equally-sized samples (Equation 12).
+///
+/// # Errors
+///
+/// Returns [`MathError::EmptyInput`] if the slices are empty and
+/// [`MathError::LengthMismatch`] if their lengths differ.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), mathkit::MathError> {
+/// let e = mathkit::stats::mse(&[1.0, 0.0], &[0.0, 0.0])?;
+/// assert_eq!(e, 0.5);
+/// # Ok(()) }
+/// ```
+pub fn mse(a: &[f64], b: &[f64]) -> Result<f64, MathError> {
+    if a.is_empty() || b.is_empty() {
+        return Err(MathError::EmptyInput);
+    }
+    if a.len() != b.len() {
+        return Err(MathError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    let sum: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    Ok(sum / a.len() as f64)
+}
+
+/// Root mean squared error between two equally-sized samples.
+///
+/// # Errors
+///
+/// Same error conditions as [`mse`].
+pub fn rmse(a: &[f64], b: &[f64]) -> Result<f64, MathError> {
+    mse(a, b).map(f64::sqrt)
+}
+
+/// Minimum and maximum of a slice.
+///
+/// # Errors
+///
+/// Returns [`MathError::EmptyInput`] if `xs` is empty.
+pub fn min_max(xs: &[f64]) -> Result<(f64, f64), MathError> {
+    if xs.is_empty() {
+        return Err(MathError::EmptyInput);
+    }
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for &x in xs {
+        if x < lo {
+            lo = x;
+        }
+        if x > hi {
+            hi = x;
+        }
+    }
+    Ok((lo, hi))
+}
+
+/// Index of the minimum element (ties resolved to the first occurrence).
+///
+/// # Errors
+///
+/// Returns [`MathError::EmptyInput`] if `xs` is empty.
+pub fn argmin(xs: &[f64]) -> Result<usize, MathError> {
+    if xs.is_empty() {
+        return Err(MathError::EmptyInput);
+    }
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x < xs[best] {
+            best = i;
+        }
+    }
+    Ok(best)
+}
+
+/// Index of the maximum element (ties resolved to the first occurrence).
+///
+/// # Errors
+///
+/// Returns [`MathError::EmptyInput`] if `xs` is empty.
+pub fn argmax(xs: &[f64]) -> Result<usize, MathError> {
+    if xs.is_empty() {
+        return Err(MathError::EmptyInput);
+    }
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    Ok(best)
+}
+
+/// Min–max normalizes a sample into `[0, 1]`.
+///
+/// If the sample is constant, every value maps to `0.0` (this mirrors the
+/// reference implementation, which treats a flat landscape as trivially
+/// normalized).
+///
+/// # Errors
+///
+/// Returns [`MathError::EmptyInput`] if `xs` is empty.
+pub fn normalize(xs: &[f64]) -> Result<Vec<f64>, MathError> {
+    let (lo, hi) = min_max(xs)?;
+    let span = hi - lo;
+    if span <= f64::EPSILON {
+        return Ok(vec![0.0; xs.len()]);
+    }
+    Ok(xs.iter().map(|x| (x - lo) / span).collect())
+}
+
+/// MSE between the min–max normalized versions of two samples.
+///
+/// This is the quantity plotted throughout the paper's evaluation: both
+/// landscapes are normalized to `[0, 1]` before the error is computed so that
+/// graphs with different energy ranges are comparable.
+///
+/// # Errors
+///
+/// Same error conditions as [`mse`].
+pub fn normalized_mse(a: &[f64], b: &[f64]) -> Result<f64, MathError> {
+    let na = normalize(a)?;
+    let nb = normalize(b)?;
+    mse(&na, &nb)
+}
+
+/// Linearly interpolated quantile of a sample (`q` in `[0, 1]`).
+///
+/// # Errors
+///
+/// Returns [`MathError::EmptyInput`] for empty input and
+/// [`MathError::InvalidParameter`] if `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> Result<f64, MathError> {
+    if xs.is_empty() {
+        return Err(MathError::EmptyInput);
+    }
+    if !(0.0..=1.0).contains(&q) {
+        return Err(MathError::InvalidParameter("quantile must be in [0, 1]"));
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Ok(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+/// Median of a sample.
+///
+/// # Errors
+///
+/// Returns [`MathError::EmptyInput`] if `xs` is empty.
+pub fn median(xs: &[f64]) -> Result<f64, MathError> {
+    quantile(xs, 0.5)
+}
+
+/// Five-number summary used to draw box plots (Figure 19).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoxPlot {
+    /// Minimum observation.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl BoxPlot {
+    /// Computes the five-number summary of a sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::EmptyInput`] if `xs` is empty.
+    pub fn from_samples(xs: &[f64]) -> Result<Self, MathError> {
+        let (min, max) = min_max(xs)?;
+        Ok(Self {
+            min,
+            q1: quantile(xs, 0.25)?,
+            median: quantile(xs, 0.5)?,
+            q3: quantile(xs, 0.75)?,
+            max,
+        })
+    }
+
+    /// Interquartile range `q3 - q1`.
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+}
+
+/// Pearson correlation coefficient between two samples.
+///
+/// # Errors
+///
+/// Same error conditions as [`mse`]; additionally returns
+/// [`MathError::InvalidParameter`] if either sample has zero variance.
+pub fn pearson(a: &[f64], b: &[f64]) -> Result<f64, MathError> {
+    if a.is_empty() || b.is_empty() {
+        return Err(MathError::EmptyInput);
+    }
+    if a.len() != b.len() {
+        return Err(MathError::LengthMismatch {
+            left: a.len(),
+            right: b.len(),
+        });
+    }
+    let ma = mean(a)?;
+    let mb = mean(b)?;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va <= f64::EPSILON || vb <= f64::EPSILON {
+        return Err(MathError::InvalidParameter(
+            "pearson requires non-constant samples",
+        ));
+    }
+    Ok(cov / (va.sqrt() * vb.sqrt()))
+}
+
+/// A simple histogram with uniformly sized bins over `[lo, hi]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Inclusive lower edge of the first bin.
+    pub lo: f64,
+    /// Inclusive upper edge of the last bin.
+    pub hi: f64,
+    /// Per-bin counts.
+    pub counts: Vec<usize>,
+}
+
+impl Histogram {
+    /// Builds a histogram with `bins` uniform bins spanning the data range.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::EmptyInput`] if `xs` is empty, or
+    /// [`MathError::InvalidParameter`] if `bins == 0`.
+    pub fn new(xs: &[f64], bins: usize) -> Result<Self, MathError> {
+        if bins == 0 {
+            return Err(MathError::InvalidParameter("bins must be positive"));
+        }
+        let (lo, hi) = min_max(xs)?;
+        let mut counts = vec![0usize; bins];
+        let span = (hi - lo).max(f64::EPSILON);
+        for &x in xs {
+            let mut idx = ((x - lo) / span * bins as f64) as usize;
+            if idx >= bins {
+                idx = bins - 1;
+            }
+            counts[idx] += 1;
+        }
+        Ok(Self { lo, hi, counts })
+    }
+
+    /// Per-bin relative frequencies (fractions summing to 1).
+    pub fn frequencies(&self) -> Vec<f64> {
+        let total: usize = self.counts.iter().sum();
+        if total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect()
+    }
+
+    /// Center of the `i`-th bin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + width * (i as f64 + 0.5)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_basic() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs).unwrap(), 5.0);
+        assert_eq!(variance(&xs).unwrap(), 4.0);
+        assert_eq!(std_dev(&xs).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn empty_inputs_error() {
+        assert_eq!(mean(&[]), Err(MathError::EmptyInput));
+        assert_eq!(mse(&[], &[]), Err(MathError::EmptyInput));
+        assert_eq!(normalize(&[]), Err(MathError::EmptyInput));
+    }
+
+    #[test]
+    fn mse_mismatched_lengths_error() {
+        assert_eq!(
+            mse(&[1.0], &[1.0, 2.0]),
+            Err(MathError::LengthMismatch { left: 1, right: 2 })
+        );
+    }
+
+    #[test]
+    fn mse_identical_is_zero() {
+        let xs = [0.1, 0.7, -2.3];
+        assert_eq!(mse(&xs, &xs).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn normalize_maps_to_unit_interval() {
+        let xs = [-2.0, 0.0, 6.0];
+        let n = normalize(&xs).unwrap();
+        assert_eq!(n, vec![0.0, 0.25, 1.0]);
+    }
+
+    #[test]
+    fn normalize_constant_input_is_zero() {
+        let n = normalize(&[3.0, 3.0, 3.0]).unwrap();
+        assert_eq!(n, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn normalized_mse_is_scale_invariant() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b: Vec<f64> = a.iter().map(|x| 10.0 * x + 5.0).collect();
+        let err = normalized_mse(&a, &b).unwrap();
+        assert!(err < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_and_boxplot() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(median(&xs).unwrap(), 3.0);
+        let bp = BoxPlot::from_samples(&xs).unwrap();
+        assert_eq!(bp.min, 1.0);
+        assert_eq!(bp.max, 5.0);
+        assert_eq!(bp.median, 3.0);
+        assert_eq!(bp.q1, 2.0);
+        assert_eq!(bp.q3, 4.0);
+        assert_eq!(bp.iqr(), 2.0);
+    }
+
+    #[test]
+    fn quantile_rejects_bad_q() {
+        assert!(quantile(&[1.0], 1.5).is_err());
+    }
+
+    #[test]
+    fn argmin_argmax() {
+        let xs = [3.0, -1.0, 7.0, -1.0];
+        assert_eq!(argmin(&xs).unwrap(), 1);
+        assert_eq!(argmax(&xs).unwrap(), 2);
+    }
+
+    #[test]
+    fn pearson_perfect_correlation() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        let c = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &c).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_rejects_constant() {
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn histogram_counts_and_frequencies() {
+        let xs = [0.0, 0.1, 0.2, 0.9, 1.0];
+        let h = Histogram::new(&xs, 2).unwrap();
+        assert_eq!(h.counts.iter().sum::<usize>(), xs.len());
+        assert_eq!(h.counts, vec![3, 2]);
+        let freqs = h.frequencies();
+        assert!((freqs.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(h.bin_center(0) < h.bin_center(1));
+    }
+
+    #[test]
+    fn histogram_rejects_zero_bins() {
+        assert!(Histogram::new(&[1.0], 0).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Node-feature extraction for the pooling baselines.
+//!
+//! Section 5.5 of the paper: "the feature vector is generated from the input
+//! graph, which is a normalized vector that includes the node degrees,
+//! clustering coefficient, betweenness centrality, closeness centrality, and
+//! eigenvector centrality."
+
+use graphlib::centrality::{betweenness_centrality, closeness_centrality, eigenvector_centrality};
+use graphlib::metrics::clustering_coefficients;
+use graphlib::Graph;
+
+/// Number of per-node features.
+pub const FEATURE_COUNT: usize = 5;
+
+/// A dense `n × FEATURE_COUNT` feature matrix, one row per node, with every
+/// column min–max normalized to `[0, 1]` across the graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureMatrix {
+    rows: Vec<[f64; FEATURE_COUNT]>,
+}
+
+impl FeatureMatrix {
+    /// Number of nodes (rows).
+    pub fn node_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The feature row of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn row(&self, node: usize) -> &[f64; FEATURE_COUNT] {
+        &self.rows[node]
+    }
+
+    /// Projects every node's features onto a weight vector, returning one
+    /// score per node.
+    pub fn project(&self, weights: &[f64; FEATURE_COUNT]) -> Vec<f64> {
+        self.rows
+            .iter()
+            .map(|row| row.iter().zip(weights).map(|(x, w)| x * w).sum())
+            .collect()
+    }
+}
+
+fn normalize_column(values: &mut [f64]) {
+    let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = hi - lo;
+    if span <= f64::EPSILON {
+        for v in values.iter_mut() {
+            *v = 0.0;
+        }
+    } else {
+        for v in values.iter_mut() {
+            *v = (*v - lo) / span;
+        }
+    }
+}
+
+/// Computes the normalized per-node feature matrix used by every pooling
+/// baseline: degree, clustering coefficient, betweenness, closeness, and
+/// eigenvector centrality.
+pub fn node_features(graph: &Graph) -> FeatureMatrix {
+    let n = graph.node_count();
+    let mut degree: Vec<f64> = graph.degrees().iter().map(|&d| d as f64).collect();
+    let mut clustering = clustering_coefficients(graph);
+    let mut betweenness = betweenness_centrality(graph);
+    let mut closeness = closeness_centrality(graph);
+    let mut eigenvector = eigenvector_centrality(graph);
+    for column in [
+        &mut degree,
+        &mut clustering,
+        &mut betweenness,
+        &mut closeness,
+        &mut eigenvector,
+    ] {
+        normalize_column(column);
+    }
+    let rows = (0..n)
+        .map(|u| {
+            [
+                degree[u],
+                clustering[u],
+                betweenness[u],
+                closeness[u],
+                eigenvector[u],
+            ]
+        })
+        .collect();
+    FeatureMatrix { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlib::generators::{complete, star};
+
+    #[test]
+    fn features_are_normalized_to_unit_interval() {
+        let g = star(7).unwrap();
+        let f = node_features(&g);
+        assert_eq!(f.node_count(), 7);
+        for u in 0..7 {
+            for &x in f.row(u) {
+                assert!((0.0..=1.0).contains(&x), "feature {x} out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn hub_dominates_on_star_graphs() {
+        let g = star(8).unwrap();
+        let f = node_features(&g);
+        // Degree, betweenness, closeness, and eigenvector centrality of the
+        // hub are all maximal.
+        assert_eq!(f.row(0)[0], 1.0);
+        assert_eq!(f.row(0)[2], 1.0);
+        assert_eq!(f.row(0)[3], 1.0);
+        assert!(f.row(0)[4] >= f.row(1)[4]);
+        // Leaves have minimal degree.
+        assert_eq!(f.row(1)[0], 0.0);
+    }
+
+    #[test]
+    fn constant_columns_collapse_to_zero() {
+        // On a complete graph every node is identical, so every normalized
+        // feature column is all zeros.
+        let g = complete(5);
+        let f = node_features(&g);
+        for u in 0..5 {
+            assert_eq!(f.row(u), &[0.0; FEATURE_COUNT]);
+        }
+    }
+
+    #[test]
+    fn projection_is_linear_in_weights() {
+        let g = star(6).unwrap();
+        let f = node_features(&g);
+        let w1 = [1.0, 0.0, 0.0, 0.0, 0.0];
+        let w2 = [2.0, 0.0, 0.0, 0.0, 0.0];
+        let s1 = f.project(&w1);
+        let s2 = f.project(&w2);
+        for (a, b) in s1.iter().zip(&s2) {
+            assert!((2.0 * a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Graph-pooling baselines.
+//!
+//! The paper compares Red-QAOA against three GNN-based pooling layers from
+//! PyTorch-Geometric: Top-K pooling, Self-Attention Graph (SAG) pooling, and
+//! Adaptive Structure-Aware (ASA) pooling. Training GNNs is outside the scope
+//! of this reproduction (and outside the paper's too — the layers are used
+//! with their default, untrained scoring heads), so this crate implements
+//! deterministic analogues that consume exactly the node-feature vector the
+//! paper describes (Section 5.5): node degree, clustering coefficient,
+//! betweenness centrality, closeness centrality, and eigenvector centrality.
+//!
+//! What the comparison in the paper actually exercises is preserved: all
+//! three baselines pool at a *fixed ratio* with no feedback on how well the
+//! pooled graph matches the original's average node degree, which is exactly
+//! the weakness Red-QAOA's dynamic simulated-annealing search exploits.
+//!
+//! * [`TopKPooling`] — projects features onto a learnable-in-spirit (here
+//!   fixed) weight vector and keeps the highest-scoring nodes.
+//! * [`SagPooling`] — propagates the projected scores through the normalized
+//!   adjacency matrix (one graph-convolution step) before selecting.
+//! * [`AsaPooling`] — scores 2-hop ego clusters, selects cluster medoids and
+//!   rewires edges between clusters that overlap or touch.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod asa;
+pub mod features;
+pub mod sag;
+pub mod topk;
+
+pub use asa::AsaPooling;
+pub use features::{node_features, FeatureMatrix, FEATURE_COUNT};
+pub use sag::SagPooling;
+pub use topk::TopKPooling;
+
+use graphlib::Graph;
+
+/// Errors produced by the pooling baselines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolingError {
+    /// The pooling ratio was outside `(0, 1]`.
+    InvalidRatio,
+    /// The input graph was empty.
+    EmptyGraph,
+}
+
+impl std::fmt::Display for PoolingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolingError::InvalidRatio => write!(f, "pooling ratio must be in (0, 1]"),
+            PoolingError::EmptyGraph => write!(f, "cannot pool an empty graph"),
+        }
+    }
+}
+
+impl std::error::Error for PoolingError {}
+
+/// The output of a pooling method: a smaller graph plus the original node ids
+/// it retained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PooledGraph {
+    /// The pooled graph over `nodes.len()` relabelled nodes.
+    pub graph: Graph,
+    /// `nodes[i]` is the original node that became pooled node `i`.
+    pub nodes: Vec<usize>,
+}
+
+impl PooledGraph {
+    /// Number of nodes kept by the pooling step.
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+}
+
+/// A graph-pooling method with a fixed reduction ratio.
+///
+/// `ratio` is the fraction of nodes to *keep* (PyTorch-Geometric's
+/// convention): `ratio = 0.5` keeps half the nodes.
+pub trait PoolingMethod {
+    /// Short name used in experiment output (e.g. `"topk"`).
+    fn name(&self) -> &'static str;
+
+    /// Pools `graph` down to `ceil(ratio * n)` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolingError::InvalidRatio`] if `ratio` is not in `(0, 1]`
+    /// and [`PoolingError::EmptyGraph`] for graphs without nodes.
+    fn pool(&self, graph: &Graph, ratio: f64) -> Result<PooledGraph, PoolingError>;
+}
+
+/// Number of nodes to keep for a given ratio (always at least one).
+pub(crate) fn keep_count(node_count: usize, ratio: f64) -> usize {
+    ((node_count as f64 * ratio).ceil() as usize).clamp(1, node_count)
+}
+
+/// Selects the `k` highest-scoring node indices (ties broken by node id for
+/// determinism).
+pub(crate) fn top_k_indices(scores: &[f64], k: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut kept: Vec<usize> = order.into_iter().take(k).collect();
+    kept.sort_unstable();
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keep_count_bounds() {
+        assert_eq!(keep_count(10, 0.5), 5);
+        assert_eq!(keep_count(10, 0.01), 1);
+        assert_eq!(keep_count(10, 1.0), 10);
+        assert_eq!(keep_count(3, 0.34), 2);
+    }
+
+    #[test]
+    fn top_k_indices_orders_by_score_then_id() {
+        let scores = [0.1, 0.9, 0.9, 0.5];
+        assert_eq!(top_k_indices(&scores, 2), vec![1, 2]);
+        assert_eq!(top_k_indices(&scores, 3), vec![1, 2, 3]);
+        assert_eq!(top_k_indices(&scores, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(!PoolingError::InvalidRatio.to_string().is_empty());
+        assert!(!PoolingError::EmptyGraph.to_string().is_empty());
+    }
+}

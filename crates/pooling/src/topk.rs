@@ -1,0 +1,124 @@
+//! Top-K pooling (Gao & Ji, "Graph U-Nets"; Cangea et al.).
+//!
+//! Nodes are scored by projecting their feature vector onto a weight vector
+//! and the top `⌈ratio·n⌉` nodes are kept; the pooled graph is the subgraph
+//! they induce. In the GNN formulation the weight vector is learned; here it
+//! is a fixed projection emphasising degree and eigenvector centrality, which
+//! matches the inductive bias the untrained layer exhibits on the feature
+//! vector of Section 5.5.
+
+use crate::features::{node_features, FEATURE_COUNT};
+use crate::{keep_count, top_k_indices, PooledGraph, PoolingError, PoolingMethod};
+use graphlib::subgraph::induced_subgraph;
+use graphlib::Graph;
+
+/// Top-K pooling with a fixed feature projection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKPooling {
+    weights: [f64; FEATURE_COUNT],
+}
+
+impl Default for TopKPooling {
+    fn default() -> Self {
+        // degree, clustering, betweenness, closeness, eigenvector
+        Self {
+            weights: [0.45, 0.05, 0.15, 0.1, 0.25],
+        }
+    }
+}
+
+impl TopKPooling {
+    /// Creates the pooling layer with the default projection weights.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates the pooling layer with custom projection weights.
+    pub fn with_weights(weights: [f64; FEATURE_COUNT]) -> Self {
+        Self { weights }
+    }
+
+    /// The per-node scores the layer would use on `graph`.
+    pub fn scores(&self, graph: &Graph) -> Vec<f64> {
+        node_features(graph).project(&self.weights)
+    }
+}
+
+impl PoolingMethod for TopKPooling {
+    fn name(&self) -> &'static str {
+        "topk"
+    }
+
+    fn pool(&self, graph: &Graph, ratio: f64) -> Result<PooledGraph, PoolingError> {
+        if !(ratio > 0.0 && ratio <= 1.0) {
+            return Err(PoolingError::InvalidRatio);
+        }
+        if graph.node_count() == 0 {
+            return Err(PoolingError::EmptyGraph);
+        }
+        let k = keep_count(graph.node_count(), ratio);
+        let kept = top_k_indices(&self.scores(graph), k);
+        let sub = induced_subgraph(graph, &kept).expect("selected nodes are in range");
+        Ok(PooledGraph {
+            graph: sub.graph,
+            nodes: sub.nodes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlib::generators::{connected_gnp, star};
+    use mathkit::rng::seeded;
+
+    #[test]
+    fn keeps_requested_fraction() {
+        let mut rng = seeded(4);
+        let g = connected_gnp(12, 0.3, &mut rng).unwrap();
+        let pooled = TopKPooling::new().pool(&g, 0.5).unwrap();
+        assert_eq!(pooled.node_count(), 6);
+        assert!(pooled.nodes.iter().all(|&u| u < 12));
+    }
+
+    #[test]
+    fn hub_of_a_star_is_always_kept() {
+        let g = star(9).unwrap();
+        let pooled = TopKPooling::new().pool(&g, 0.3).unwrap();
+        assert!(pooled.nodes.contains(&0), "kept {:?}", pooled.nodes);
+    }
+
+    #[test]
+    fn ratio_one_is_identity_on_nodes() {
+        let g = star(6).unwrap();
+        let pooled = TopKPooling::new().pool(&g, 1.0).unwrap();
+        assert_eq!(pooled.node_count(), 6);
+        assert_eq!(pooled.graph.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let g = star(4).unwrap();
+        assert_eq!(
+            TopKPooling::new().pool(&g, 0.0),
+            Err(PoolingError::InvalidRatio)
+        );
+        assert_eq!(
+            TopKPooling::new().pool(&g, 1.5),
+            Err(PoolingError::InvalidRatio)
+        );
+        assert_eq!(
+            TopKPooling::new().pool(&Graph::new(0), 0.5),
+            Err(PoolingError::EmptyGraph)
+        );
+    }
+
+    #[test]
+    fn name_and_custom_weights() {
+        assert_eq!(TopKPooling::new().name(), "topk");
+        let custom = TopKPooling::with_weights([1.0, 0.0, 0.0, 0.0, 0.0]);
+        let g = star(5).unwrap();
+        let scores = custom.scores(&g);
+        assert!(scores[0] > scores[1]);
+    }
+}

@@ -1,0 +1,462 @@
+//! Evaluation of the QAOA cost expectation ⟨ψ(γ,β)|H_C|ψ(γ,β)⟩.
+//!
+//! Three evaluators are provided:
+//!
+//! * [`QaoaInstance::expectation`] — exact statevector evaluation. The cost
+//!   layer is diagonal, so it is applied as a phase table rather than as
+//!   individual gates, which makes full landscape sweeps cheap for ≤ ~20
+//!   qubits.
+//! * [`edge_local_expectation`] — exact evaluation through the edge
+//!   light-cone decomposition (Section 3.3 / Equation 7): each edge term is
+//!   simulated on the induced subgraph of nodes within distance `p` of the
+//!   edge. For sparse graphs this handles instances far beyond the global
+//!   statevector limit.
+//! * [`QaoaInstance::noisy_expectation`] — noisy evaluation of the full gate
+//!   circuit with a device noise model via the Monte-Carlo trajectory
+//!   backend.
+
+use crate::circuit::qaoa_circuit;
+use crate::maxcut::cut_values;
+use crate::params::QaoaParams;
+use crate::QaoaError;
+use graphlib::subgraph::induced_subgraph;
+use graphlib::traversal::nodes_within_distance_of_edge;
+use graphlib::Graph;
+use mathkit::Complex64;
+use qsim::circuit::Gate;
+use qsim::noise::NoiseModel;
+use qsim::statevector::StateVector;
+use qsim::trajectory::{noisy_expectation_diagonal, TrajectoryOptions};
+use rand::Rng;
+
+/// Maximum number of nodes for the exact global statevector evaluator.
+pub const MAX_EXACT_NODES: usize = 22;
+
+/// A prepared QAOA MaxCut instance: the graph, the layer count, and the
+/// precomputed diagonal of the cost Hamiltonian.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QaoaInstance {
+    graph: Graph,
+    layers: usize,
+    cut_table: Vec<f64>,
+}
+
+impl QaoaInstance {
+    /// Prepares an instance for `layers`-layer QAOA on `graph`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QaoaError::DegenerateGraph`] for graphs without nodes or
+    /// edges, [`QaoaError::GraphTooLarge`] for graphs beyond
+    /// [`MAX_EXACT_NODES`], and [`QaoaError::InvalidParameters`] if
+    /// `layers == 0`.
+    pub fn new(graph: &Graph, layers: usize) -> Result<Self, QaoaError> {
+        if layers == 0 {
+            return Err(QaoaError::InvalidParameters("layers must be positive"));
+        }
+        if graph.node_count() == 0 || graph.edge_count() == 0 {
+            return Err(QaoaError::DegenerateGraph);
+        }
+        if graph.node_count() > MAX_EXACT_NODES {
+            return Err(QaoaError::GraphTooLarge {
+                nodes: graph.node_count(),
+                limit: MAX_EXACT_NODES,
+            });
+        }
+        Ok(Self {
+            graph: graph.clone(),
+            layers,
+            cut_table: cut_values(graph)?,
+        })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of QAOA layers `p`.
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// The diagonal of the cost Hamiltonian (cut value of each basis state).
+    pub fn cut_table(&self) -> &[f64] {
+        &self.cut_table
+    }
+
+    /// Exact cost expectation for the given parameters (to be *maximized*).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.layers() != self.layers()`.
+    pub fn expectation(&self, params: &QaoaParams) -> f64 {
+        assert_eq!(params.layers(), self.layers, "layer count mismatch");
+        let n = self.graph.node_count();
+        let mut state = StateVector::uniform_superposition(n);
+        for (gamma, beta) in params.gammas.iter().zip(&params.betas) {
+            let phases: Vec<Complex64> = self
+                .cut_table
+                .iter()
+                .map(|&c| Complex64::cis(-gamma * c))
+                .collect();
+            state.apply_diagonal(&phases);
+            for q in 0..n {
+                state.apply_gate(Gate::Rx(q, 2.0 * beta));
+            }
+        }
+        state.expectation_diagonal(&self.cut_table)
+    }
+
+    /// Exact measurement distribution for the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.layers() != self.layers()`.
+    pub fn probabilities(&self, params: &QaoaParams) -> Vec<f64> {
+        assert_eq!(params.layers(), self.layers, "layer count mismatch");
+        let n = self.graph.node_count();
+        let mut state = StateVector::uniform_superposition(n);
+        for (gamma, beta) in params.gammas.iter().zip(&params.betas) {
+            let phases: Vec<Complex64> = self
+                .cut_table
+                .iter()
+                .map(|&c| Complex64::cis(-gamma * c))
+                .collect();
+            state.apply_diagonal(&phases);
+            for q in 0..n {
+                state.apply_gate(Gate::Rx(q, 2.0 * beta));
+            }
+        }
+        state.probabilities()
+    }
+
+    /// Noisy cost expectation under a device noise model, evaluated by
+    /// simulating the explicit gate circuit with Monte-Carlo trajectories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.layers() != self.layers()`.
+    pub fn noisy_expectation<R: Rng>(
+        &self,
+        params: &QaoaParams,
+        noise: &NoiseModel,
+        options: TrajectoryOptions,
+        rng: &mut R,
+    ) -> f64 {
+        assert_eq!(params.layers(), self.layers, "layer count mismatch");
+        let circuit = qaoa_circuit(&self.graph, params).expect("instance graph is non-degenerate");
+        noisy_expectation_diagonal(&circuit, noise, &self.cut_table, options, rng)
+    }
+
+    /// Noisy cost expectation of the circuit *after routing onto a device
+    /// coupling map*, mirroring the paper's methodology (circuits are
+    /// transpiled with SABRE before noisy execution, so denser graphs pay a
+    /// super-linear SWAP/depth penalty).
+    ///
+    /// The coupling map must have exactly as many qubits as the graph has
+    /// nodes (use e.g. `qsim::devices::heavy_hex_like(n)`); the routed
+    /// circuit is then simulated with Monte-Carlo trajectories.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QaoaError::InvalidParameters`] if the coupling map is
+    /// smaller than the graph or routing fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.layers() != self.layers()`.
+    pub fn noisy_expectation_routed<R: Rng>(
+        &self,
+        params: &QaoaParams,
+        coupling: &qsim::devices::CouplingMap,
+        noise: &NoiseModel,
+        options: TrajectoryOptions,
+        rng: &mut R,
+    ) -> Result<f64, QaoaError> {
+        assert_eq!(params.layers(), self.layers, "layer count mismatch");
+        let n = self.graph.node_count();
+        if coupling.qubit_count() < n {
+            return Err(QaoaError::InvalidParameters(
+                "coupling map is smaller than the graph",
+            ));
+        }
+        let circuit = qaoa_circuit(&self.graph, params).expect("instance graph is non-degenerate");
+        let routed = qsim::transpile::route_trivial(&circuit, coupling)
+            .map_err(|_| QaoaError::InvalidParameters("routing failed"))?;
+        // Decompose to the hardware-native gate set so the noise model sees
+        // the true count of two-qubit operations (each RZZ costs two CNOTs,
+        // each routing SWAP three).
+        let native = qsim::transpile::decompose_to_native(&routed.circuit);
+        // The routed circuit permutes logical qubits; the cut observable must
+        // be evaluated on the *physical* qubits that finally hold each node.
+        let layout = &routed.final_layout;
+        let mut values = vec![0.0f64; 1usize << coupling.qubit_count()];
+        for (z, value) in values.iter_mut().enumerate() {
+            for (u, v) in self.graph.edges() {
+                let bu = (z >> layout[u]) & 1;
+                let bv = (z >> layout[v]) & 1;
+                if bu != bv {
+                    *value += 1.0;
+                }
+            }
+        }
+        Ok(noisy_expectation_diagonal(
+            &native, noise, &values, options, rng,
+        ))
+    }
+
+    /// The maximum possible cost value (the total number of edges), used to
+    /// normalize expectations.
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+}
+
+/// Exact cost expectation computed edge-by-edge on light-cone subgraphs.
+///
+/// For each edge `(u, v)` the expectation of `(I - Z_u Z_v)/2` only depends on
+/// the induced subgraph of nodes within graph distance `p` of the edge. Each
+/// such subgraph is simulated independently with the statevector backend, so
+/// the cost of this evaluator scales with the light-cone sizes rather than the
+/// full graph size.
+///
+/// # Errors
+///
+/// Returns [`QaoaError::GraphTooLarge`] if any light-cone subgraph exceeds
+/// [`MAX_EXACT_NODES`] nodes, and [`QaoaError::DegenerateGraph`] for graphs
+/// without edges.
+pub fn edge_local_expectation(graph: &Graph, params: &QaoaParams) -> Result<f64, QaoaError> {
+    if graph.node_count() == 0 || graph.edge_count() == 0 {
+        return Err(QaoaError::DegenerateGraph);
+    }
+    let p = params.layers();
+    let mut total = 0.0;
+    for (u, v) in graph.edges() {
+        let nodes = nodes_within_distance_of_edge(graph, u, v, p);
+        if nodes.len() > MAX_EXACT_NODES {
+            return Err(QaoaError::GraphTooLarge {
+                nodes: nodes.len(),
+                limit: MAX_EXACT_NODES,
+            });
+        }
+        let sub = induced_subgraph(graph, &nodes).expect("nodes are in range");
+        let local_u = sub.nodes.binary_search(&u).expect("u in subgraph");
+        let local_v = sub.nodes.binary_search(&v).expect("v in subgraph");
+        let table = cut_values(&sub.graph)?;
+        let n = sub.graph.node_count();
+        let mut state = StateVector::uniform_superposition(n);
+        for (gamma, beta) in params.gammas.iter().zip(&params.betas) {
+            let phases: Vec<Complex64> = table.iter().map(|&c| Complex64::cis(-gamma * c)).collect();
+            state.apply_diagonal(&phases);
+            for q in 0..n {
+                state.apply_gate(Gate::Rx(q, 2.0 * beta));
+            }
+        }
+        total += 0.5 * (1.0 - state.expectation_zz(local_u, local_v));
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlib::generators::{complete, connected_gnp, cycle, path, star};
+    use mathkit::rng::seeded;
+    use qsim::noise::ReadoutError;
+
+    const EPS: f64 = 1e-9;
+
+    #[test]
+    fn zero_angles_give_half_the_edges() {
+        // With γ = β = 0 the state stays uniform; each edge is cut with
+        // probability 1/2, so the expectation is |E| / 2.
+        let g = cycle(6).unwrap();
+        let instance = QaoaInstance::new(&g, 1).unwrap();
+        let params = QaoaParams::new(vec![0.0], vec![0.0]).unwrap();
+        assert!((instance.expectation(&params) - 3.0).abs() < EPS);
+    }
+
+    #[test]
+    fn expectation_matches_explicit_circuit_simulation() {
+        let mut rng = seeded(7);
+        let g = connected_gnp(6, 0.5, &mut rng).unwrap();
+        let instance = QaoaInstance::new(&g, 2).unwrap();
+        let params = QaoaParams::new(vec![0.8, 0.3], vec![0.5, 1.1]).unwrap();
+        let fast = instance.expectation(&params);
+        // Same computation through the explicit gate circuit.
+        let circuit = qaoa_circuit(&g, &params).unwrap();
+        let sv = StateVector::from_circuit(&circuit);
+        let slow = sv.expectation_diagonal(instance.cut_table());
+        assert!((fast - slow).abs() < 1e-8, "fast {fast} vs slow {slow}");
+    }
+
+    #[test]
+    fn expectation_is_bounded_by_edge_count() {
+        let g = complete(5);
+        let instance = QaoaInstance::new(&g, 2).unwrap();
+        let mut rng = seeded(3);
+        for _ in 0..10 {
+            let params = QaoaParams::random(2, &mut rng);
+            let e = instance.expectation(&params);
+            assert!(e >= 0.0 && e <= g.edge_count() as f64);
+        }
+    }
+
+    #[test]
+    fn probabilities_sum_to_one_and_match_expectation() {
+        let g = star(5).unwrap();
+        let instance = QaoaInstance::new(&g, 1).unwrap();
+        let params = QaoaParams::new(vec![0.9], vec![0.35]).unwrap();
+        let probs = instance.probabilities(&params);
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < EPS);
+        let e: f64 = probs
+            .iter()
+            .zip(instance.cut_table())
+            .map(|(p, c)| p * c)
+            .sum();
+        assert!((e - instance.expectation(&params)).abs() < EPS);
+    }
+
+    #[test]
+    fn edge_local_matches_global_on_small_graphs() {
+        let mut rng = seeded(11);
+        for p in 1..=2usize {
+            let g = connected_gnp(7, 0.35, &mut rng).unwrap();
+            let instance = QaoaInstance::new(&g, p).unwrap();
+            let params = QaoaParams::random(p, &mut rng);
+            let global = instance.expectation(&params);
+            let local = edge_local_expectation(&g, &params).unwrap();
+            assert!(
+                (global - local).abs() < 1e-7,
+                "p={p}: global {global} vs local {local}"
+            );
+        }
+    }
+
+    #[test]
+    fn edge_local_handles_graphs_beyond_global_limit() {
+        // A long path has tiny light cones regardless of total size.
+        let g = path(40).unwrap();
+        let params = QaoaParams::new(vec![0.4], vec![0.3]).unwrap();
+        let value = edge_local_expectation(&g, &params).unwrap();
+        assert!(value > 0.0 && value <= 39.0);
+        // Global evaluation refuses this size.
+        assert!(QaoaInstance::new(&g, 1).is_err());
+    }
+
+    #[test]
+    fn noisy_expectation_degrades_toward_random_cut() {
+        let g = cycle(6).unwrap();
+        let instance = QaoaInstance::new(&g, 1).unwrap();
+        // Pick good p=1 parameters by a coarse scan so the ideal expectation
+        // is clearly above the random-cut baseline.
+        let mut params = QaoaParams::new(vec![0.0], vec![0.0]).unwrap();
+        let mut ideal = f64::NEG_INFINITY;
+        for i in 0..16 {
+            for j in 0..16 {
+                let candidate = QaoaParams::new(
+                    vec![2.0 * std::f64::consts::PI * i as f64 / 16.0],
+                    vec![std::f64::consts::PI * j as f64 / 16.0],
+                )
+                .unwrap();
+                let value = instance.expectation(&candidate);
+                if value > ideal {
+                    ideal = value;
+                    params = candidate;
+                }
+            }
+        }
+        let noise = NoiseModel::new(
+            5e-3,
+            4e-2,
+            ReadoutError::new(0.03, 0.03),
+            80.0,
+            60.0,
+            35.0,
+            300.0,
+        );
+        let mut rng = seeded(21);
+        let noisy = instance.noisy_expectation(
+            &params,
+            &noise,
+            TrajectoryOptions { trajectories: 200 },
+            &mut rng,
+        );
+        let random_cut = g.edge_count() as f64 / 2.0;
+        assert!(ideal > random_cut + 0.5, "ideal {ideal}");
+        assert!(noisy < ideal, "noisy {noisy} should be below ideal {ideal}");
+        assert!(noisy > random_cut - 1.0, "noisy {noisy} collapsed too far");
+    }
+
+    #[test]
+    fn routed_noisy_expectation_matches_ideal_when_noiseless() {
+        let mut rng = seeded(31);
+        let g = connected_gnp(6, 0.5, &mut rng).unwrap();
+        let instance = QaoaInstance::new(&g, 1).unwrap();
+        let params = QaoaParams::random(1, &mut rng);
+        let coupling = qsim::devices::heavy_hex_like(6);
+        let routed = instance
+            .noisy_expectation_routed(
+                &params,
+                &coupling,
+                &NoiseModel::ideal(),
+                TrajectoryOptions { trajectories: 1 },
+                &mut rng,
+            )
+            .unwrap();
+        let ideal = instance.expectation(&params);
+        assert!(
+            (routed - ideal).abs() < 1e-8,
+            "routed {routed} vs ideal {ideal}"
+        );
+        // A coupling map smaller than the graph is rejected.
+        let tiny = qsim::devices::heavy_hex_like(3);
+        assert!(instance
+            .noisy_expectation_routed(
+                &params,
+                &tiny,
+                &NoiseModel::ideal(),
+                TrajectoryOptions { trajectories: 1 },
+                &mut rng
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn routed_noisy_expectation_is_noisier_than_unrouted() {
+        // Routing inserts SWAPs, so under the same noise model the routed
+        // evaluation should deviate at least as much from the ideal value.
+        let mut rng = seeded(33);
+        let g = connected_gnp(8, 0.6, &mut rng).unwrap();
+        let instance = QaoaInstance::new(&g, 1).unwrap();
+        let params = QaoaParams::new(vec![0.9], vec![0.4]).unwrap();
+        let ideal = instance.expectation(&params);
+        let noise = NoiseModel::new(
+            2e-3,
+            2e-2,
+            ReadoutError::new(0.02, 0.03),
+            90.0,
+            70.0,
+            35.0,
+            300.0,
+        );
+        let opts = TrajectoryOptions { trajectories: 300 };
+        let unrouted = instance.noisy_expectation(&params, &noise, opts, &mut rng);
+        let coupling = qsim::devices::heavy_hex_like(8);
+        let routed = instance
+            .noisy_expectation_routed(&params, &coupling, &noise, opts, &mut rng)
+            .unwrap();
+        assert!(
+            (routed - ideal).abs() + 0.15 >= (unrouted - ideal).abs(),
+            "routed {routed}, unrouted {unrouted}, ideal {ideal}"
+        );
+    }
+
+    #[test]
+    fn constructor_validates_input() {
+        assert!(QaoaInstance::new(&Graph::new(0), 1).is_err());
+        assert!(QaoaInstance::new(&Graph::new(4), 1).is_err());
+        assert!(QaoaInstance::new(&cycle(5).unwrap(), 0).is_err());
+    }
+}

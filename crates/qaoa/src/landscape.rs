@@ -1,0 +1,231 @@
+//! Energy landscapes: grids and random parameter sets, normalization, optima.
+//!
+//! The paper compares QAOA instances by the Mean Squared Error between their
+//! *normalized* energy landscapes (Equation 12), evaluated either on a
+//! `width × width` grid over `(γ, β)` for `p = 1` (the landscape figures) or
+//! on a shared set of random parameter vectors for `p ≥ 2`.
+
+use crate::params::{QaoaParams, BETA_MAX, GAMMA_MAX};
+use crate::QaoaError;
+use mathkit::stats::{argmax, normalize, normalized_mse};
+use rand::Rng;
+
+/// A `p = 1` energy landscape sampled on a rectangular `(γ, β)` grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Landscape {
+    /// Sampled γ values (length `width`).
+    pub gammas: Vec<f64>,
+    /// Sampled β values (length `width`).
+    pub betas: Vec<f64>,
+    /// Row-major energies: `values[i * width + j]` is the energy at
+    /// `(gammas[i], betas[j])`.
+    pub values: Vec<f64>,
+}
+
+impl Landscape {
+    /// Evaluates a `p = 1` landscape on a `width × width` grid using the
+    /// provided evaluator. γ ranges over `[0, 2π)` and β over `[0, π)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn evaluate<F: FnMut(&QaoaParams) -> f64>(width: usize, mut evaluator: F) -> Self {
+        assert!(width > 0, "grid width must be positive");
+        let gammas: Vec<f64> = (0..width)
+            .map(|i| GAMMA_MAX * i as f64 / width as f64)
+            .collect();
+        let betas: Vec<f64> = (0..width)
+            .map(|j| BETA_MAX * j as f64 / width as f64)
+            .collect();
+        let mut values = Vec::with_capacity(width * width);
+        for &gamma in &gammas {
+            for &beta in &betas {
+                let params = QaoaParams::new(vec![gamma], vec![beta]).expect("one layer");
+                values.push(evaluator(&params));
+            }
+        }
+        Self {
+            gammas,
+            betas,
+            values,
+        }
+    }
+
+    /// Grid width (samples per axis).
+    pub fn width(&self) -> usize {
+        self.gammas.len()
+    }
+
+    /// Total number of sampled points.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if the landscape holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Min–max normalized energies in `[0, 1]`.
+    pub fn normalized(&self) -> Vec<f64> {
+        normalize(&self.values).expect("landscape is non-empty")
+    }
+
+    /// The grid point with the highest energy: `(γ*, β*, E*)`.
+    pub fn optimum(&self) -> (f64, f64, f64) {
+        let idx = argmax(&self.values).expect("landscape is non-empty");
+        let width = self.width();
+        (
+            self.gammas[idx / width],
+            self.betas[idx % width],
+            self.values[idx],
+        )
+    }
+
+    /// Normalized MSE against another landscape sampled on the same grid
+    /// (Equation 12 applied to the normalized landscapes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QaoaError::InvalidParameters`] if the two landscapes have
+    /// different sizes.
+    pub fn mse_to(&self, other: &Landscape) -> Result<f64, QaoaError> {
+        if self.len() != other.len() {
+            return Err(QaoaError::InvalidParameters(
+                "landscapes must share the same grid",
+            ));
+        }
+        Ok(normalized_mse(&self.values, &other.values)
+            .expect("non-empty, equal-length landscapes"))
+    }
+
+    /// Distance between the optima of two landscapes in `(γ, β)` space with
+    /// periodic wrapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QaoaError::InvalidParameters`] if the grids differ.
+    pub fn optimum_distance_to(&self, other: &Landscape) -> Result<f64, QaoaError> {
+        if self.len() != other.len() {
+            return Err(QaoaError::InvalidParameters(
+                "landscapes must share the same grid",
+            ));
+        }
+        let (g1, b1, _) = self.optimum();
+        let (g2, b2, _) = other.optimum();
+        let a = QaoaParams::new(vec![g1], vec![b1]).expect("one layer");
+        let b = QaoaParams::new(vec![g2], vec![b2]).expect("one layer");
+        Ok(a.periodic_distance(&b))
+    }
+}
+
+/// Draws `count` random parameter vectors for `layers`-layer QAOA. Both
+/// instances being compared must be evaluated on the *same* set for the MSE
+/// to be meaningful, so the set is generated once and shared.
+pub fn random_parameter_set<R: Rng>(layers: usize, count: usize, rng: &mut R) -> Vec<QaoaParams> {
+    (0..count).map(|_| QaoaParams::random(layers, rng)).collect()
+}
+
+/// Evaluates an energy sample at every parameter vector of a shared set.
+pub fn evaluate_parameter_set<F: FnMut(&QaoaParams) -> f64>(
+    set: &[QaoaParams],
+    mut evaluator: F,
+) -> Vec<f64> {
+    set.iter().map(|p| evaluator(p)).collect()
+}
+
+/// Normalized MSE between two energy samples taken on the same parameter set.
+///
+/// # Errors
+///
+/// Returns [`QaoaError::InvalidParameters`] if the samples are empty or have
+/// different lengths.
+pub fn sample_mse(a: &[f64], b: &[f64]) -> Result<f64, QaoaError> {
+    if a.is_empty() || a.len() != b.len() {
+        return Err(QaoaError::InvalidParameters(
+            "samples must be non-empty and the same length",
+        ));
+    }
+    Ok(normalized_mse(a, b).expect("validated inputs"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expectation::QaoaInstance;
+    use graphlib::generators::cycle;
+    use mathkit::rng::seeded;
+
+    fn cycle_landscape(n: usize, width: usize) -> Landscape {
+        let g = cycle(n).unwrap();
+        let instance = QaoaInstance::new(&g, 1).unwrap();
+        Landscape::evaluate(width, |p| instance.expectation(p))
+    }
+
+    #[test]
+    fn grid_has_expected_shape() {
+        let l = cycle_landscape(5, 8);
+        assert_eq!(l.width(), 8);
+        assert_eq!(l.len(), 64);
+        assert!(!l.is_empty());
+        assert!(l.gammas.iter().all(|&g| (0.0..GAMMA_MAX).contains(&g)));
+        assert!(l.betas.iter().all(|&b| (0.0..BETA_MAX).contains(&b)));
+    }
+
+    #[test]
+    fn normalization_is_unit_interval() {
+        let l = cycle_landscape(6, 10);
+        let n = l.normalized();
+        let (lo, hi) = mathkit::stats::min_max(&n).unwrap();
+        assert!(lo >= 0.0 && hi <= 1.0 + 1e-12);
+        assert!((hi - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cycle_graphs_share_nearly_identical_landscapes() {
+        // The key observation of Section 3.3 (Figure 3): cycle graphs of any
+        // size share the same light-cone subgraphs, so their normalized
+        // landscapes coincide.
+        let a = cycle_landscape(7, 12);
+        let b = cycle_landscape(10, 12);
+        let mse = a.mse_to(&b).unwrap();
+        assert!(mse < 1e-3, "mse {mse}");
+        // The p=1 cycle landscape has several symmetric global optima, so the
+        // argmax of the two grids may land on different copies; instead check
+        // that the optimum of `a` is also (nearly) optimal for `b`.
+        let idx_a = mathkit::stats::argmax(&a.values).unwrap();
+        let norm_b = b.normalized();
+        assert!(norm_b[idx_a] > 0.98, "b at a's optimum: {}", norm_b[idx_a]);
+    }
+
+    #[test]
+    fn self_mse_is_zero_and_mismatched_grids_error() {
+        let a = cycle_landscape(5, 6);
+        assert_eq!(a.mse_to(&a).unwrap(), 0.0);
+        let b = cycle_landscape(5, 7);
+        assert!(a.mse_to(&b).is_err());
+        assert!(a.optimum_distance_to(&b).is_err());
+    }
+
+    #[test]
+    fn optimum_beats_random_grid_points() {
+        let l = cycle_landscape(6, 16);
+        let (_, _, best) = l.optimum();
+        let mean: f64 = l.values.iter().sum::<f64>() / l.len() as f64;
+        assert!(best > mean);
+    }
+
+    #[test]
+    fn parameter_set_evaluation_roundtrip() {
+        let mut rng = seeded(2);
+        let set = random_parameter_set(2, 32, &mut rng);
+        assert_eq!(set.len(), 32);
+        assert!(set.iter().all(|p| p.layers() == 2));
+        let a = evaluate_parameter_set(&set, |p| p.gammas[0] + p.betas[1]);
+        let b = evaluate_parameter_set(&set, |p| 2.0 * (p.gammas[0] + p.betas[1]) + 7.0);
+        // Affine transformations vanish under normalized MSE.
+        assert!(sample_mse(&a, &b).unwrap() < 1e-12);
+        assert!(sample_mse(&a, &a[..10]).is_err());
+        assert!(sample_mse(&[], &[]).is_err());
+    }
+}

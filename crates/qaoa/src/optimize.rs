@@ -1,0 +1,274 @@
+//! Classical optimization drivers for QAOA and the approximation-ratio metric.
+//!
+//! The paper drives its end-to-end experiments with COBYLA restarts; here the
+//! same protocol runs on the Nelder–Mead simplex optimizer from `mathkit`
+//! (see DESIGN.md for the substitution rationale). The drivers *maximize* the
+//! cost expectation by minimizing its negation.
+
+use crate::params::QaoaParams;
+use crate::QaoaError;
+use mathkit::optim::{FnObjective, NelderMead, NelderMeadOptions};
+use rand::Rng;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Result of a multi-restart QAOA maximization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeOutcome {
+    /// The best parameters found across all restarts.
+    pub best_params: QaoaParams,
+    /// The best (maximized) expectation value.
+    pub best_value: f64,
+    /// The best value found by each restart.
+    pub restart_values: Vec<f64>,
+    /// Total number of objective evaluations across restarts.
+    pub evaluations: usize,
+}
+
+impl OptimizeOutcome {
+    /// Mean of the per-restart best values (the "average result" metric of
+    /// Figure 17).
+    pub fn average_restart_value(&self) -> f64 {
+        if self.restart_values.is_empty() {
+            return self.best_value;
+        }
+        self.restart_values.iter().sum::<f64>() / self.restart_values.len() as f64
+    }
+}
+
+/// Options for [`maximize_with_restarts`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeOptions {
+    /// Number of random restarts.
+    pub restarts: usize,
+    /// Maximum iterations per restart.
+    pub max_iters: usize,
+}
+
+impl Default for OptimizeOptions {
+    fn default() -> Self {
+        Self {
+            restarts: 5,
+            max_iters: 120,
+        }
+    }
+}
+
+/// Maximizes a QAOA expectation evaluator with Nelder–Mead restarts from
+/// random initial parameters.
+///
+/// # Errors
+///
+/// Returns [`QaoaError::InvalidParameters`] if `layers == 0` or
+/// `options.restarts == 0`.
+pub fn maximize_with_restarts<R, F>(
+    layers: usize,
+    evaluator: F,
+    options: &OptimizeOptions,
+    rng: &mut R,
+) -> Result<OptimizeOutcome, QaoaError>
+where
+    R: Rng,
+    F: Fn(&QaoaParams) -> f64,
+{
+    if layers == 0 {
+        return Err(QaoaError::InvalidParameters("layers must be positive"));
+    }
+    if options.restarts == 0 {
+        return Err(QaoaError::InvalidParameters("restarts must be positive"));
+    }
+    let nm = NelderMead::new(NelderMeadOptions {
+        max_iters: options.max_iters,
+        ..Default::default()
+    });
+    let mut best_params: Option<QaoaParams> = None;
+    let mut best_value = f64::NEG_INFINITY;
+    let mut restart_values = Vec::with_capacity(options.restarts);
+    let mut evaluations = 0usize;
+    for _ in 0..options.restarts {
+        let start = QaoaParams::random(layers, rng).to_flat();
+        let mut objective = FnObjective::new(2 * layers, |flat: &[f64]| {
+            let params = QaoaParams::from_flat(flat).expect("optimizer keeps the shape");
+            -evaluator(&params)
+        });
+        let result = nm.minimize(&mut objective, &start);
+        evaluations += result.evaluations;
+        let value = -result.value;
+        restart_values.push(value);
+        if value > best_value {
+            best_value = value;
+            best_params = Some(QaoaParams::from_flat(&result.params).expect("valid shape"));
+        }
+    }
+    Ok(OptimizeOutcome {
+        best_params: best_params.expect("at least one restart"),
+        best_value,
+        restart_values,
+        evaluations,
+    })
+}
+
+/// Approximation ratio: the QAOA expectation divided by the classical optimum
+/// (Equation 13). Values are clamped below at 0; a ratio of 1 means the
+/// expectation reached the exact MaxCut value.
+///
+/// # Errors
+///
+/// Returns [`QaoaError::InvalidParameters`] if `ground_truth` is not positive.
+pub fn approximation_ratio(expectation: f64, ground_truth: f64) -> Result<f64, QaoaError> {
+    if ground_truth <= 0.0 {
+        return Err(QaoaError::InvalidParameters(
+            "ground truth cut must be positive",
+        ));
+    }
+    Ok((expectation / ground_truth).max(0.0))
+}
+
+/// A record of every objective evaluation made during an optimization run.
+/// Used by the convergence experiments (Figures 1 and 20), which re-evaluate
+/// the visited parameters on an ideal simulator afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct EvaluationTrace {
+    inner: Rc<RefCell<Vec<(QaoaParams, f64)>>>,
+}
+
+impl EvaluationTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Wraps an evaluator so that every call is recorded in this trace.
+    pub fn wrap<'a, F>(&'a self, mut evaluator: F) -> impl FnMut(&QaoaParams) -> f64 + 'a
+    where
+        F: FnMut(&QaoaParams) -> f64 + 'a,
+    {
+        let inner = Rc::clone(&self.inner);
+        move |params: &QaoaParams| {
+            let value = evaluator(params);
+            inner.borrow_mut().push((params.clone(), value));
+            value
+        }
+    }
+
+    /// Number of recorded evaluations.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+
+    /// Clones out the recorded `(parameters, value)` pairs in call order.
+    pub fn evaluations(&self) -> Vec<(QaoaParams, f64)> {
+        self.inner.borrow().clone()
+    }
+
+    /// The running best objective value after each evaluation (a convergence
+    /// curve).
+    pub fn running_best(&self) -> Vec<f64> {
+        let mut best = f64::NEG_INFINITY;
+        self.inner
+            .borrow()
+            .iter()
+            .map(|(_, v)| {
+                best = best.max(*v);
+                best
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expectation::QaoaInstance;
+    use crate::maxcut::brute_force_maxcut;
+    use graphlib::generators::{connected_gnp, cycle};
+    use mathkit::rng::seeded;
+
+    #[test]
+    fn optimization_beats_random_parameters_on_a_cycle() {
+        let g = cycle(6).unwrap();
+        let instance = QaoaInstance::new(&g, 1).unwrap();
+        let mut rng = seeded(3);
+        let outcome = maximize_with_restarts(
+            1,
+            |p| instance.expectation(p),
+            &OptimizeOptions {
+                restarts: 4,
+                max_iters: 150,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        // Random parameters give |E|/2 = 3 on average; the optimum for p=1 on
+        // an even cycle is 0.75 * |E| = 4.5.
+        assert!(outcome.best_value > 4.0, "best {}", outcome.best_value);
+        assert!(outcome.average_restart_value() <= outcome.best_value + 1e-12);
+        assert_eq!(outcome.restart_values.len(), 4);
+        assert!(outcome.evaluations > 0);
+    }
+
+    #[test]
+    fn approximation_ratio_behaviour() {
+        assert!((approximation_ratio(4.5, 6.0).unwrap() - 0.75).abs() < 1e-12);
+        assert_eq!(approximation_ratio(-1.0, 6.0).unwrap(), 0.0);
+        assert!(approximation_ratio(1.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn optimized_ratio_is_reasonable_on_random_graphs() {
+        let mut rng = seeded(8);
+        let g = connected_gnp(7, 0.4, &mut rng).unwrap();
+        let instance = QaoaInstance::new(&g, 1).unwrap();
+        let truth = brute_force_maxcut(&g).unwrap().best_cut as f64;
+        let outcome = maximize_with_restarts(
+            1,
+            |p| instance.expectation(p),
+            &OptimizeOptions {
+                restarts: 3,
+                max_iters: 120,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let ratio = approximation_ratio(outcome.best_value, truth).unwrap();
+        assert!(ratio > 0.55 && ratio <= 1.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn invalid_options_are_rejected() {
+        let mut rng = seeded(1);
+        assert!(maximize_with_restarts(0, |_| 0.0, &OptimizeOptions::default(), &mut rng).is_err());
+        assert!(maximize_with_restarts(
+            1,
+            |_| 0.0,
+            &OptimizeOptions {
+                restarts: 0,
+                max_iters: 10
+            },
+            &mut rng
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn evaluation_trace_records_calls() {
+        let trace = EvaluationTrace::new();
+        assert!(trace.is_empty());
+        {
+            let mut wrapped = trace.wrap(|p: &QaoaParams| p.gammas[0]);
+            let a = QaoaParams::new(vec![0.5], vec![0.1]).unwrap();
+            let b = QaoaParams::new(vec![0.2], vec![0.1]).unwrap();
+            assert_eq!(wrapped(&a), 0.5);
+            assert_eq!(wrapped(&b), 0.2);
+        }
+        assert_eq!(trace.len(), 2);
+        let best = trace.running_best();
+        assert_eq!(best, vec![0.5, 0.5]);
+        assert_eq!(trace.evaluations()[1].1, 0.2);
+    }
+}

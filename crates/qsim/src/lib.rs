@@ -1,0 +1,113 @@
+//! Quantum circuit simulation substrate.
+//!
+//! The paper's experiments run on Qiskit Aer (statevector and density-matrix
+//! backends with "fake" device noise models) and on real IBM/Rigetti
+//! hardware. This crate rebuilds that stack from scratch:
+//!
+//! * [`circuit`] — a small quantum-circuit IR (gates, depth, gate counts).
+//! * [`statevector`] — an ideal statevector simulator.
+//! * [`density`] — a density-matrix simulator with Kraus noise channels,
+//!   practical for small qubit counts.
+//! * [`noise`] — noise channels, per-device noise parameters, and readout
+//!   error models.
+//! * [`trajectory`] — a Monte-Carlo (quantum-trajectory) noisy simulator that
+//!   scales to the 14-qubit circuits used in the paper's noisy studies.
+//! * [`devices`] — device presets (ibmq Kolkata/Toronto/…, Rigetti
+//!   Aspen-M-3, and the Falcon/Eagle/Hummingbird topologies of the
+//!   throughput study) with coupling maps and calibrated error rates.
+//! * [`transpile`] — a greedy SWAP-insertion router standing in for SABRE,
+//!   used for depth and gate-count estimates on the device coupling maps.
+//!
+//! # Example
+//!
+//! ```
+//! use qsim::circuit::{Circuit, Gate};
+//! use qsim::statevector::StateVector;
+//!
+//! let mut circuit = Circuit::new(2);
+//! circuit.push(Gate::H(0)).unwrap();
+//! circuit.push(Gate::Cnot(0, 1)).unwrap();
+//! let state = StateVector::from_circuit(&circuit);
+//! let probs = state.probabilities();
+//! assert!((probs[0] - 0.5).abs() < 1e-12); // |00>
+//! assert!((probs[3] - 0.5).abs() < 1e-12); // |11>
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod circuit;
+pub mod density;
+pub mod devices;
+pub mod noise;
+pub mod statevector;
+pub mod trajectory;
+pub mod transpile;
+
+/// Errors produced by the simulation substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QsimError {
+    /// A qubit index was at least the number of qubits.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// The number of qubits available.
+        qubit_count: usize,
+    },
+    /// A two-qubit gate addressed the same qubit twice.
+    DuplicateQubit(usize),
+    /// A parameter was outside of its documented domain.
+    InvalidParameter(&'static str),
+    /// The requested simulation is too large for the chosen backend.
+    TooManyQubits {
+        /// Requested qubit count.
+        requested: usize,
+        /// Maximum supported by the backend.
+        limit: usize,
+    },
+}
+
+impl std::fmt::Display for QsimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QsimError::QubitOutOfRange { qubit, qubit_count } => {
+                write!(f, "qubit {qubit} out of range for {qubit_count} qubits")
+            }
+            QsimError::DuplicateQubit(q) => {
+                write!(f, "two-qubit gate used qubit {q} for both operands")
+            }
+            QsimError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            QsimError::TooManyQubits { requested, limit } => {
+                write!(f, "{requested} qubits requested but backend supports at most {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QsimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_format_and_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QsimError>();
+        let errors = [
+            QsimError::QubitOutOfRange {
+                qubit: 3,
+                qubit_count: 2,
+            },
+            QsimError::DuplicateQubit(1),
+            QsimError::InvalidParameter("p"),
+            QsimError::TooManyQubits {
+                requested: 30,
+                limit: 12,
+            },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! Noise channels and device noise models.
+//!
+//! The paper's noisy experiments use Qiskit "fake backends": noise models
+//! built from calibration data of real IBM devices (gate errors, readout
+//! errors, relaxation times). [`NoiseModel`] captures the same parameters.
+//! Channels are exposed both as Kraus operators (for the density-matrix
+//! backend) and as stochastic Pauli/bit-flip processes (for the trajectory
+//! backend).
+
+use mathkit::Complex64;
+use rand::Rng;
+
+/// A single-qubit Kraus channel: a set of 2×2 matrices `K_i` with
+/// `Σ K_i† K_i = I`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KrausChannel {
+    /// The Kraus operators.
+    pub operators: Vec<[[Complex64; 2]; 2]>,
+}
+
+impl KrausChannel {
+    /// The identity (no-noise) channel.
+    pub fn identity() -> Self {
+        Self {
+            operators: vec![[
+                [Complex64::one(), Complex64::zero()],
+                [Complex64::zero(), Complex64::one()],
+            ]],
+        }
+    }
+
+    /// Single-qubit depolarizing channel with error probability `p`: with
+    /// probability `p` the state is replaced by a uniformly random Pauli
+    /// applied to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    pub fn depolarizing(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        let k0 = (1.0 - p).sqrt();
+        let kp = (p / 3.0).sqrt();
+        Self {
+            operators: vec![
+                [
+                    [Complex64::new(k0, 0.0), Complex64::zero()],
+                    [Complex64::zero(), Complex64::new(k0, 0.0)],
+                ],
+                [
+                    [Complex64::zero(), Complex64::new(kp, 0.0)],
+                    [Complex64::new(kp, 0.0), Complex64::zero()],
+                ],
+                [
+                    [Complex64::zero(), Complex64::new(0.0, -kp)],
+                    [Complex64::new(0.0, kp), Complex64::zero()],
+                ],
+                [
+                    [Complex64::new(kp, 0.0), Complex64::zero()],
+                    [Complex64::zero(), Complex64::new(-kp, 0.0)],
+                ],
+            ],
+        }
+    }
+
+    /// Amplitude-damping channel with decay probability `gamma` (models T1
+    /// relaxation toward `|0⟩`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is not in `[0, 1]`.
+    pub fn amplitude_damping(gamma: f64) -> Self {
+        assert!((0.0..=1.0).contains(&gamma), "gamma must be in [0, 1]");
+        Self {
+            operators: vec![
+                [
+                    [Complex64::one(), Complex64::zero()],
+                    [Complex64::zero(), Complex64::new((1.0 - gamma).sqrt(), 0.0)],
+                ],
+                [
+                    [Complex64::zero(), Complex64::new(gamma.sqrt(), 0.0)],
+                    [Complex64::zero(), Complex64::zero()],
+                ],
+            ],
+        }
+    }
+
+    /// Phase-damping channel with dephasing probability `lambda` (models pure
+    /// T2 dephasing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not in `[0, 1]`.
+    pub fn phase_damping(lambda: f64) -> Self {
+        assert!((0.0..=1.0).contains(&lambda), "lambda must be in [0, 1]");
+        Self {
+            operators: vec![
+                [
+                    [Complex64::one(), Complex64::zero()],
+                    [Complex64::zero(), Complex64::new((1.0 - lambda).sqrt(), 0.0)],
+                ],
+                [
+                    [Complex64::zero(), Complex64::zero()],
+                    [Complex64::zero(), Complex64::new(lambda.sqrt(), 0.0)],
+                ],
+            ],
+        }
+    }
+
+    /// Verifies the completeness relation `Σ K† K = I` to the given
+    /// tolerance. Useful in tests and debug assertions.
+    pub fn is_trace_preserving(&self, tol: f64) -> bool {
+        // Accumulate sum of K† K.
+        let mut acc = [[Complex64::zero(); 2]; 2];
+        for k in &self.operators {
+            for r in 0..2 {
+                for c in 0..2 {
+                    let mut s = Complex64::zero();
+                    for m in 0..2 {
+                        s += k[m][r].conj() * k[m][c];
+                    }
+                    acc[r][c] += s;
+                }
+            }
+        }
+        let id = [
+            [Complex64::one(), Complex64::zero()],
+            [Complex64::zero(), Complex64::one()],
+        ];
+        for r in 0..2 {
+            for c in 0..2 {
+                if (acc[r][c] - id[r][c]).norm() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Symmetric single-qubit readout (measurement assignment) error.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadoutError {
+    /// Probability of reading `1` when the qubit was `0`.
+    pub p01: f64,
+    /// Probability of reading `0` when the qubit was `1`.
+    pub p10: f64,
+}
+
+impl ReadoutError {
+    /// Creates a readout error with the given assignment-flip probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either probability is outside `[0, 1]`.
+    pub fn new(p01: f64, p10: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p01) && (0.0..=1.0).contains(&p10));
+        Self { p01, p10 }
+    }
+
+    /// A perfectly faithful readout.
+    pub fn ideal() -> Self {
+        Self { p01: 0.0, p10: 0.0 }
+    }
+
+    /// Average assignment error.
+    pub fn mean_error(&self) -> f64 {
+        0.5 * (self.p01 + self.p10)
+    }
+
+    /// Flips a measured bit according to the error model.
+    pub fn apply_to_bit<R: Rng>(&self, bit: bool, rng: &mut R) -> bool {
+        let flip_prob = if bit { self.p10 } else { self.p01 };
+        if rng.gen::<f64>() < flip_prob {
+            !bit
+        } else {
+            bit
+        }
+    }
+}
+
+/// A device-level noise model in the style of Qiskit's fake backends.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Depolarizing error probability attached to every single-qubit gate.
+    pub error_1q: f64,
+    /// Depolarizing error probability attached to every two-qubit gate.
+    pub error_2q: f64,
+    /// Readout error applied to every measured qubit.
+    pub readout: ReadoutError,
+    /// Energy-relaxation time constant T1 in microseconds.
+    pub t1_us: f64,
+    /// Dephasing time constant T2 in microseconds.
+    pub t2_us: f64,
+    /// Duration of a single-qubit gate in nanoseconds.
+    pub gate_time_1q_ns: f64,
+    /// Duration of a two-qubit gate in nanoseconds.
+    pub gate_time_2q_ns: f64,
+}
+
+impl NoiseModel {
+    /// A noiseless model.
+    pub fn ideal() -> Self {
+        Self {
+            error_1q: 0.0,
+            error_2q: 0.0,
+            readout: ReadoutError::ideal(),
+            t1_us: f64::INFINITY,
+            t2_us: f64::INFINITY,
+            gate_time_1q_ns: 35.0,
+            gate_time_2q_ns: 300.0,
+        }
+    }
+
+    /// Creates a noise model from gate/readout errors and relaxation times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `[0, 1]` or any time constant is
+    /// non-positive.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        error_1q: f64,
+        error_2q: f64,
+        readout: ReadoutError,
+        t1_us: f64,
+        t2_us: f64,
+        gate_time_1q_ns: f64,
+        gate_time_2q_ns: f64,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&error_1q) && (0.0..=1.0).contains(&error_2q));
+        assert!(t1_us > 0.0 && t2_us > 0.0);
+        assert!(gate_time_1q_ns > 0.0 && gate_time_2q_ns > 0.0);
+        Self {
+            error_1q,
+            error_2q,
+            readout,
+            t1_us,
+            t2_us,
+            gate_time_1q_ns,
+            gate_time_2q_ns,
+        }
+    }
+
+    /// Probability that a qubit relaxes (T1 decay) during a gate of the given
+    /// duration.
+    pub fn relaxation_probability(&self, gate_time_ns: f64) -> f64 {
+        if !self.t1_us.is_finite() {
+            return 0.0;
+        }
+        1.0 - (-gate_time_ns / (self.t1_us * 1000.0)).exp()
+    }
+
+    /// Probability that a qubit dephases (T2) during a gate of the given
+    /// duration.
+    pub fn dephasing_probability(&self, gate_time_ns: f64) -> f64 {
+        if !self.t2_us.is_finite() {
+            return 0.0;
+        }
+        1.0 - (-gate_time_ns / (self.t2_us * 1000.0)).exp()
+    }
+
+    /// Total effective Pauli-error probability per single-qubit gate
+    /// (depolarizing plus relaxation/dephasing contributions).
+    pub fn effective_error_1q(&self) -> f64 {
+        let relax = self.relaxation_probability(self.gate_time_1q_ns);
+        let dephase = self.dephasing_probability(self.gate_time_1q_ns);
+        (self.error_1q + relax + dephase).min(1.0)
+    }
+
+    /// Total effective Pauli-error probability per two-qubit gate (applied to
+    /// each participating qubit by the trajectory backend).
+    pub fn effective_error_2q(&self) -> f64 {
+        let relax = self.relaxation_probability(self.gate_time_2q_ns);
+        let dephase = self.dephasing_probability(self.gate_time_2q_ns);
+        (self.error_2q + relax + dephase).min(1.0)
+    }
+
+    /// Scales every error source by `factor`, clamping probabilities to 1.
+    /// Useful for noise-sweep studies.
+    pub fn scaled(&self, factor: f64) -> Self {
+        Self {
+            error_1q: (self.error_1q * factor).min(1.0),
+            error_2q: (self.error_2q * factor).min(1.0),
+            readout: ReadoutError::new(
+                (self.readout.p01 * factor).min(1.0),
+                (self.readout.p10 * factor).min(1.0),
+            ),
+            t1_us: self.t1_us / factor.max(f64::MIN_POSITIVE),
+            t2_us: self.t2_us / factor.max(f64::MIN_POSITIVE),
+            gate_time_1q_ns: self.gate_time_1q_ns,
+            gate_time_2q_ns: self.gate_time_2q_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channels_are_trace_preserving() {
+        for channel in [
+            KrausChannel::identity(),
+            KrausChannel::depolarizing(0.0),
+            KrausChannel::depolarizing(0.3),
+            KrausChannel::depolarizing(1.0),
+            KrausChannel::amplitude_damping(0.2),
+            KrausChannel::phase_damping(0.4),
+        ] {
+            assert!(channel.is_trace_preserving(1e-10), "{channel:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability must be in [0, 1]")]
+    fn depolarizing_rejects_bad_probability() {
+        let _ = KrausChannel::depolarizing(1.5);
+    }
+
+    #[test]
+    fn readout_error_flips_with_given_probability() {
+        let err = ReadoutError::new(1.0, 0.0);
+        let mut rng = mathkit::rng::seeded(1);
+        assert!(err.apply_to_bit(false, &mut rng));
+        assert!(err.apply_to_bit(true, &mut rng));
+        assert_eq!(ReadoutError::ideal().mean_error(), 0.0);
+        assert!((err.mean_error() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ideal_noise_model_has_zero_effective_error() {
+        let m = NoiseModel::ideal();
+        assert_eq!(m.effective_error_1q(), 0.0);
+        assert_eq!(m.effective_error_2q(), 0.0);
+        assert_eq!(m.relaxation_probability(1000.0), 0.0);
+    }
+
+    #[test]
+    fn effective_error_grows_with_gate_time() {
+        let m = NoiseModel::new(1e-4, 1e-2, ReadoutError::new(0.01, 0.02), 100.0, 80.0, 35.0, 300.0);
+        assert!(m.effective_error_2q() > m.effective_error_1q());
+        assert!(m.effective_error_1q() > m.error_1q);
+        assert!(m.relaxation_probability(300.0) > m.relaxation_probability(35.0));
+    }
+
+    #[test]
+    fn scaling_amplifies_errors() {
+        let m = NoiseModel::new(1e-4, 1e-2, ReadoutError::new(0.01, 0.02), 100.0, 80.0, 35.0, 300.0);
+        let hot = m.scaled(3.0);
+        assert!(hot.error_2q > m.error_2q);
+        assert!(hot.readout.p01 > m.readout.p01);
+        assert!(hot.t1_us < m.t1_us);
+        let capped = m.scaled(1e6);
+        assert!(capped.error_2q <= 1.0);
+    }
+}

@@ -1,0 +1,572 @@
+//! Ideal statevector simulator.
+//!
+//! The state of `n` qubits is a vector of `2^n` complex amplitudes. Qubit 0
+//! is the least-significant bit of the basis-state index (Qiskit's
+//! convention), so `|q_{n-1} … q_1 q_0⟩` maps to index
+//! `q_0 + 2 q_1 + … + 2^{n-1} q_{n-1}`.
+
+use crate::circuit::{Circuit, Gate};
+use mathkit::Complex64;
+use rand::Rng;
+use std::f64::consts::FRAC_1_SQRT_2;
+
+/// Practical qubit limit for the statevector backend (64 Mi amplitudes).
+pub const MAX_STATEVECTOR_QUBITS: usize = 26;
+
+/// A pure quantum state over `n` qubits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    qubit_count: usize,
+    amplitudes: Vec<Complex64>,
+}
+
+impl StateVector {
+    /// Creates the all-zeros state `|0…0⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit_count` exceeds [`MAX_STATEVECTOR_QUBITS`].
+    pub fn new(qubit_count: usize) -> Self {
+        assert!(
+            qubit_count <= MAX_STATEVECTOR_QUBITS,
+            "statevector limited to {MAX_STATEVECTOR_QUBITS} qubits"
+        );
+        let mut amplitudes = vec![Complex64::zero(); 1 << qubit_count];
+        amplitudes[0] = Complex64::one();
+        Self {
+            qubit_count,
+            amplitudes,
+        }
+    }
+
+    /// Creates the uniform superposition `|s⟩ = 2^{-n/2} Σ_z |z⟩`
+    /// (the QAOA initial state, Equation 4 of the paper).
+    pub fn uniform_superposition(qubit_count: usize) -> Self {
+        let mut sv = Self::new(qubit_count);
+        let amp = Complex64::new(1.0 / ((1usize << qubit_count) as f64).sqrt(), 0.0);
+        for a in sv.amplitudes.iter_mut() {
+            *a = amp;
+        }
+        sv
+    }
+
+    /// Runs a circuit from `|0…0⟩` and returns the final state.
+    pub fn from_circuit(circuit: &Circuit) -> Self {
+        let mut sv = Self::new(circuit.qubit_count());
+        sv.apply_circuit(circuit);
+        sv
+    }
+
+    /// Number of qubits.
+    pub fn qubit_count(&self) -> usize {
+        self.qubit_count
+    }
+
+    /// Borrow of the raw amplitudes (little-endian basis ordering).
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amplitudes
+    }
+
+    /// Applies every gate of a circuit in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit has more qubits than the state.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert!(
+            circuit.qubit_count() <= self.qubit_count,
+            "circuit does not fit in the state"
+        );
+        for gate in circuit.gates() {
+            self.apply_gate(*gate);
+        }
+    }
+
+    /// Applies a single gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a gate operand is out of range.
+    pub fn apply_gate(&mut self, gate: Gate) {
+        match gate {
+            Gate::H(q) => self.apply_single(
+                q,
+                [
+                    [
+                        Complex64::new(FRAC_1_SQRT_2, 0.0),
+                        Complex64::new(FRAC_1_SQRT_2, 0.0),
+                    ],
+                    [
+                        Complex64::new(FRAC_1_SQRT_2, 0.0),
+                        Complex64::new(-FRAC_1_SQRT_2, 0.0),
+                    ],
+                ],
+            ),
+            Gate::X(q) => self.apply_single(
+                q,
+                [
+                    [Complex64::zero(), Complex64::one()],
+                    [Complex64::one(), Complex64::zero()],
+                ],
+            ),
+            Gate::Y(q) => self.apply_single(
+                q,
+                [
+                    [Complex64::zero(), Complex64::new(0.0, -1.0)],
+                    [Complex64::new(0.0, 1.0), Complex64::zero()],
+                ],
+            ),
+            Gate::Z(q) => self.apply_single(
+                q,
+                [
+                    [Complex64::one(), Complex64::zero()],
+                    [Complex64::zero(), Complex64::new(-1.0, 0.0)],
+                ],
+            ),
+            Gate::S(q) => self.apply_single(
+                q,
+                [
+                    [Complex64::one(), Complex64::zero()],
+                    [Complex64::zero(), Complex64::i()],
+                ],
+            ),
+            Gate::Sdg(q) => self.apply_single(
+                q,
+                [
+                    [Complex64::one(), Complex64::zero()],
+                    [Complex64::zero(), Complex64::new(0.0, -1.0)],
+                ],
+            ),
+            Gate::T(q) => self.apply_single(
+                q,
+                [
+                    [Complex64::one(), Complex64::zero()],
+                    [
+                        Complex64::zero(),
+                        Complex64::cis(std::f64::consts::FRAC_PI_4),
+                    ],
+                ],
+            ),
+            Gate::Rx(q, theta) => {
+                let c = Complex64::new((theta / 2.0).cos(), 0.0);
+                let s = Complex64::new(0.0, -(theta / 2.0).sin());
+                self.apply_single(q, [[c, s], [s, c]]);
+            }
+            Gate::Ry(q, theta) => {
+                let c = Complex64::new((theta / 2.0).cos(), 0.0);
+                let s = Complex64::new((theta / 2.0).sin(), 0.0);
+                self.apply_single(q, [[c, -s], [s, c]]);
+            }
+            Gate::Rz(q, theta) => {
+                let e_neg = Complex64::cis(-theta / 2.0);
+                let e_pos = Complex64::cis(theta / 2.0);
+                self.apply_single(q, [[e_neg, Complex64::zero()], [Complex64::zero(), e_pos]]);
+            }
+            Gate::Cnot(control, target) => self.apply_cnot(control, target),
+            Gate::Cz(a, b) => self.apply_cz(a, b),
+            Gate::Swap(a, b) => self.apply_swap(a, b),
+            Gate::Rzz(a, b, theta) => self.apply_rzz(a, b, theta),
+        }
+    }
+
+    /// Applies an arbitrary single-qubit unitary `[[u00, u01], [u10, u11]]`
+    /// to `target`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is out of range.
+    pub fn apply_single(&mut self, target: usize, u: [[Complex64; 2]; 2]) {
+        assert!(target < self.qubit_count, "qubit {target} out of range");
+        let stride = 1usize << target;
+        let dim = self.amplitudes.len();
+        let mut base = 0usize;
+        while base < dim {
+            for offset in base..base + stride {
+                let i0 = offset;
+                let i1 = offset + stride;
+                let a0 = self.amplitudes[i0];
+                let a1 = self.amplitudes[i1];
+                self.amplitudes[i0] = u[0][0] * a0 + u[0][1] * a1;
+                self.amplitudes[i1] = u[1][0] * a0 + u[1][1] * a1;
+            }
+            base += stride * 2;
+        }
+    }
+
+    fn apply_cnot(&mut self, control: usize, target: usize) {
+        assert!(control < self.qubit_count && target < self.qubit_count);
+        assert_ne!(control, target, "control and target must differ");
+        let cbit = 1usize << control;
+        let tbit = 1usize << target;
+        for i in 0..self.amplitudes.len() {
+            if i & cbit != 0 && i & tbit == 0 {
+                let j = i | tbit;
+                self.amplitudes.swap(i, j);
+            }
+        }
+    }
+
+    fn apply_cz(&mut self, a: usize, b: usize) {
+        assert!(a < self.qubit_count && b < self.qubit_count);
+        assert_ne!(a, b);
+        let abit = 1usize << a;
+        let bbit = 1usize << b;
+        for (i, amp) in self.amplitudes.iter_mut().enumerate() {
+            if i & abit != 0 && i & bbit != 0 {
+                *amp = -*amp;
+            }
+        }
+    }
+
+    fn apply_swap(&mut self, a: usize, b: usize) {
+        assert!(a < self.qubit_count && b < self.qubit_count);
+        assert_ne!(a, b);
+        let abit = 1usize << a;
+        let bbit = 1usize << b;
+        for i in 0..self.amplitudes.len() {
+            if i & abit != 0 && i & bbit == 0 {
+                let j = (i & !abit) | bbit;
+                self.amplitudes.swap(i, j);
+            }
+        }
+    }
+
+    fn apply_rzz(&mut self, a: usize, b: usize, theta: f64) {
+        assert!(a < self.qubit_count && b < self.qubit_count);
+        assert_ne!(a, b);
+        let abit = 1usize << a;
+        let bbit = 1usize << b;
+        let phase_same = Complex64::cis(-theta / 2.0);
+        let phase_diff = Complex64::cis(theta / 2.0);
+        for (i, amp) in self.amplitudes.iter_mut().enumerate() {
+            let parity = ((i & abit != 0) as u8) ^ ((i & bbit != 0) as u8);
+            *amp = *amp * if parity == 0 { phase_same } else { phase_diff };
+        }
+    }
+
+    /// Multiplies every amplitude of basis state `z` by `phases[z]`.
+    ///
+    /// This lets callers implement diagonal unitaries (such as the QAOA cost
+    /// layer) in a single pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phases.len()` does not equal `2^n`.
+    pub fn apply_diagonal(&mut self, phases: &[Complex64]) {
+        assert_eq!(
+            phases.len(),
+            self.amplitudes.len(),
+            "diagonal length must equal the state dimension"
+        );
+        for (amp, phase) in self.amplitudes.iter_mut().zip(phases) {
+            *amp = *amp * *phase;
+        }
+    }
+
+    /// Probability that measuring `qubit` yields `1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range.
+    pub fn prob_one(&self, qubit: usize) -> f64 {
+        assert!(qubit < self.qubit_count);
+        let bit = 1usize << qubit;
+        self.amplitudes
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & bit != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Rescales the state to unit norm. Used by the quantum-jump (trajectory)
+    /// noise simulation after applying non-unitary Kraus operators. A state
+    /// with (numerically) zero norm is reset to `|0…0⟩`.
+    pub fn renormalize(&mut self) {
+        let norm = self.norm_sqr().sqrt();
+        if norm < 1e-300 {
+            for a in self.amplitudes.iter_mut() {
+                *a = Complex64::zero();
+            }
+            self.amplitudes[0] = Complex64::one();
+            return;
+        }
+        for a in self.amplitudes.iter_mut() {
+            *a = *a / norm;
+        }
+    }
+
+    /// Probability of measuring each basis state.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amplitudes.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Sum of `|amplitude|^2` (should be 1 up to rounding).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amplitudes.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Expectation value of the Pauli-Z operator on `qubit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit` is out of range.
+    pub fn expectation_z(&self, qubit: usize) -> f64 {
+        assert!(qubit < self.qubit_count);
+        let bit = 1usize << qubit;
+        self.amplitudes
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let sign = if i & bit == 0 { 1.0 } else { -1.0 };
+                sign * a.norm_sqr()
+            })
+            .sum()
+    }
+
+    /// Expectation value of `Z_a Z_b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either qubit is out of range.
+    pub fn expectation_zz(&self, a: usize, b: usize) -> f64 {
+        assert!(a < self.qubit_count && b < self.qubit_count);
+        let abit = 1usize << a;
+        let bbit = 1usize << b;
+        self.amplitudes
+            .iter()
+            .enumerate()
+            .map(|(i, amp)| {
+                let parity = ((i & abit != 0) as u8) ^ ((i & bbit != 0) as u8);
+                let sign = if parity == 0 { 1.0 } else { -1.0 };
+                sign * amp.norm_sqr()
+            })
+            .sum()
+    }
+
+    /// Expectation value of an arbitrary diagonal observable given its value
+    /// on every basis state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` does not equal `2^n`.
+    pub fn expectation_diagonal(&self, values: &[f64]) -> f64 {
+        assert_eq!(values.len(), self.amplitudes.len());
+        self.amplitudes
+            .iter()
+            .zip(values)
+            .map(|(a, v)| a.norm_sqr() * v)
+            .sum()
+    }
+
+    /// Samples `shots` measurement outcomes in the computational basis and
+    /// returns per-basis-state counts.
+    pub fn sample_counts<R: Rng>(&self, shots: usize, rng: &mut R) -> Vec<usize> {
+        let probs = self.probabilities();
+        let mut counts = vec![0usize; probs.len()];
+        // Cumulative distribution for inverse-transform sampling.
+        let mut cdf = Vec::with_capacity(probs.len());
+        let mut acc = 0.0;
+        for p in &probs {
+            acc += p;
+            cdf.push(acc);
+        }
+        let total = acc.max(f64::MIN_POSITIVE);
+        for _ in 0..shots {
+            let r: f64 = rng.gen::<f64>() * total;
+            let idx = match cdf.binary_search_by(|x| x.partial_cmp(&r).unwrap()) {
+                Ok(i) => i,
+                Err(i) => i.min(probs.len() - 1),
+            };
+            counts[idx] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathkit::rng::seeded;
+
+    const EPS: f64 = 1e-10;
+
+    #[test]
+    fn initial_state_is_zero_ket() {
+        let sv = StateVector::new(3);
+        let probs = sv.probabilities();
+        assert!((probs[0] - 1.0).abs() < EPS);
+        assert!(probs[1..].iter().all(|&p| p < EPS));
+        assert!((sv.norm_sqr() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn hadamard_creates_uniform_superposition() {
+        let mut c = Circuit::new(3);
+        for q in 0..3 {
+            c.push(Gate::H(q)).unwrap();
+        }
+        let sv = StateVector::from_circuit(&c);
+        for p in sv.probabilities() {
+            assert!((p - 0.125).abs() < EPS);
+        }
+        let direct = StateVector::uniform_superposition(3);
+        for (a, b) in sv.amplitudes().iter().zip(direct.amplitudes()) {
+            assert!((*a - *b).norm() < EPS);
+        }
+    }
+
+    #[test]
+    fn bell_state_probabilities() {
+        let mut c = Circuit::new(2);
+        c.extend([Gate::H(0), Gate::Cnot(0, 1)]).unwrap();
+        let sv = StateVector::from_circuit(&c);
+        let probs = sv.probabilities();
+        assert!((probs[0] - 0.5).abs() < EPS);
+        assert!((probs[3] - 0.5).abs() < EPS);
+        assert!(probs[1].abs() < EPS && probs[2].abs() < EPS);
+        // Z0 Z1 expectation on a Bell state is +1.
+        assert!((sv.expectation_zz(0, 1) - 1.0).abs() < EPS);
+        assert!(sv.expectation_z(0).abs() < EPS);
+    }
+
+    #[test]
+    fn x_gate_flips_qubit() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::X(1)).unwrap();
+        let sv = StateVector::from_circuit(&c);
+        assert!((sv.probabilities()[2] - 1.0).abs() < EPS);
+        assert!((sv.expectation_z(1) + 1.0).abs() < EPS);
+        assert!((sv.expectation_z(0) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn rotations_preserve_norm() {
+        let mut sv = StateVector::uniform_superposition(4);
+        for (i, gate) in [
+            Gate::Rx(0, 0.7),
+            Gate::Ry(1, -1.3),
+            Gate::Rz(2, 2.1),
+            Gate::Rzz(0, 3, 0.9),
+            Gate::T(1),
+            Gate::S(2),
+            Gate::Sdg(3),
+            Gate::Y(0),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            sv.apply_gate(gate);
+            assert!(
+                (sv.norm_sqr() - 1.0).abs() < EPS,
+                "norm broken after gate {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn rx_pi_equals_x_up_to_phase() {
+        let mut a = StateVector::new(1);
+        a.apply_gate(Gate::Rx(0, std::f64::consts::PI));
+        let mut b = StateVector::new(1);
+        b.apply_gate(Gate::X(0));
+        // Probabilities (phase-insensitive) must match.
+        for (pa, pb) in a.probabilities().iter().zip(b.probabilities()) {
+            assert!((pa - pb).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn cz_and_rzz_are_diagonal() {
+        let mut sv = StateVector::uniform_superposition(2);
+        let before = sv.probabilities();
+        sv.apply_gate(Gate::Cz(0, 1));
+        sv.apply_gate(Gate::Rzz(0, 1, 0.37));
+        assert_eq!(sv.probabilities().len(), before.len());
+        for (p, q) in sv.probabilities().iter().zip(before) {
+            assert!((p - q).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn swap_exchanges_qubits() {
+        let mut c = Circuit::new(2);
+        c.extend([Gate::X(0), Gate::Swap(0, 1)]).unwrap();
+        let sv = StateVector::from_circuit(&c);
+        assert!((sv.probabilities()[2] - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn rzz_phase_convention() {
+        // On |00>, RZZ applies e^{-i theta/2}; probabilities unchanged, and
+        // expectation_zz stays +1.
+        let mut sv = StateVector::new(2);
+        sv.apply_gate(Gate::Rzz(0, 1, 1.234));
+        assert!((sv.expectation_zz(0, 1) - 1.0).abs() < EPS);
+        let amp = sv.amplitudes()[0];
+        assert!((amp.arg() + 1.234 / 2.0).abs() < EPS);
+    }
+
+    #[test]
+    fn diagonal_application_matches_expectation() {
+        let mut sv = StateVector::uniform_superposition(2);
+        let values = [0.0, 1.0, 1.0, 2.0];
+        assert!((sv.expectation_diagonal(&values) - 1.0).abs() < EPS);
+        let phases: Vec<Complex64> = values.iter().map(|&v| Complex64::cis(-0.3 * v)).collect();
+        sv.apply_diagonal(&phases);
+        assert!((sv.norm_sqr() - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::H(0)).unwrap();
+        let sv = StateVector::from_circuit(&c);
+        let mut rng = seeded(17);
+        let counts = sv.sample_counts(20_000, &mut rng);
+        let frac = counts[0] as f64 / 20_000.0;
+        assert!((frac - 0.5).abs() < 0.02, "fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "statevector limited")]
+    fn too_many_qubits_panics() {
+        let _ = StateVector::new(MAX_STATEVECTOR_QUBITS + 1);
+    }
+
+    #[test]
+    fn prob_one_matches_expectation_z() {
+        let mut sv = StateVector::uniform_superposition(3);
+        sv.apply_gate(Gate::Rx(1, 0.9));
+        for q in 0..3 {
+            let p1 = sv.prob_one(q);
+            let z = sv.expectation_z(q);
+            assert!((p1 - (1.0 - z) / 2.0).abs() < EPS);
+        }
+    }
+
+    #[test]
+    fn renormalize_restores_unit_norm() {
+        let mut sv = StateVector::uniform_superposition(2);
+        // Apply a non-unitary damping operator K0 = diag(1, sqrt(1-γ)).
+        let k0 = [
+            [Complex64::one(), Complex64::zero()],
+            [Complex64::zero(), Complex64::new(0.6_f64.sqrt(), 0.0)],
+        ];
+        sv.apply_single(0, k0);
+        assert!(sv.norm_sqr() < 1.0);
+        sv.renormalize();
+        assert!((sv.norm_sqr() - 1.0).abs() < EPS);
+        // Degenerate zero state resets to |0...0>.
+        let mut zero = StateVector::new(2);
+        zero.apply_single(
+            0,
+            [
+                [Complex64::zero(), Complex64::zero()],
+                [Complex64::zero(), Complex64::zero()],
+            ],
+        );
+        zero.renormalize();
+        assert!((zero.probabilities()[0] - 1.0).abs() < EPS);
+    }
+}

