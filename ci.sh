@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Local CI for the Red-QAOA reproduction workspace.
+#
+# Gates, in order:
+#   1. cargo fmt --check      — formatting (rustfmt.toml pins the style)
+#   2. cargo clippy -D warnings — lints; the only allowed-by-policy lint is
+#      clippy::needless_range_loop, granted workspace-wide in Cargo.toml
+#      ([workspace.lints.clippy]) because index loops are the clearest form
+#      for the dense-matrix and qubit kernels.
+#   3. tier-1 verify          — cargo build --release && cargo test -q
+#   4. bench targets resolve  — cargo bench --no-run
+#   5. figure binaries        — every fig*/table* binary answers --help
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --quiet --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> benches compile: cargo bench --no-run"
+cargo bench --no-run --quiet
+
+echo "==> figure binaries answer --help"
+cargo build --release -p experiments --bins --quiet
+for bin in target/release/fig* target/release/table1_datasets; do
+    [ -x "$bin" ] || continue
+    "$bin" --help >/dev/null
+done
+
+echo "CI OK"

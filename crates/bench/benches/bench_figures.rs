@@ -24,8 +24,12 @@ fn bench_fig1(c: &mut Criterion) {
     };
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);
-    group.bench_function("fig01_convergence", |b| b.iter(|| run_fig1(&config).unwrap()));
-    group.bench_function("fig03_cycle_landscapes", |b| b.iter(|| run_fig3(8).unwrap()));
+    group.bench_function("fig01_convergence", |b| {
+        b.iter(|| run_fig1(&config).unwrap())
+    });
+    group.bench_function("fig03_cycle_landscapes", |b| {
+        b.iter(|| run_fig3(8).unwrap())
+    });
     group.finish();
 }
 
@@ -47,8 +51,12 @@ fn bench_fig5_fig7(c: &mut Criterion) {
     };
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);
-    group.bench_function("fig05_and_correlation", |b| b.iter(|| run_fig5(&fig5).unwrap()));
-    group.bench_function("fig07_optima_distance", |b| b.iter(|| run_fig7(&fig7).unwrap()));
+    group.bench_function("fig05_and_correlation", |b| {
+        b.iter(|| run_fig5(&fig5).unwrap())
+    });
+    group.bench_function("fig07_optima_distance", |b| {
+        b.iter(|| run_fig7(&fig7).unwrap())
+    });
     group.finish();
 }
 
@@ -70,8 +78,12 @@ fn bench_fig8_fig9(c: &mut Criterion) {
     };
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);
-    group.bench_function("fig08_pooling_comparison", |b| b.iter(|| run_fig8(&fig8).unwrap()));
-    group.bench_function("fig09_sa_effectiveness", |b| b.iter(|| run_fig9(&fig9).unwrap()));
+    group.bench_function("fig08_pooling_comparison", |b| {
+        b.iter(|| run_fig8(&fig8).unwrap())
+    });
+    group.bench_function("fig09_sa_effectiveness", |b| {
+        b.iter(|| run_fig9(&fig9).unwrap())
+    });
     group.finish();
 }
 
@@ -84,7 +96,9 @@ fn bench_fig10(c: &mut Criterion) {
     };
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);
-    group.bench_function("fig10_noisy_mse", |b| b.iter(|| run_fig10(&config).unwrap()));
+    group.bench_function("fig10_noisy_mse", |b| {
+        b.iter(|| run_fig10(&config).unwrap())
+    });
     group.finish();
 }
 
@@ -104,7 +118,9 @@ fn bench_datasets_and_throughput(c: &mut Criterion) {
     group.bench_function("fig13_fig14_dataset_eval", |b| {
         b.iter(|| run_small_datasets(&eval).unwrap())
     });
-    group.bench_function("fig25_throughput", |b| b.iter(|| run_fig25(&throughput).unwrap()));
+    group.bench_function("fig25_throughput", |b| {
+        b.iter(|| run_fig25(&throughput).unwrap())
+    });
     group.bench_function("table1_datasets", |b| b.iter(|| run_table1(1)));
     group.finish();
 }
@@ -126,8 +142,12 @@ fn bench_fig17_fig21(c: &mut Criterion) {
     };
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);
-    group.bench_function("fig17_end_to_end", |b| b.iter(|| run_fig17(&fig17).unwrap()));
-    group.bench_function("fig21_parameter_transfer", |b| b.iter(|| run_fig21(&fig21).unwrap()));
+    group.bench_function("fig17_end_to_end", |b| {
+        b.iter(|| run_fig17(&fig17).unwrap())
+    });
+    group.bench_function("fig21_parameter_transfer", |b| {
+        b.iter(|| run_fig21(&fig21).unwrap())
+    });
     group.finish();
 }
 

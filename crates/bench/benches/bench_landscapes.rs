@@ -29,11 +29,7 @@ fn bench_parameter_set_p2(c: &mut Criterion) {
         let mut rng = mathkit::rng::seeded(7);
         let set = random_parameter_set(2, 64, &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(n), &set, |b, set| {
-            b.iter(|| {
-                set.iter()
-                    .map(|p| instance.expectation(p))
-                    .sum::<f64>()
-            })
+            b.iter(|| set.iter().map(|p| instance.expectation(p)).sum::<f64>())
         });
     }
     group.finish();

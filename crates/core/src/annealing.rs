@@ -135,7 +135,12 @@ pub fn anneal_subgraph<R: Rng>(
     let initial = random_connected_subgraph(graph, k, rng)
         .map_err(|_| RedQaoaError::GraphNotReducible("no connected subgraph of this size"))?;
     let mut current_nodes = initial.nodes.clone();
-    let (mut current_value, _) = objective(graph, &current_nodes, target_and, options.disconnection_penalty);
+    let (mut current_value, _) = objective(
+        graph,
+        &current_nodes,
+        target_and,
+        options.disconnection_penalty,
+    );
     let mut best_nodes = current_nodes.clone();
     let mut best_value = current_value;
 
@@ -177,8 +182,12 @@ pub fn anneal_subgraph<R: Rng>(
             continue;
         }
 
-        let (candidate_value, _) =
-            objective(graph, &candidate_nodes, target_and, options.disconnection_penalty);
+        let (candidate_value, _) = objective(
+            graph,
+            &candidate_nodes,
+            target_and,
+            options.disconnection_penalty,
+        );
 
         // Lines 9–16: Metropolis acceptance.
         let accept = if candidate_value < current_value {
@@ -204,8 +213,12 @@ pub fn anneal_subgraph<R: Rng>(
         temperature *= options.cooling.factor(consecutive_rejections);
     }
 
-    let (final_value, subgraph) =
-        objective(graph, &best_nodes, target_and, options.disconnection_penalty);
+    let (final_value, subgraph) = objective(
+        graph,
+        &best_nodes,
+        target_and,
+        options.disconnection_penalty,
+    );
     Ok(SaOutcome {
         subgraph,
         objective: final_value,

@@ -167,15 +167,30 @@ pub fn noisy_grid_comparison<R: Rng>(
     let coupling_reduced = qsim::devices::heavy_hex_like(reduced.node_count());
 
     let ideal = Landscape::evaluate(width, |p| instance_original.expectation(p));
+    // Both noisy landscapes draw their trajectories from the same per-point
+    // noise substream (common random numbers): the stochastic trajectory
+    // error then correlates point-to-point and between the two arms, so the
+    // MSE difference reflects the systematic noise response of each circuit
+    // rather than independent sampling speckle — which min–max normalization
+    // would otherwise amplify on the lower-contrast landscape.
+    let base_seed: u64 = rng.gen();
+    let point = std::cell::Cell::new(0u64);
     let noisy_baseline = Landscape::evaluate(width, |p| {
+        let idx = point.get();
+        point.set(idx + 1);
+        let mut stream = mathkit::rng::seeded(mathkit::rng::derive_seed(base_seed, idx));
         instance_original
-            .noisy_expectation_routed(p, &coupling_original, noise, options, rng)
-            .unwrap_or_else(|_| instance_original.noisy_expectation(p, noise, options, rng))
+            .noisy_expectation_routed(p, &coupling_original, noise, options, &mut stream)
+            .unwrap_or_else(|_| instance_original.noisy_expectation(p, noise, options, &mut stream))
     });
+    point.set(0);
     let noisy_reduced = Landscape::evaluate(width, |p| {
+        let idx = point.get();
+        point.set(idx + 1);
+        let mut stream = mathkit::rng::seeded(mathkit::rng::derive_seed(base_seed, idx));
         instance_reduced
-            .noisy_expectation_routed(p, &coupling_reduced, noise, options, rng)
-            .unwrap_or_else(|_| instance_reduced.noisy_expectation(p, noise, options, rng))
+            .noisy_expectation_routed(p, &coupling_reduced, noise, options, &mut stream)
+            .unwrap_or_else(|_| instance_reduced.noisy_expectation(p, noise, options, &mut stream))
     });
 
     let baseline_mse = ideal.mse_to(&noisy_baseline)?;
@@ -226,14 +241,8 @@ mod tests {
     #[test]
     fn cycles_of_different_sizes_have_tiny_ideal_mse() {
         let mut rng = seeded(1);
-        let mse = ideal_sample_mse(
-            &cycle(10).unwrap(),
-            &cycle(7).unwrap(),
-            1,
-            128,
-            &mut rng,
-        )
-        .unwrap();
+        let mse =
+            ideal_sample_mse(&cycle(10).unwrap(), &cycle(7).unwrap(), 1, 128, &mut rng).unwrap();
         assert!(mse < 1e-3, "mse {mse}");
     }
 
@@ -296,15 +305,8 @@ mod tests {
         )
         .unwrap();
         let noise = fake_toronto().noise;
-        let comparison = noisy_grid_comparison(
-            &original,
-            reduced.graph(),
-            6,
-            &noise,
-            24,
-            &mut rng,
-        )
-        .unwrap();
+        let comparison =
+            noisy_grid_comparison(&original, reduced.graph(), 6, &noise, 24, &mut rng).unwrap();
         assert!(comparison.baseline_mse > 0.0);
         assert!(comparison.reduced_mse > 0.0);
         // The reduced circuit is smaller, so its noisy landscape should sit

@@ -143,8 +143,11 @@ pub fn run_ideal<R: Rng>(
     let transferred_params = reduced_outcome.best_params.clone();
 
     // Step 3: transfer and refine on the original graph.
-    let (final_params, final_value) =
-        refine_on_instance(&original_instance, &transferred_params, options.refine_iters);
+    let (final_params, final_value) = refine_on_instance(
+        &original_instance,
+        &transferred_params,
+        options.refine_iters,
+    );
 
     // Plain-QAOA baseline with the same protocol, directly on the original.
     let baseline_outcome = maximize_with_restarts(
@@ -241,9 +244,7 @@ pub fn run_noisy<R: Rng>(
     let red_noise_rng = std::cell::RefCell::new(mathkit::rng::seeded(red_seed));
     let red_outcome = maximize_with_restarts(
         options.layers,
-        |p| {
-            reduced_instance.noisy_expectation(p, noise, traj, &mut *red_noise_rng.borrow_mut())
-        },
+        |p| reduced_instance.noisy_expectation(p, noise, traj, &mut *red_noise_rng.borrow_mut()),
         &options.optimize,
         rng,
     )?;
@@ -308,7 +309,10 @@ mod tests {
         let ratio = outcome.relative_best();
         assert!(ratio > 0.9, "Red-QAOA reached only {ratio:.3} of baseline");
         let approx = outcome.approximation_ratio().unwrap();
-        assert!(approx > 0.5 && approx <= 1.0, "approximation ratio {approx}");
+        assert!(
+            approx > 0.5 && approx <= 1.0,
+            "approximation ratio {approx}"
+        );
         assert!(outcome.baseline_approximation_ratio().unwrap() <= 1.0);
     }
 

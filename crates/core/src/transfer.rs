@@ -36,7 +36,7 @@ pub fn regular_surrogate<R: Rng>(
     let mut degree = target.clamp(1, nodes - 1);
     // A d-regular graph on n nodes needs n*d even; nudge the degree if not.
     if (nodes * degree) % 2 != 0 {
-        if degree + 1 <= nodes - 1 {
+        if degree < nodes - 1 {
             degree += 1;
         } else if degree > 1 {
             degree -= 1;

@@ -220,10 +220,7 @@ mod tests {
     fn aids_matches_table1_shape() {
         let ds = aids(1);
         assert_eq!(ds.len(), 700);
-        assert!(ds
-            .graphs
-            .iter()
-            .all(|g| (2..=10).contains(&g.node_count())));
+        assert!(ds.graphs.iter().all(|g| (2..=10).contains(&g.node_count())));
         let avg_degree: f64 =
             ds.graphs.iter().map(Graph::average_degree).sum::<f64>() / ds.len() as f64;
         assert!(avg_degree < 2.6, "AIDS twin too dense: {avg_degree}");
@@ -233,10 +230,7 @@ mod tests {
     fn linux_matches_table1_shape() {
         let ds = linux(1);
         assert_eq!(ds.len(), 1000);
-        assert!(ds
-            .graphs
-            .iter()
-            .all(|g| (4..=10).contains(&g.node_count())));
+        assert!(ds.graphs.iter().all(|g| (4..=10).contains(&g.node_count())));
         assert!(ds.graphs.iter().all(is_connected));
     }
 
@@ -244,15 +238,16 @@ mod tests {
     fn imdb_matches_table1_shape_and_is_denser() {
         let ds = imdb(1);
         assert_eq!(ds.len(), 1500);
-        assert!(ds
-            .graphs
-            .iter()
-            .all(|g| (7..=89).contains(&g.node_count())));
+        assert!(ds.graphs.iter().all(|g| (7..=89).contains(&g.node_count())));
         assert!(ds.graphs.iter().all(is_connected));
         let imdb_degree: f64 =
             ds.graphs.iter().map(Graph::average_degree).sum::<f64>() / ds.len() as f64;
-        let aids_degree: f64 =
-            aids(1).graphs.iter().map(Graph::average_degree).sum::<f64>() / 700.0;
+        let aids_degree: f64 = aids(1)
+            .graphs
+            .iter()
+            .map(Graph::average_degree)
+            .sum::<f64>()
+            / 700.0;
         assert!(
             imdb_degree > aids_degree + 1.0,
             "IMDb twin should be much denser: {imdb_degree} vs {aids_degree}"
@@ -264,17 +259,17 @@ mod tests {
             .iter()
             .filter(|g| graphlib::metrics::is_regular(g))
             .count();
-        assert!(regular * 10 >= ds.len(), "too few regular graphs: {regular}");
+        assert!(
+            regular * 10 >= ds.len(),
+            "too few regular graphs: {regular}"
+        );
     }
 
     #[test]
     fn random_suite_matches_description() {
         let ds = random_suite(1);
         assert_eq!(ds.len(), 10);
-        assert!(ds
-            .graphs
-            .iter()
-            .all(|g| (7..=20).contains(&g.node_count())));
+        assert!(ds.graphs.iter().all(|g| (7..=20).contains(&g.node_count())));
         assert!(ds.graphs.iter().all(is_connected));
     }
 

@@ -101,8 +101,7 @@ pub fn run_fig5(config: &Fig5Config) -> Result<Fig5Result, RedQaoaError> {
                     continue;
                 }
                 let sub_instance = QaoaInstance::new(sub, 1)?;
-                let landscape =
-                    Landscape::evaluate(config.width, |p| sub_instance.expectation(p));
+                let landscape = Landscape::evaluate(config.width, |p| sub_instance.expectation(p));
                 points.push(AndMsePoint {
                     and_ratio: average_node_degree(sub) / original_and,
                     mse: reference.mse_to(&landscape)?,
@@ -224,7 +223,11 @@ mod tests {
             ..Default::default()
         };
         let result = run_fig5(&config).unwrap();
-        assert!(result.points.len() > 5, "only {} points", result.points.len());
+        assert!(
+            result.points.len() > 5,
+            "only {} points",
+            result.points.len()
+        );
         // Lower AND ratio (further from the original) should mean higher MSE:
         // positive correlation between (1 - ratio) and MSE.
         assert!(

@@ -2,10 +2,16 @@
 use experiments::convergence::{run_fig1, Fig1Config};
 
 fn main() {
+    experiments::cli::handle_default_args(
+        "Figure 1: ideal vs noisy QAOA convergence for 6- and 10-node graphs",
+    );
     let config = Fig1Config::default();
     let curves = run_fig1(&config).expect("figure 1 experiment failed");
     for c in &curves {
-        println!("# Figure 1: {}-node graph (approximation ratio per evaluation)", c.nodes);
+        println!(
+            "# Figure 1: {}-node graph (approximation ratio per evaluation)",
+            c.nodes
+        );
         println!("evaluation\tideal\tnoisy");
         for (i, (ideal, noisy)) in c.ideal.iter().zip(&c.noisy).enumerate() {
             println!("{i}\t{ideal:.4}\t{noisy:.4}");

@@ -4,9 +4,26 @@ use experiments::print_table;
 use qsim::devices::kolkata;
 
 fn main() {
-    let config = LandscapeConfig { nodes: 13, ..Default::default() };
+    experiments::cli::handle_default_args(
+        "Figure 2: ideal vs noisy energy landscape of a 13-node graph (Kolkata)",
+    );
+    let config = LandscapeConfig {
+        nodes: 13,
+        ..Default::default()
+    };
     let cmp = run_device_landscapes(&config, &kolkata()).expect("figure 2 experiment failed");
-    println!("# Figure 2: noisy-vs-ideal landscape MSE (baseline graph) = {:.4}", cmp.baseline_mse);
-    print_table("ideal landscape (normalized)", &["beta ->"], &landscape_rows(&cmp.ideal));
-    print_table("noisy landscape (normalized)", &["beta ->"], &landscape_rows(&cmp.noisy_baseline));
+    println!(
+        "# Figure 2: noisy-vs-ideal landscape MSE (baseline graph) = {:.4}",
+        cmp.baseline_mse
+    );
+    print_table(
+        "ideal landscape (normalized)",
+        &["beta ->"],
+        &landscape_rows(&cmp.ideal),
+    );
+    print_table(
+        "noisy landscape (normalized)",
+        &["beta ->"],
+        &landscape_rows(&cmp.noisy_baseline),
+    );
 }

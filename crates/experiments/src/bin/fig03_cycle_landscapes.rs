@@ -3,8 +3,22 @@ use experiments::landscapes::{landscape_rows, run_fig3};
 use experiments::print_table;
 
 fn main() {
+    experiments::cli::handle_default_args(
+        "Figure 3: energy landscapes of 7- and 10-node cycle graphs coincide",
+    );
     let result = run_fig3(16).expect("figure 3 experiment failed");
-    println!("# Figure 3: MSE between 7-node and 10-node cycle landscapes = {:.2e}", result.mse);
-    print_table("7-node cycle landscape", &["beta ->"], &landscape_rows(&result.small));
-    print_table("10-node cycle landscape", &["beta ->"], &landscape_rows(&result.large));
+    println!(
+        "# Figure 3: MSE between 7-node and 10-node cycle landscapes = {:.2e}",
+        result.mse
+    );
+    print_table(
+        "7-node cycle landscape",
+        &["beta ->"],
+        &landscape_rows(&result.small),
+    );
+    print_table(
+        "10-node cycle landscape",
+        &["beta ->"],
+        &landscape_rows(&result.large),
+    );
 }

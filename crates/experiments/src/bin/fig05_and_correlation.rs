@@ -2,10 +2,22 @@
 use experiments::and_correlation::{run_fig5, Fig5Config};
 
 fn main() {
+    experiments::cli::handle_default_args(
+        "Figure 5: MSE vs Average-Node-Degree ratio with a polynomial fit",
+    );
     let result = run_fig5(&Fig5Config::default()).expect("figure 5 experiment failed");
-    println!("# Figure 5: {} subgraph points, Pearson corr (1-AND ratio vs MSE) = {:.3}", result.points.len(), result.correlation);
+    println!(
+        "# Figure 5: {} subgraph points, Pearson corr (1-AND ratio vs MSE) = {:.3}",
+        result.points.len(),
+        result.correlation
+    );
     println!("and_ratio\tmse\tfit");
     for p in &result.points {
-        println!("{:.4}\t{:.5}\t{:.5}", p.and_ratio, p.mse, result.fit.eval(p.and_ratio));
+        println!(
+            "{:.4}\t{:.5}\t{:.5}",
+            p.and_ratio,
+            p.mse,
+            result.fit.eval(p.and_ratio)
+        );
     }
 }

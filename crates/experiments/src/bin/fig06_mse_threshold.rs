@@ -3,6 +3,9 @@ use experiments::landscapes::run_fig6;
 use experiments::DEFAULT_SEED;
 
 fn main() {
+    experiments::cli::handle_default_args(
+        "Figure 6: landscape MSE vs optimal-point drift for random graphs",
+    );
     let rows = run_fig6(6, 9, 12, DEFAULT_SEED).expect("figure 6 experiment failed");
     println!("# Figure 6: MSE and optimum drift vs a reference landscape");
     println!("graph\tmse\toptimum_distance");

@@ -2,7 +2,9 @@
 use experiments::and_correlation::{run_fig7, Fig7Config};
 
 fn main() {
-    let (points, correlation) = run_fig7(&Fig7Config::default()).expect("figure 7 experiment failed");
+    experiments::cli::handle_default_args("Figure 7: MSE vs distance between optimal points");
+    let (points, correlation) =
+        run_fig7(&Fig7Config::default()).expect("figure 7 experiment failed");
     println!("# Figure 7: Pearson correlation (MSE vs optimum distance) = {correlation:.3}");
     println!("mse\toptimum_distance");
     for p in &points {

@@ -2,10 +2,18 @@
 use experiments::pooling_cmp::{run_fig8, Fig8Config};
 
 fn main() {
+    experiments::cli::handle_default_args(
+        "Figure 8: MSE vs reduction ratio for SA and GNN-pooling baselines",
+    );
     let cells = run_fig8(&Fig8Config::default()).expect("figure 8 experiment failed");
     println!("# Figure 8: mean landscape MSE by method and node-reduction ratio");
     println!("method\treduction_ratio\tmean_mse");
     for c in &cells {
-        println!("{}\t{:.2}\t{:.5}", c.method.label(), c.reduction_ratio, c.mean_mse);
+        println!(
+            "{}\t{:.2}\t{:.5}",
+            c.method.label(),
+            c.reduction_ratio,
+            c.mean_mse
+        );
     }
 }

@@ -2,9 +2,16 @@
 use experiments::sa_effectiveness::{run_fig9, Fig9Config};
 
 fn main() {
+    experiments::cli::handle_default_args(
+        "Figure 9: SA-selected subgraph vs the full subgraph MSE distribution",
+    );
     let panels = run_fig9(&Fig9Config::default()).expect("figure 9 experiment failed");
     for p in &panels {
-        println!("# Figure 9: {:.0}% node reduction ({} subgraphs)", p.reduction_ratio * 100.0, p.all_mses.len());
+        println!(
+            "# Figure 9: {:.0}% node reduction ({} subgraphs)",
+            p.reduction_ratio * 100.0,
+            p.all_mses.len()
+        );
         println!("sa_mse\t{:.5}", p.sa_mse);
         println!("sa_percentile\t{:.3}", p.sa_percentile);
         println!("bin_center\tfrequency");

@@ -2,11 +2,20 @@
 use experiments::noisy_mse::{red_qaoa_win_rate, run_fig10, NoisyMseConfig};
 
 fn main() {
+    experiments::cli::handle_default_args(
+        "Figure 10: noisy MSE of baseline vs Red-QAOA for 7-14 qubit graphs",
+    );
     let rows = run_fig10(&NoisyMseConfig::default()).expect("figure 10 experiment failed");
     println!("# Figure 10: noisy landscape MSE vs ideal reference (FakeToronto-class noise)");
     println!("qubits\tbaseline_mse\tred_qaoa_mse\treduced_nodes");
     for r in &rows {
-        println!("{}\t{:.4}\t{:.4}\t{}", r.nodes, r.baseline_mse, r.red_qaoa_mse, r.reduced_nodes);
+        println!(
+            "{}\t{:.4}\t{:.4}\t{}",
+            r.nodes, r.baseline_mse, r.red_qaoa_mse, r.reduced_nodes
+        );
     }
-    println!("# Red-QAOA win rate: {:.0}%", red_qaoa_win_rate(&rows) * 100.0);
+    println!(
+        "# Red-QAOA win rate: {:.0}%",
+        red_qaoa_win_rate(&rows) * 100.0
+    );
 }

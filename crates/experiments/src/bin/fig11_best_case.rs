@@ -4,10 +4,27 @@ use experiments::print_table;
 use qsim::devices::fake_toronto;
 
 fn main() {
-    let config = LandscapeConfig { nodes: 10, ..Default::default() };
+    experiments::cli::handle_default_args(
+        "Figure 11: best-case (10-node) landscapes: ideal / Red-QAOA / baseline",
+    );
+    let config = LandscapeConfig {
+        nodes: 10,
+        ..Default::default()
+    };
     let cmp = run_device_landscapes(&config, &fake_toronto()).expect("figure 11 experiment failed");
-    println!("# Figure 11: Red-QAOA MSE {:.3} vs baseline MSE {:.3}", cmp.reduced_mse, cmp.baseline_mse);
+    println!(
+        "# Figure 11: Red-QAOA MSE {:.3} vs baseline MSE {:.3}",
+        cmp.reduced_mse, cmp.baseline_mse
+    );
     print_table("ideal", &["beta ->"], &landscape_rows(&cmp.ideal));
-    print_table("red-qaoa (noisy)", &["beta ->"], &landscape_rows(&cmp.noisy_reduced));
-    print_table("baseline (noisy)", &["beta ->"], &landscape_rows(&cmp.noisy_baseline));
+    print_table(
+        "red-qaoa (noisy)",
+        &["beta ->"],
+        &landscape_rows(&cmp.noisy_reduced),
+    );
+    print_table(
+        "baseline (noisy)",
+        &["beta ->"],
+        &landscape_rows(&cmp.noisy_baseline),
+    );
 }

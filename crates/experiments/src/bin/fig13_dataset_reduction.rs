@@ -2,10 +2,20 @@
 use experiments::dataset_eval::{run_small_datasets, DatasetEvalConfig};
 
 fn main() {
-    let rows = run_small_datasets(&DatasetEvalConfig::default()).expect("figure 13 experiment failed");
+    experiments::cli::handle_default_args(
+        "Figure 13: node and edge reduction ratios for AIDS, IMDb, LINUX (<=10 nodes)",
+    );
+    let rows =
+        run_small_datasets(&DatasetEvalConfig::default()).expect("figure 13 experiment failed");
     println!("# Figure 13: mean reduction ratios (graphs with up to 10 nodes)");
     println!("dataset\tgraphs\tnode_reduction\tedge_reduction");
     for r in &rows {
-        println!("{}\t{}\t{:.1}%\t{:.1}%", r.dataset, r.graphs, r.node_reduction * 100.0, r.edge_reduction * 100.0);
+        println!(
+            "{}\t{}\t{:.1}%\t{:.1}%",
+            r.dataset,
+            r.graphs,
+            r.node_reduction * 100.0,
+            r.edge_reduction * 100.0
+        );
     }
 }

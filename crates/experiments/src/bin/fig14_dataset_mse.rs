@@ -2,6 +2,9 @@
 use experiments::dataset_eval::{run_small_datasets, DatasetEvalConfig};
 
 fn main() {
+    experiments::cli::handle_default_args(
+        "Figure 14: ideal landscape MSE for AIDS, IMDb, LINUX at p = 1, 2, 3",
+    );
     let config = DatasetEvalConfig::default();
     let rows = run_small_datasets(&config).expect("figure 14 experiment failed");
     println!("# Figure 14: mean ideal MSE by dataset and layer count");

@@ -2,10 +2,18 @@
 use experiments::dataset_eval::{run_imdb_scaling, DatasetEvalConfig};
 
 fn main() {
-    let rows = run_imdb_scaling(&DatasetEvalConfig::default()).expect("figure 15 experiment failed");
+    experiments::cli::handle_default_args("Figure 15: IMDb small vs medium reduction ratios");
+    let rows =
+        run_imdb_scaling(&DatasetEvalConfig::default()).expect("figure 15 experiment failed");
     println!("# Figure 15: IMDb reduction ratios by size split");
     println!("split\tgraphs\tnode_reduction\tedge_reduction");
     for r in &rows {
-        println!("{}\t{}\t{:.1}%\t{:.1}%", r.dataset, r.graphs, r.node_reduction * 100.0, r.edge_reduction * 100.0);
+        println!(
+            "{}\t{}\t{:.1}%\t{:.1}%",
+            r.dataset,
+            r.graphs,
+            r.node_reduction * 100.0,
+            r.edge_reduction * 100.0
+        );
     }
 }

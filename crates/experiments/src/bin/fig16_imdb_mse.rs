@@ -2,6 +2,9 @@
 use experiments::dataset_eval::{run_imdb_scaling, DatasetEvalConfig};
 
 fn main() {
+    experiments::cli::handle_default_args(
+        "Figure 16: IMDb small vs medium ideal MSE at p = 1, 2, 3",
+    );
     let config = DatasetEvalConfig::default();
     let rows = run_imdb_scaling(&config).expect("figure 16 experiment failed");
     println!("# Figure 16: IMDb ideal MSE by size split and layer count");

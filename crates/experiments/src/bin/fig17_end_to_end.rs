@@ -2,10 +2,20 @@
 use experiments::end_to_end::{run_fig17, Fig17Config};
 
 fn main() {
+    experiments::cli::handle_default_args(
+        "Figure 17: end-to-end Red-QAOA vs baseline on larger random graphs",
+    );
     let rows = run_fig17(&Fig17Config::default()).expect("figure 17 experiment failed");
     println!("# Figure 17: Red-QAOA / baseline ratios (best and average across restarts)");
     println!("p\tbest_ratio\taverage_ratio\tnode_reduction\tedge_reduction");
     for r in &rows {
-        println!("{}\t{:.3}\t{:.3}\t{:.1}%\t{:.1}%", r.layers, r.best_ratio, r.average_ratio, r.node_reduction * 100.0, r.edge_reduction * 100.0);
+        println!(
+            "{}\t{:.3}\t{:.3}\t{:.1}%\t{:.1}%",
+            r.layers,
+            r.best_ratio,
+            r.average_ratio,
+            r.node_reduction * 100.0,
+            r.edge_reduction * 100.0
+        );
     }
 }

@@ -2,11 +2,20 @@
 use experiments::runtime::{run_fig18, Fig18Config};
 
 fn main() {
+    experiments::cli::handle_default_args(
+        "Figure 18: Red-QAOA preprocessing overhead and its n log n fit",
+    );
     let result = run_fig18(&Fig18Config::default()).expect("figure 18 experiment failed");
     println!("# Figure 18: preprocessing time vs circuit execution time");
     println!("nodes\tpreprocessing_s\tcircuit_execution_s");
     for p in &result.points {
-        println!("{}\t{:.4}\t{:.1}", p.nodes, p.preprocessing_seconds, p.circuit_execution_seconds);
+        println!(
+            "{}\t{:.4}\t{:.1}",
+            p.nodes, p.preprocessing_seconds, p.circuit_execution_seconds
+        );
     }
-    println!("# fit: {:.3e} * n ln n + {:.3e}  (R^2 = {:.3})", result.fit_a, result.fit_b, result.r_squared);
+    println!(
+        "# fit: {:.3e} * n ln n + {:.3e}  (R^2 = {:.3})",
+        result.fit_a, result.fit_b, result.r_squared
+    );
 }

@@ -2,11 +2,22 @@
 use experiments::pooling_cmp::{run_fig19, Fig19Config};
 
 fn main() {
+    experiments::cli::handle_default_args(
+        "Figure 19: relative approximation-ratio improvement over the noisy baseline",
+    );
     let rows = run_fig19(&Fig19Config::default()).expect("figure 19 experiment failed");
     println!("# Figure 19: relative improvement over noisy baseline (box-plot summary)");
     println!("method\tmin\tq1\tmedian\tq3\tmax");
     for r in &rows {
         let b = &r.box_plot;
-        println!("{}\t{:.1}%\t{:.1}%\t{:.1}%\t{:.1}%\t{:.1}%", r.method.label(), b.min * 100.0, b.q1 * 100.0, b.median * 100.0, b.q3 * 100.0, b.max * 100.0);
+        println!(
+            "{}\t{:.1}%\t{:.1}%\t{:.1}%\t{:.1}%\t{:.1}%",
+            r.method.label(),
+            b.min * 100.0,
+            b.q1 * 100.0,
+            b.median * 100.0,
+            b.q3 * 100.0,
+            b.max * 100.0
+        );
     }
 }

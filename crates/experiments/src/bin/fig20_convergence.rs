@@ -2,8 +2,14 @@
 use experiments::convergence::{run_fig20, Fig20Config};
 
 fn main() {
+    experiments::cli::handle_default_args(
+        "Figure 20: convergence of noisy QAOA, baseline vs Red-QAOA",
+    );
     let curves = run_fig20(&Fig20Config::default()).expect("figure 20 experiment failed");
-    println!("# Figure 20: running-best ideal expectation (reduced graph kept {} nodes)", curves.reduced_nodes);
+    println!(
+        "# Figure 20: running-best ideal expectation (reduced graph kept {} nodes)",
+        curves.reduced_nodes
+    );
     println!("evaluation\tbaseline\tred_qaoa");
     for (i, (b, r)) in curves.baseline.iter().zip(&curves.red_qaoa).enumerate() {
         println!("{i}\t{b:.4}\t{r:.4}");

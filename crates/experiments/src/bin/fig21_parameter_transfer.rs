@@ -2,6 +2,9 @@
 use experiments::transfer_cmp::{run_fig21, Fig21Config};
 
 fn main() {
+    experiments::cli::handle_default_args(
+        "Figure 21: Red-QAOA vs parameter transfer across graph families",
+    );
     let rows = run_fig21(&Fig21Config::default()).expect("figure 21 experiment failed");
     println!("# Figure 21: ideal landscape MSE, parameter transfer vs Red-QAOA");
     println!("family\ttransfer_mse\tred_qaoa_mse");

@@ -4,10 +4,27 @@ use experiments::print_table;
 use qsim::devices::kolkata;
 
 fn main() {
-    let config = LandscapeConfig { nodes: 13, ..Default::default() };
+    experiments::cli::handle_default_args(
+        "Figure 22: 13-node landscapes on the ibmq_kolkata noise model",
+    );
+    let config = LandscapeConfig {
+        nodes: 13,
+        ..Default::default()
+    };
     let cmp = run_device_landscapes(&config, &kolkata()).expect("figure 22 experiment failed");
-    println!("# Figure 22: Red-QAOA MSE {:.3} vs baseline MSE {:.3} (ibmq_kolkata model)", cmp.reduced_mse, cmp.baseline_mse);
+    println!(
+        "# Figure 22: Red-QAOA MSE {:.3} vs baseline MSE {:.3} (ibmq_kolkata model)",
+        cmp.reduced_mse, cmp.baseline_mse
+    );
     print_table("ideal", &["beta ->"], &landscape_rows(&cmp.ideal));
-    print_table("red-qaoa (noisy)", &["beta ->"], &landscape_rows(&cmp.noisy_reduced));
-    print_table("baseline (noisy)", &["beta ->"], &landscape_rows(&cmp.noisy_baseline));
+    print_table(
+        "red-qaoa (noisy)",
+        &["beta ->"],
+        &landscape_rows(&cmp.noisy_reduced),
+    );
+    print_table(
+        "baseline (noisy)",
+        &["beta ->"],
+        &landscape_rows(&cmp.noisy_baseline),
+    );
 }

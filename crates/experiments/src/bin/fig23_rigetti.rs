@@ -2,7 +2,13 @@
 use experiments::noisy_mse::{run_fig23, NoisyMseConfig};
 
 fn main() {
-    let config = NoisyMseConfig { node_counts: vec![5, 6, 7, 8, 9, 10], ..Default::default() };
+    experiments::cli::handle_default_args(
+        "Figure 23: baseline vs Red-QAOA noisy MSE on the Rigetti Aspen-M-3 model",
+    );
+    let config = NoisyMseConfig {
+        node_counts: vec![5, 6, 7, 8, 9, 10],
+        ..Default::default()
+    };
     let rows = run_fig23(&config).expect("figure 23 experiment failed");
     println!("# Figure 23: noisy landscape MSE on Aspen-M-3 class noise");
     println!("nodes\tbaseline_mse\tred_qaoa_mse");

@@ -3,10 +3,16 @@ use experiments::noisy_mse::run_fig24;
 use experiments::DEFAULT_SEED;
 
 fn main() {
+    experiments::cli::handle_default_args(
+        "Figure 24: baseline vs Red-QAOA MSE across seven device noise models",
+    );
     let rows = run_fig24(10, 6, 16, DEFAULT_SEED).expect("figure 24 experiment failed");
     println!("# Figure 24: noisy landscape MSE across device noise models");
     println!("device\terror_2q\tbaseline_mse\tred_qaoa_mse");
     for r in &rows {
-        println!("{}\t{:.4}\t{:.4}\t{:.4}", r.device, r.error_2q, r.baseline_mse, r.red_qaoa_mse);
+        println!(
+            "{}\t{:.4}\t{:.4}\t{:.4}",
+            r.device, r.error_2q, r.baseline_mse, r.red_qaoa_mse
+        );
     }
 }

@@ -2,10 +2,16 @@
 use experiments::throughput_cmp::{run_fig25, Fig25Config};
 
 fn main() {
+    experiments::cli::handle_default_args(
+        "Figure 25: relative multi-programming throughput of Red-QAOA",
+    );
     let rows = run_fig25(&Fig25Config::default()).expect("figure 25 experiment failed");
     println!("# Figure 25: relative throughput (Red-QAOA / baseline)");
     println!("dataset\tdevice\tqubits\trelative_throughput");
     for r in &rows {
-        println!("{}\t{}\t{}\t{:.2}x", r.dataset, r.device, r.device_qubits, r.relative_throughput);
+        println!(
+            "{}\t{}\t{}\t{:.2}x",
+            r.dataset, r.device, r.device_qubits, r.relative_throughput
+        );
     }
 }

@@ -3,6 +3,7 @@ use experiments::dataset_eval::run_table1;
 use experiments::DEFAULT_SEED;
 
 fn main() {
+    experiments::cli::handle_default_args("Table 1: benchmark dataset characteristics");
     println!("# Table 1: benchmark graph datasets (synthetic statistical twins)");
     println!("dataset\tgraphs\tnodes\tmean_nodes\tmean_edges\tmean_degree\tmean_density");
     for row in run_table1(DEFAULT_SEED) {

@@ -97,7 +97,7 @@ pub fn run_fig1(config: &Fig1Config) -> Result<Vec<ConvergenceCurves>, RedQaoaEr
         let ideal_trace = EvaluationTrace::new();
         {
             let wrapped = RefCell::new(ideal_trace.wrap(|p| instance.expectation(p)));
-            maximize_with_restarts(1, |p| (&mut *wrapped.borrow_mut())(p), &options, &mut rng)?;
+            maximize_with_restarts(1, |p| (*wrapped.borrow_mut())(p), &options, &mut rng)?;
         }
         // Noisy optimization.
         let noisy_trace = EvaluationTrace::new();
@@ -109,7 +109,7 @@ pub fn run_fig1(config: &Fig1Config) -> Result<Vec<ConvergenceCurves>, RedQaoaEr
             let wrapped = RefCell::new(noisy_trace.wrap(|p| {
                 instance.noisy_expectation(p, &noise, traj, &mut *noise_rng.borrow_mut())
             }));
-            maximize_with_restarts(1, |p| (&mut *wrapped.borrow_mut())(p), &options, &mut rng)?;
+            maximize_with_restarts(1, |p| (*wrapped.borrow_mut())(p), &options, &mut rng)?;
         }
 
         results.push(ConvergenceCurves {
@@ -165,10 +165,7 @@ pub struct Fig20Curves {
     pub reduced_nodes: usize,
 }
 
-fn running_best_on_original(
-    original: &QaoaInstance,
-    trace: &EvaluationTrace,
-) -> Vec<f64> {
+fn running_best_on_original(original: &QaoaInstance, trace: &EvaluationTrace) -> Vec<f64> {
     let mut best = f64::NEG_INFINITY;
     trace
         .evaluations()
@@ -206,7 +203,7 @@ pub fn run_fig20(config: &Fig20Config) -> Result<Fig20Curves, RedQaoaError> {
         let wrapped = RefCell::new(baseline_trace.wrap(|p| {
             original_instance.noisy_expectation(p, &noise, traj, &mut *noise_rng.borrow_mut())
         }));
-        maximize_with_restarts(1, |p| (&mut *wrapped.borrow_mut())(p), &options, &mut rng)?;
+        maximize_with_restarts(1, |p| (*wrapped.borrow_mut())(p), &options, &mut rng)?;
     }
     let red_trace = EvaluationTrace::new();
     {
@@ -214,7 +211,7 @@ pub fn run_fig20(config: &Fig20Config) -> Result<Fig20Curves, RedQaoaError> {
         let wrapped = RefCell::new(red_trace.wrap(|p| {
             reduced_instance.noisy_expectation(p, &noise, traj, &mut *noise_rng.borrow_mut())
         }));
-        maximize_with_restarts(1, |p| (&mut *wrapped.borrow_mut())(p), &options, &mut rng)?;
+        maximize_with_restarts(1, |p| (*wrapped.borrow_mut())(p), &options, &mut rng)?;
     }
 
     Ok(Fig20Curves {
@@ -262,6 +259,9 @@ mod tests {
         let red_final = *curves.red_qaoa.last().unwrap();
         assert!(red_final > 0.0 && base_final > 0.0);
         // Red-QAOA should reach at least ~85% of the baseline's final value.
-        assert!(red_final >= 0.85 * base_final, "{red_final} vs {base_final}");
+        assert!(
+            red_final >= 0.85 * base_final,
+            "{red_final} vs {base_final}"
+        );
     }
 }

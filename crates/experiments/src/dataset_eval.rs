@@ -121,7 +121,7 @@ fn evaluate_dataset(
 /// Returns [`RedQaoaError`] if a dataset split cannot be evaluated at all.
 pub fn run_small_datasets(config: &DatasetEvalConfig) -> Result<Vec<DatasetEvalRow>, RedQaoaError> {
     let seed = config.seed;
-    let datasets = vec![
+    let datasets = [
         aids(seed).filter_by_nodes(config.min_nodes, config.max_nodes),
         imdb(seed).filter_by_nodes(config.min_nodes, config.max_nodes),
         linux(seed).filter_by_nodes(config.min_nodes, config.max_nodes),
@@ -183,7 +183,10 @@ mod tests {
                 row.node_reduction >= 0.0 && row.node_reduction <= 0.7,
                 "{row:?}"
             );
-            assert!(row.edge_reduction + 1e-9 >= row.node_reduction * 0.5, "{row:?}");
+            assert!(
+                row.edge_reduction + 1e-9 >= row.node_reduction * 0.5,
+                "{row:?}"
+            );
             // Ideal MSEs stay in the few-percent regime.
             for &mse in &row.mse_per_layer {
                 assert!(mse < 0.15, "{row:?}");
@@ -211,7 +214,10 @@ mod tests {
         let rows = run_imdb_scaling(&config).unwrap();
         assert_eq!(rows.len(), 2);
         // Medium graphs reduce at least as well as small ones.
-        assert!(rows[1].node_reduction + 0.1 >= rows[0].node_reduction, "{rows:?}");
+        assert!(
+            rows[1].node_reduction + 0.1 >= rows[0].node_reduction,
+            "{rows:?}"
+        );
     }
 
     #[test]

@@ -189,6 +189,8 @@ mod tests {
     fn fig6_rows_report_mse_and_distance() {
         let rows = run_fig6(4, 8, 6, 11).unwrap();
         assert_eq!(rows.len(), 3);
-        assert!(rows.iter().all(|r| r.mse >= 0.0 && r.optimum_distance >= 0.0));
+        assert!(rows
+            .iter()
+            .all(|r| r.mse >= 0.0 && r.optimum_distance >= 0.0));
     }
 }

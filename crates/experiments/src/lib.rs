@@ -29,6 +29,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod and_correlation;
+pub mod cli;
 pub mod convergence;
 pub mod dataset_eval;
 pub mod end_to_end;

@@ -206,7 +206,10 @@ mod tests {
 
     #[test]
     fn noise_model_sweep_covers_all_devices() {
-        let rows = run_fig24(10, 5, 10, 3).unwrap();
+        // Width 8 is the coarsest grid that still resolves the landscape:
+        // at width 5 the 25-point min–max normalization aliases so badly
+        // that the structural MSE of a good reduction reads ~5x too high.
+        let rows = run_fig24(9, 8, 12, 3).unwrap();
         assert_eq!(rows.len(), 7);
         // On the noisiest device of the sweep the baseline's distortion must
         // dominate and Red-QAOA must win; across the sweep Red-QAOA's mean
@@ -221,6 +224,9 @@ mod tests {
         );
         let mean_red = rows.iter().map(|r| r.red_qaoa_mse).sum::<f64>() / rows.len() as f64;
         let mean_base = rows.iter().map(|r| r.baseline_mse).sum::<f64>() / rows.len() as f64;
-        assert!(mean_red <= mean_base + 0.02, "mean red {mean_red} vs baseline {mean_base}");
+        assert!(
+            mean_red <= mean_base + 0.02,
+            "mean red {mean_red} vs baseline {mean_base}"
+        );
     }
 }

@@ -69,8 +69,8 @@ impl Method {
         keep_ratio: f64,
         rng: &mut R,
     ) -> Result<Graph, RedQaoaError> {
-        let k = ((graph.node_count() as f64 * keep_ratio).ceil() as usize)
-            .clamp(2, graph.node_count());
+        let k =
+            ((graph.node_count() as f64 * keep_ratio).ceil() as usize).clamp(2, graph.node_count());
         match self {
             Method::Asa => Ok(AsaPooling::new()
                 .pool(graph, keep_ratio)
@@ -161,8 +161,7 @@ pub fn run_fig8(config: &Fig8Config) -> Result<Vec<Fig8Cell>, RedQaoaError> {
                 let mut rng = seeded(derive_seed(config.seed, g_idx as u64));
                 let graph = connected_gnp(config.nodes, config.edge_probability, &mut rng)?;
                 let instance = QaoaInstance::new(&graph, config.layers)?;
-                let mut method_rng =
-                    seeded(derive_seed(config.seed, 1000 + g_idx as u64));
+                let mut method_rng = seeded(derive_seed(config.seed, 1000 + g_idx as u64));
                 let reduced = match method.reduce_graph(&graph, keep, &mut method_rng) {
                     Ok(r) if r.edge_count() > 0 => r,
                     _ => continue,
@@ -174,7 +173,10 @@ pub fn run_fig8(config: &Fig8Config) -> Result<Vec<Fig8Cell>, RedQaoaError> {
                 let mut set_rng = seeded(derive_seed(config.seed, 2000 + g_idx as u64));
                 let set = random_parameter_set(config.layers, config.parameter_sets, &mut set_rng);
                 let a: Vec<f64> = set.iter().map(|p| instance.expectation(p)).collect();
-                let b: Vec<f64> = set.iter().map(|p| reduced_instance.expectation(p)).collect();
+                let b: Vec<f64> = set
+                    .iter()
+                    .map(|p| reduced_instance.expectation(p))
+                    .collect();
                 mses.push(sample_mse(&a, &b)?);
             }
             if mses.is_empty() {
@@ -388,7 +390,11 @@ mod tests {
         // that Red-QAOA does not collapse: its median improvement stays close
         // to or above the noisy baseline and above the worst-performing
         // pooling method.
-        assert!(red.box_plot.median > -0.1, "Red-QAOA median {:?}", red.box_plot);
+        assert!(
+            red.box_plot.median > -0.1,
+            "Red-QAOA median {:?}",
+            red.box_plot
+        );
         let worst = rows
             .iter()
             .filter(|r| r.method != Method::SaAdaptive)

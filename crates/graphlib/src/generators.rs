@@ -111,12 +111,50 @@ pub fn random_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> Result<Graph, 
             stubs.swap(i, j);
         }
         let mut g = Graph::new(n);
+        // Pair off the clean stubs first; conflicting pairs (self-loops or
+        // duplicate edges) are repaired afterwards instead of restarting the
+        // whole matching — plain rejection succeeds only with probability
+        // roughly exp(-(d² - 1) / 4), which is hopeless for dense degrees.
+        let mut conflicts: Vec<(usize, usize)> = Vec::new();
         for pair in stubs.chunks(2) {
             let (u, v) = (pair[0], pair[1]);
             if u == v || g.has_edge(u, v) {
+                conflicts.push((u, v));
+            } else {
+                g.add_edge(u, v)?;
+            }
+        }
+        // Repair each conflicting pair with a double-edge swap: remove a
+        // random compatible edge (x, y) and rewire as (u, x) and (v, y).
+        // The edge list is kept in sync incrementally; the graph only
+        // changes when a repair succeeds.
+        let mut edges = g.edges();
+        for &(u, v) in &conflicts {
+            let mut repaired = false;
+            for _ in 0..500 {
+                if edges.is_empty() {
+                    break;
+                }
+                let pick = rng.gen_range(0..edges.len());
+                let (mut x, mut y) = edges[pick];
+                if rng.gen::<bool>() {
+                    std::mem::swap(&mut x, &mut y);
+                }
+                let distinct = x != u && x != v && y != u && y != v;
+                if distinct && !g.has_edge(u, x) && !g.has_edge(v, y) {
+                    g.remove_edge(x, y)?;
+                    g.add_edge(u, x)?;
+                    g.add_edge(v, y)?;
+                    edges.swap_remove(pick);
+                    edges.push((u, x));
+                    edges.push((v, y));
+                    repaired = true;
+                    break;
+                }
+            }
+            if !repaired {
                 continue 'attempt;
             }
-            g.add_edge(u, v)?;
         }
         return Ok(g);
     }

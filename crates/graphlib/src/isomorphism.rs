@@ -197,8 +197,8 @@ mod tests {
     fn isomorphism_respects_edge_structure_not_just_degrees() {
         // Two 6-node graphs with the same degree sequence but different
         // structure: two triangles vs a 6-cycle.
-        let two_triangles = Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
-            .unwrap();
+        let two_triangles =
+            Graph::from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]).unwrap();
         let hexagon = cycle(6).unwrap();
         assert_eq!(two_triangles.degrees(), hexagon.degrees());
         assert!(!are_isomorphic(&two_triangles, &hexagon));

@@ -55,7 +55,10 @@ impl std::fmt::Display for GraphError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, node_count } => {
-                write!(f, "node {node} out of range for graph with {node_count} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for graph with {node_count} nodes"
+                )
             }
             GraphError::SelfLoop(node) => write!(f, "self-loop on node {node} is not allowed"),
             GraphError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
@@ -216,7 +219,10 @@ impl Graph {
     ///
     /// Panics if either node is out of range.
     pub fn common_neighbors(&self, u: usize, v: usize) -> usize {
-        assert!(u < self.node_count && v < self.node_count, "node out of range");
+        assert!(
+            u < self.node_count && v < self.node_count,
+            "node out of range"
+        );
         self.adjacency[u].intersection(&self.adjacency[v]).count()
     }
 

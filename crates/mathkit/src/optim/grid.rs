@@ -123,9 +123,7 @@ mod tests {
     #[test]
     fn finds_minimum_of_quadratic() {
         let g = GridSearch::new(vec![-2.0, -2.0], vec![2.0, 2.0], 41);
-        let mut obj = FnObjective::new(2, |p: &[f64]| {
-            (p[0] - 0.4).powi(2) + (p[1] + 0.9).powi(2)
-        });
+        let mut obj = FnObjective::new(2, |p: &[f64]| (p[0] - 0.4).powi(2) + (p[1] + 0.9).powi(2));
         let result = g.minimize(&mut obj);
         assert!((result.params[0] - 0.4).abs() < 0.11);
         assert!((result.params[1] + 0.9).abs() < 0.11);

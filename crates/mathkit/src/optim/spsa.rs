@@ -76,8 +76,8 @@ impl Spsa {
         history.push(best_value);
 
         for k in 0..self.options.max_iters {
-            let ak = self.options.a
-                / (k as f64 + 1.0 + self.options.big_a).powf(self.options.alpha);
+            let ak =
+                self.options.a / (k as f64 + 1.0 + self.options.big_a).powf(self.options.alpha);
             let ck = self.options.c / (k as f64 + 1.0).powf(self.options.gamma);
 
             // Rademacher perturbation direction.
@@ -148,7 +148,9 @@ mod tests {
         let run = |seed| {
             let mut obj = FnObjective::new(2, |p: &[f64]| p[0].powi(2) + p[1].powi(2));
             let mut rng = seeded(seed);
-            Spsa::default().minimize(&mut obj, &[1.0, 1.0], &mut rng).value
+            Spsa::default()
+                .minimize(&mut obj, &[1.0, 1.0], &mut rng)
+                .value
         };
         assert_eq!(run(3).to_bits(), run(3).to_bits());
     }

@@ -131,7 +131,10 @@ pub fn r_squared(observed: &[f64], predicted: &[f64]) -> Result<f64, MathError> 
         });
     }
     let mean_obs = observed.iter().sum::<f64>() / observed.len() as f64;
-    let ss_tot: f64 = observed.iter().map(|y| (y - mean_obs) * (y - mean_obs)).sum();
+    let ss_tot: f64 = observed
+        .iter()
+        .map(|y| (y - mean_obs) * (y - mean_obs))
+        .sum();
     if ss_tot < 1e-15 {
         return Err(MathError::InvalidParameter(
             "r_squared requires non-constant observations",

@@ -247,7 +247,8 @@ pub fn edge_local_expectation(graph: &Graph, params: &QaoaParams) -> Result<f64,
         let n = sub.graph.node_count();
         let mut state = StateVector::uniform_superposition(n);
         for (gamma, beta) in params.gammas.iter().zip(&params.betas) {
-            let phases: Vec<Complex64> = table.iter().map(|&c| Complex64::cis(-gamma * c)).collect();
+            let phases: Vec<Complex64> =
+                table.iter().map(|&c| Complex64::cis(-gamma * c)).collect();
             state.apply_diagonal(&phases);
             for q in 0..n {
                 state.apply_gate(Gate::Rx(q, 2.0 * beta));

@@ -95,8 +95,10 @@ impl Landscape {
                 "landscapes must share the same grid",
             ));
         }
-        Ok(normalized_mse(&self.values, &other.values)
-            .expect("non-empty, equal-length landscapes"))
+        Ok(
+            normalized_mse(&self.values, &other.values)
+                .expect("non-empty, equal-length landscapes"),
+        )
     }
 
     /// Distance between the optima of two landscapes in `(γ, β)` space with
@@ -123,15 +125,17 @@ impl Landscape {
 /// instances being compared must be evaluated on the *same* set for the MSE
 /// to be meaningful, so the set is generated once and shared.
 pub fn random_parameter_set<R: Rng>(layers: usize, count: usize, rng: &mut R) -> Vec<QaoaParams> {
-    (0..count).map(|_| QaoaParams::random(layers, rng)).collect()
+    (0..count)
+        .map(|_| QaoaParams::random(layers, rng))
+        .collect()
 }
 
 /// Evaluates an energy sample at every parameter vector of a shared set.
 pub fn evaluate_parameter_set<F: FnMut(&QaoaParams) -> f64>(
     set: &[QaoaParams],
-    mut evaluator: F,
+    evaluator: F,
 ) -> Vec<f64> {
-    set.iter().map(|p| evaluator(p)).collect()
+    set.iter().map(evaluator).collect()
 }
 
 /// Normalized MSE between two energy samples taken on the same parameter set.

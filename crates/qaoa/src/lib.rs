@@ -60,7 +60,10 @@ impl std::fmt::Display for QaoaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             QaoaError::GraphTooLarge { nodes, limit } => {
-                write!(f, "graph with {nodes} nodes exceeds the {limit}-qubit backend limit")
+                write!(
+                    f,
+                    "graph with {nodes} nodes exceeds the {limit}-qubit backend limit"
+                )
             }
             QaoaError::DegenerateGraph => write!(f, "graph has no nodes or no edges"),
             QaoaError::InvalidParameters(what) => write!(f, "invalid parameters: {what}"),
@@ -77,7 +80,10 @@ mod tests {
     #[test]
     fn error_display() {
         for e in [
-            QaoaError::GraphTooLarge { nodes: 40, limit: 26 },
+            QaoaError::GraphTooLarge {
+                nodes: 40,
+                limit: 26,
+            },
             QaoaError::DegenerateGraph,
             QaoaError::InvalidParameters("x"),
         ] {

@@ -27,7 +27,10 @@ pub fn cut_value(graph: &Graph, assignment: u64) -> usize {
 pub fn cut_values(graph: &Graph) -> Result<Vec<f64>, QaoaError> {
     let n = graph.node_count();
     if n > 26 {
-        return Err(QaoaError::GraphTooLarge { nodes: n, limit: 26 });
+        return Err(QaoaError::GraphTooLarge {
+            nodes: n,
+            limit: 26,
+        });
     }
     let edges = graph.edges();
     let dim = 1usize << n;
@@ -65,7 +68,10 @@ pub fn brute_force_maxcut(graph: &Graph) -> Result<MaxCutSolution, QaoaError> {
         return Err(QaoaError::DegenerateGraph);
     }
     if n > 26 {
-        return Err(QaoaError::GraphTooLarge { nodes: n, limit: 26 });
+        return Err(QaoaError::GraphTooLarge {
+            nodes: n,
+            limit: 26,
+        });
     }
     let edges = graph.edges();
     let mut best_cut = 0usize;

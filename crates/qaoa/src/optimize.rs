@@ -5,9 +5,9 @@
 //! (see DESIGN.md for the substitution rationale). The drivers *maximize* the
 //! cost expectation by minimizing its negation.
 
-use crate::params::QaoaParams;
+use crate::params::{QaoaParams, BETA_MAX, GAMMA_MAX};
 use crate::QaoaError;
-use mathkit::optim::{FnObjective, NelderMead, NelderMeadOptions};
+use mathkit::optim::{FnObjective, GridSearch, NelderMead, NelderMeadOptions};
 use rand::Rng;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -54,8 +54,60 @@ impl Default for OptimizeOptions {
     }
 }
 
-/// Maximizes a QAOA expectation evaluator with Nelder–Mead restarts from
-/// random initial parameters.
+/// Number of grid points per axis in the `p = 1` global scan that seeds the
+/// first restart of [`maximize_with_restarts`].
+const SEED_SCAN_POINTS_PER_DIM: usize = 10;
+
+/// Size of the random candidate pool (per layer) that seeds the first restart
+/// for `p > 1`, where an exhaustive grid is infeasible.
+const SEED_POOL_PER_LAYER: usize = 32;
+
+/// Picks a globally promising starting point for the first restart.
+///
+/// The QAOA landscape has near-degenerate secondary basins whose optima do
+/// *not* transfer between graphs; a purely random restart protocol with a
+/// small budget regularly converges into one of them. A coarse global scan
+/// (exhaustive over `(γ, β)` for `p = 1`, best-of-random-pool for deeper
+/// circuits) reliably lands the local refinement in the principal basin.
+fn seed_start<R: Rng, F: Fn(&QaoaParams) -> f64>(
+    layers: usize,
+    evaluator: &F,
+    rng: &mut R,
+    evaluations: &mut usize,
+) -> Vec<f64> {
+    if layers == 1 {
+        let grid = GridSearch::new(
+            vec![0.0, 0.0],
+            vec![GAMMA_MAX, BETA_MAX],
+            SEED_SCAN_POINTS_PER_DIM,
+        );
+        let mut objective = FnObjective::new(2, |flat: &[f64]| {
+            let params = QaoaParams::from_flat(flat).expect("grid keeps the shape");
+            -evaluator(&params)
+        });
+        let result = grid.minimize(&mut objective);
+        *evaluations += result.evaluations;
+        result.params
+    } else {
+        let pool = SEED_POOL_PER_LAYER * layers;
+        let mut best = QaoaParams::random(layers, rng);
+        let mut best_value = evaluator(&best);
+        for _ in 1..pool {
+            let candidate = QaoaParams::random(layers, rng);
+            let value = evaluator(&candidate);
+            if value > best_value {
+                best_value = value;
+                best = candidate;
+            }
+        }
+        *evaluations += pool;
+        best.to_flat()
+    }
+}
+
+/// Maximizes a QAOA expectation evaluator with Nelder–Mead restarts. The
+/// first restart starts from a coarse global scan of the landscape (see
+/// [`seed_start`]); the remaining restarts start from random parameters.
 ///
 /// # Errors
 ///
@@ -85,8 +137,12 @@ where
     let mut best_value = f64::NEG_INFINITY;
     let mut restart_values = Vec::with_capacity(options.restarts);
     let mut evaluations = 0usize;
-    for _ in 0..options.restarts {
-        let start = QaoaParams::random(layers, rng).to_flat();
+    for restart in 0..options.restarts {
+        let start = if restart == 0 {
+            seed_start(layers, &evaluator, rng, &mut evaluations)
+        } else {
+            QaoaParams::random(layers, rng).to_flat()
+        };
         let mut objective = FnObjective::new(2 * layers, |flat: &[f64]| {
             let params = QaoaParams::from_flat(flat).expect("optimizer keeps the shape");
             -evaluator(&params)

@@ -143,7 +143,10 @@ mod tests {
         let b = QaoaParams::new(vec![GAMMA_MAX - 0.05], vec![BETA_MAX - 0.05]).unwrap();
         // Both angles are 0.1 apart across the wrap-around.
         let d = a.periodic_distance(&b);
-        assert!((d - (0.1f64 * 0.1 + 0.1 * 0.1).sqrt()).abs() < 1e-9, "d={d}");
+        assert!(
+            (d - (0.1f64 * 0.1 + 0.1 * 0.1).sqrt()).abs() < 1e-9,
+            "d={d}"
+        );
         assert_eq!(a.periodic_distance(&a), 0.0);
     }
 }

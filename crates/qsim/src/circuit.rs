@@ -266,8 +266,13 @@ mod tests {
     #[test]
     fn two_qubit_gate_count() {
         let mut c = Circuit::new(3);
-        c.extend([Gate::H(0), Gate::Cnot(0, 1), Gate::Rzz(1, 2, 0.5), Gate::Rx(2, 0.1)])
-            .unwrap();
+        c.extend([
+            Gate::H(0),
+            Gate::Cnot(0, 1),
+            Gate::Rzz(1, 2, 0.5),
+            Gate::Rx(2, 0.1),
+        ])
+        .unwrap();
         assert_eq!(c.two_qubit_gate_count(), 2);
         assert_eq!(c.gate_count(), 4);
     }

@@ -23,8 +23,14 @@ pub fn single_qubit_matrix(gate: Gate) -> Option<[[Complex64; 2]; 2]> {
     let o = Complex64::one;
     Some(match gate {
         Gate::H(_) => [
-            [Complex64::new(FRAC_1_SQRT_2, 0.0), Complex64::new(FRAC_1_SQRT_2, 0.0)],
-            [Complex64::new(FRAC_1_SQRT_2, 0.0), Complex64::new(-FRAC_1_SQRT_2, 0.0)],
+            [
+                Complex64::new(FRAC_1_SQRT_2, 0.0),
+                Complex64::new(FRAC_1_SQRT_2, 0.0),
+            ],
+            [
+                Complex64::new(FRAC_1_SQRT_2, 0.0),
+                Complex64::new(-FRAC_1_SQRT_2, 0.0),
+            ],
         ],
         Gate::X(_) => [[z(), o()], [o(), z()]],
         Gate::Y(_) => [
@@ -34,7 +40,10 @@ pub fn single_qubit_matrix(gate: Gate) -> Option<[[Complex64; 2]; 2]> {
         Gate::Z(_) => [[o(), z()], [z(), Complex64::new(-1.0, 0.0)]],
         Gate::S(_) => [[o(), z()], [z(), Complex64::i()]],
         Gate::Sdg(_) => [[o(), z()], [z(), Complex64::new(0.0, -1.0)]],
-        Gate::T(_) => [[o(), z()], [z(), Complex64::cis(std::f64::consts::FRAC_PI_4)]],
+        Gate::T(_) => [
+            [o(), z()],
+            [z(), Complex64::cis(std::f64::consts::FRAC_PI_4)],
+        ],
         Gate::Rx(_, t) => {
             let c = Complex64::new((t / 2.0).cos(), 0.0);
             let s = Complex64::new(0.0, -(t / 2.0).sin());
@@ -344,7 +353,11 @@ pub fn simulate_noisy_probabilities(
     let chan_2q = KrausChannel::depolarizing(noise.effective_error_2q().min(0.75));
     for gate in circuit.gates() {
         dm.apply_gate(*gate);
-        let channel = if gate.is_two_qubit() { &chan_2q } else { &chan_1q };
+        let channel = if gate.is_two_qubit() {
+            &chan_2q
+        } else {
+            &chan_1q
+        };
         for q in gate.qubits() {
             dm.apply_kraus(q, channel);
         }

@@ -274,7 +274,7 @@ mod tests {
         assert_eq!(map.qubit_count(), 80);
         assert!(is_connected(map.graph()));
         let avg = map.graph().average_degree();
-        assert!(avg >= 2.0 && avg < 3.0, "average degree {avg}");
+        assert!((2.0..3.0).contains(&avg), "average degree {avg}");
     }
 
     #[test]

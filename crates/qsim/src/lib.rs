@@ -78,7 +78,10 @@ impl std::fmt::Display for QsimError {
             }
             QsimError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
             QsimError::TooManyQubits { requested, limit } => {
-                write!(f, "{requested} qubits requested but backend supports at most {limit}")
+                write!(
+                    f,
+                    "{requested} qubits requested but backend supports at most {limit}"
+                )
             }
         }
     }

@@ -96,7 +96,10 @@ impl KrausChannel {
             operators: vec![
                 [
                     [Complex64::one(), Complex64::zero()],
-                    [Complex64::zero(), Complex64::new((1.0 - lambda).sqrt(), 0.0)],
+                    [
+                        Complex64::zero(),
+                        Complex64::new((1.0 - lambda).sqrt(), 0.0),
+                    ],
                 ],
                 [
                     [Complex64::zero(), Complex64::zero()],
@@ -259,6 +262,19 @@ impl NoiseModel {
         1.0 - (-gate_time_ns / (self.t2_us * 1000.0)).exp()
     }
 
+    /// Estimated wall-clock duration of a circuit in nanoseconds under this
+    /// model's gate times, assuming full parallelism across qubits: layered
+    /// depth times a per-layer duration weighted by the circuit's fraction
+    /// of two-qubit gates. This is the single duration model shared by the
+    /// transpiler's estimates and the trajectory simulator's idle
+    /// (spectator) decoherence.
+    pub fn circuit_duration_ns(&self, circuit: &crate::circuit::Circuit) -> f64 {
+        let total = circuit.gate_count().max(1) as f64;
+        let frac_2q = circuit.two_qubit_gate_count() as f64 / total;
+        let layer_time = frac_2q * self.gate_time_2q_ns + (1.0 - frac_2q) * self.gate_time_1q_ns;
+        circuit.depth() as f64 * layer_time
+    }
+
     /// Total effective Pauli-error probability per single-qubit gate
     /// (depolarizing plus relaxation/dephasing contributions).
     pub fn effective_error_1q(&self) -> f64 {
@@ -337,7 +353,15 @@ mod tests {
 
     #[test]
     fn effective_error_grows_with_gate_time() {
-        let m = NoiseModel::new(1e-4, 1e-2, ReadoutError::new(0.01, 0.02), 100.0, 80.0, 35.0, 300.0);
+        let m = NoiseModel::new(
+            1e-4,
+            1e-2,
+            ReadoutError::new(0.01, 0.02),
+            100.0,
+            80.0,
+            35.0,
+            300.0,
+        );
         assert!(m.effective_error_2q() > m.effective_error_1q());
         assert!(m.effective_error_1q() > m.error_1q);
         assert!(m.relaxation_probability(300.0) > m.relaxation_probability(35.0));
@@ -345,7 +369,15 @@ mod tests {
 
     #[test]
     fn scaling_amplifies_errors() {
-        let m = NoiseModel::new(1e-4, 1e-2, ReadoutError::new(0.01, 0.02), 100.0, 80.0, 35.0, 300.0);
+        let m = NoiseModel::new(
+            1e-4,
+            1e-2,
+            ReadoutError::new(0.01, 0.02),
+            100.0,
+            80.0,
+            35.0,
+            300.0,
+        );
         let hot = m.scaled(3.0);
         assert!(hot.error_2q > m.error_2q);
         assert!(hot.readout.p01 > m.readout.p01);

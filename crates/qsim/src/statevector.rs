@@ -240,7 +240,7 @@ impl StateVector {
         let phase_diff = Complex64::cis(theta / 2.0);
         for (i, amp) in self.amplitudes.iter_mut().enumerate() {
             let parity = ((i & abit != 0) as u8) ^ ((i & bbit != 0) as u8);
-            *amp = *amp * if parity == 0 { phase_same } else { phase_diff };
+            *amp *= if parity == 0 { phase_same } else { phase_diff };
         }
     }
 
@@ -259,7 +259,7 @@ impl StateVector {
             "diagonal length must equal the state dimension"
         );
         for (amp, phase) in self.amplitudes.iter_mut().zip(phases) {
-            *amp = *amp * *phase;
+            *amp *= *phase;
         }
     }
 

@@ -79,6 +79,13 @@ fn amplitude_damping_jump<R: Rng>(sv: &mut StateVector, qubit: usize, gamma: f64
 /// a depolarizing Pauli error with the calibrated gate-error probability, a
 /// dephasing `Z` error derived from T2, and an amplitude-damping jump derived
 /// from T1 (the biased process responsible for landscape distortion).
+///
+/// On top of the per-gate errors, every qubit decoheres (T1 relaxation and T2
+/// dephasing) for the wall-clock time it sits *idle* while the rest of the
+/// circuit executes. This spectator decoherence grows with circuit depth and
+/// is the dominant size-dependent error source on hardware: a circuit twice
+/// as deep exposes every qubit to roughly twice the idle decay, which is
+/// precisely the penalty Red-QAOA's smaller circuits avoid.
 fn run_trajectory<R: Rng>(circuit: &Circuit, noise: &NoiseModel, rng: &mut R) -> StateVector {
     let mut sv = StateVector::new(circuit.qubit_count());
     let depol = [noise.error_1q, noise.error_2q];
@@ -90,13 +97,13 @@ fn run_trajectory<R: Rng>(circuit: &Circuit, noise: &NoiseModel, rng: &mut R) ->
         0.5 * noise.dephasing_probability(noise.gate_time_1q_ns),
         0.5 * noise.dephasing_probability(noise.gate_time_2q_ns),
     ];
+    let gate_time = [noise.gate_time_1q_ns, noise.gate_time_2q_ns];
+    let mut busy_ns = vec![0.0f64; circuit.qubit_count()];
     for gate in circuit.gates() {
         sv.apply_gate(*gate);
         let kind = usize::from(gate.is_two_qubit());
-        if depol[kind] <= 0.0 && relax[kind] <= 0.0 && dephase[kind] <= 0.0 {
-            continue;
-        }
         for q in gate.qubits() {
+            busy_ns[q] += gate_time[kind];
             if depol[kind] > 0.0 && rng.gen::<f64>() < depol[kind] {
                 sv.apply_gate(random_pauli(q, rng));
             }
@@ -106,6 +113,23 @@ fn run_trajectory<R: Rng>(circuit: &Circuit, noise: &NoiseModel, rng: &mut R) ->
             if relax[kind] > 0.0 {
                 amplitude_damping_jump(&mut sv, q, relax[kind], rng);
             }
+        }
+    }
+    // Idle (spectator) decoherence: each qubit decays for the portion of the
+    // scheduled circuit duration it spent waiting.
+    let duration_ns = noise.circuit_duration_ns(circuit);
+    for q in 0..circuit.qubit_count() {
+        let idle_ns = (duration_ns - busy_ns[q]).max(0.0);
+        if idle_ns <= 0.0 {
+            continue;
+        }
+        let p_relax = noise.relaxation_probability(idle_ns);
+        if p_relax > 0.0 {
+            amplitude_damping_jump(&mut sv, q, p_relax, rng);
+        }
+        let p_dephase = 0.5 * noise.dephasing_probability(idle_ns);
+        if p_dephase > 0.0 && rng.gen::<f64>() < p_dephase {
+            sv.apply_gate(Gate::Z(q));
         }
     }
     sv
@@ -217,7 +241,12 @@ mod tests {
     fn ideal_noise_reproduces_exact_distribution() {
         let c = ghz(3);
         let mut rng = seeded(1);
-        let probs = noisy_probabilities(&c, &NoiseModel::ideal(), TrajectoryOptions::default(), &mut rng);
+        let probs = noisy_probabilities(
+            &c,
+            &NoiseModel::ideal(),
+            TrajectoryOptions::default(),
+            &mut rng,
+        );
         assert!((probs[0] - 0.5).abs() < 1e-10);
         assert!((probs[7] - 0.5).abs() < 1e-10);
     }
@@ -253,7 +282,12 @@ mod tests {
     fn noise_spreads_probability_mass() {
         let c = ghz(4);
         let mut rng = seeded(3);
-        let probs = noisy_probabilities(&c, &test_noise(), TrajectoryOptions { trajectories: 400 }, &mut rng);
+        let probs = noisy_probabilities(
+            &c,
+            &test_noise(),
+            TrajectoryOptions { trajectories: 400 },
+            &mut rng,
+        );
         assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         // Some weight must leak outside |0000> and |1111>.
         let leak: f64 = probs[1..15].iter().sum();
@@ -332,8 +366,7 @@ mod tests {
         assert!(e > 0.8 && e < 1.0, "expectation {e}");
         let counts = noisy_sample_counts(&c, &noise, 4000, opts, &mut rng);
         assert_eq!(counts.iter().sum::<usize>(), 4000);
-        let sampled_e =
-            (counts[0] + counts[3]) as f64 / 4000.0;
+        let sampled_e = (counts[0] + counts[3]) as f64 / 4000.0;
         assert!((sampled_e - e).abs() < 0.08, "sampled {sampled_e} vs {e}");
     }
 }

@@ -40,12 +40,7 @@ impl RoutedCircuit {
     /// given noise model's gate times, assuming full parallelism across
     /// qubits (duration = depth × the slower gate time mix).
     pub fn duration_ns(&self, noise: &NoiseModel) -> f64 {
-        // Weight the per-layer duration by the fraction of 2-qubit gates.
-        let total = self.circuit.gate_count().max(1) as f64;
-        let frac_2q = self.circuit.two_qubit_gate_count() as f64 / total;
-        let layer_time =
-            frac_2q * noise.gate_time_2q_ns + (1.0 - frac_2q) * noise.gate_time_1q_ns;
-        self.depth() as f64 * layer_time
+        noise.circuit_duration_ns(&self.circuit)
     }
 }
 
@@ -107,7 +102,9 @@ pub fn route_with_layout(
     let mut seen = vec![false; n_physical];
     for &p in &layout[..n_logical] {
         if p >= n_physical {
-            return Err(QsimError::InvalidParameter("layout maps outside the device"));
+            return Err(QsimError::InvalidParameter(
+                "layout maps outside the device",
+            ));
         }
         if seen[p] {
             return Err(QsimError::InvalidParameter("layout contains duplicates"));
@@ -163,7 +160,10 @@ pub fn route_with_layout(
 /// # Errors
 ///
 /// Same error conditions as [`route_with_layout`].
-pub fn route_trivial(circuit: &Circuit, coupling: &CouplingMap) -> Result<RoutedCircuit, QsimError> {
+pub fn route_trivial(
+    circuit: &Circuit,
+    coupling: &CouplingMap,
+) -> Result<RoutedCircuit, QsimError> {
     let layout: Vec<usize> = (0..circuit.qubit_count()).collect();
     route_with_layout(circuit, coupling, &layout)
 }
@@ -225,7 +225,8 @@ mod tests {
     #[test]
     fn adjacent_gates_need_no_swaps() {
         let mut c = Circuit::new(3);
-        c.extend([Gate::H(0), Gate::Cnot(0, 1), Gate::Cnot(1, 2)]).unwrap();
+        c.extend([Gate::H(0), Gate::Cnot(0, 1), Gate::Cnot(1, 2)])
+            .unwrap();
         let routed = route_trivial(&c, &line_coupling(3)).unwrap();
         assert_eq!(routed.swap_count, 0);
         assert_eq!(routed.circuit.gate_count(), 3);

@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         refine_iters: 0,
     };
 
-    println!("call-graph batch: {} graphs (FakeToronto-class noise)", dataset.len());
+    println!(
+        "call-graph batch: {} graphs (FakeToronto-class noise)",
+        dataset.len()
+    );
     println!("graph\tnodes\tred_nodes\tbaseline\tred_qaoa\timprovement");
     let mut rng = seeded(11);
     for (i, graph) in dataset.graphs.iter().enumerate() {

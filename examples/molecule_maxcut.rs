@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         counted += 1;
     }
     if counted > 0 {
-        println!("mean ideal landscape MSE: {:.4}", total_mse / counted as f64);
+        println!(
+            "mean ideal landscape MSE: {:.4}",
+            total_mse / counted as f64
+        );
     }
     Ok(())
 }

@@ -9,7 +9,7 @@ use proptest::prelude::*;
 use qaoa::analytic::analytic_expectation_p1;
 use qaoa::expectation::QaoaInstance;
 use qaoa::maxcut::{brute_force_maxcut, cut_values};
-use qaoa::params::QaoaParams;
+use qaoa::params::{QaoaParams, BETA_MAX, GAMMA_MAX};
 use red_qaoa::annealing::{anneal_subgraph, SaOptions};
 
 proptest! {
@@ -21,8 +21,8 @@ proptest! {
     fn analytic_p1_matches_statevector(
         seed in 0u64..1000,
         nodes in 4usize..9,
-        gamma in 0.0f64..6.28,
-        beta in 0.0f64..3.14,
+        gamma in 0.0f64..GAMMA_MAX,
+        beta in 0.0f64..BETA_MAX,
     ) {
         let mut rng = seeded(seed);
         let graph = connected_gnp(nodes, 0.5, &mut rng).unwrap();
@@ -39,8 +39,8 @@ proptest! {
     fn qaoa_expectation_is_bounded_by_ground_truth(
         seed in 0u64..1000,
         nodes in 4usize..8,
-        gamma in 0.0f64..6.28,
-        beta in 0.0f64..3.14,
+        gamma in 0.0f64..GAMMA_MAX,
+        beta in 0.0f64..BETA_MAX,
     ) {
         let mut rng = seeded(seed);
         let graph = connected_gnp(nodes, 0.5, &mut rng).unwrap();

@@ -1,0 +1,272 @@
+//! Offline vendored stand-in for the [`rand`](https://crates.io/crates/rand)
+//! crate (0.8-compatible surface).
+//!
+//! The build environment for this workspace has no access to crates.io, so
+//! this shim provides exactly the API the workspace uses:
+//!
+//! * the [`Rng`] extension trait with `gen`, `gen_range`, and `gen_bool`,
+//! * the [`SeedableRng`] trait with `seed_from_u64`,
+//! * [`rngs::SmallRng`], a fast non-cryptographic generator
+//!   (xoshiro256++ seeded via SplitMix64).
+//!
+//! Streams are deterministic for a fixed seed, which is all the Red-QAOA
+//! experiments require. The bit streams do **not** match the real `rand`
+//! crate, so swapping the real dependency back in changes sampled values
+//! (but not any correctness property tested in this repository).
+
+/// Low-level source of randomness: a stream of `u64`/`u32` words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from the generator's native stream.
+///
+/// Stand-in for `rand::distributions::Standard: Distribution<T>`.
+pub trait SampleStandard: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl SampleStandard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl SampleStandard for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl SampleStandard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleStandard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges that can be sampled to produce a `T`.
+///
+/// Stand-in for `rand::distributions::uniform::SampleRange<T>`.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let width = (self.end as u64).wrapping_sub(self.start as u64);
+                // Modulo bias is negligible for the small widths used here
+                // and irrelevant to determinism.
+                self.start.wrapping_add((rng.next_u64() % width) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let width = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if width == 0 {
+                    // Full-domain inclusive range of a 64-bit type.
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add((rng.next_u64() % width) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+macro_rules! impl_float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = <$t as SampleStandard>::sample_standard(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let unit = <$t as SampleStandard>::sample_standard(rng);
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_sample_range!(f64, f32);
+
+/// User-facing random-sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value of type `T` from the generator's native distribution
+    /// (uniform over the whole domain for integers, `[0, 1)` for floats).
+    fn gen<T: SampleStandard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Samples a value uniformly from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool requires p in [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Generators that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (expanded via SplitMix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (xoshiro256++).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        state: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut s = seed;
+            let state = [
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+                splitmix64(&mut s),
+            ];
+            SmallRng { state }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.state;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn floats_are_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let i = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&i));
+            let j = rng.gen_range(2..=10);
+            assert!((2..=10).contains(&j));
+            let x = rng.gen_range(-1.5f64..2.5);
+            assert!((-1.5..2.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn works_through_mut_reference() {
+        fn take_rng<R: Rng>(rng: &mut R) -> u64 {
+            rng.gen()
+        }
+        let mut rng = SmallRng::seed_from_u64(1);
+        let _ = take_rng(&mut rng);
+        let by_ref: &mut SmallRng = &mut rng;
+        let _ = take_rng(by_ref);
+    }
+}
