@@ -7,9 +7,17 @@
 #      clippy::needless_range_loop, granted workspace-wide in Cargo.toml
 #      ([workspace.lints.clippy]) because index loops are the clearest form
 #      for the dense-matrix and qubit kernels.
-#   3. tier-1 verify          — cargo build --release && cargo test -q
-#   4. bench targets resolve  — cargo bench --no-run
-#   5. figure binaries        — every fig*/table* binary answers --help
+#   3. tier-1 verify          — cargo build --release && cargo test -q,
+#      run twice: once with RED_QAOA_THREADS=1 (forced-serial paths) and
+#      once with the variable unset (parallel paths, default thread count).
+#      The determinism contract says both must pass with identical
+#      semantics; the property tests in tests/parallel_determinism.rs
+#      additionally check bitwise equality across thread counts.
+#   4. perf smoke             — the bench/ landscape smoke emits
+#      BENCH_landscape.json (points/sec for a 32×32 grid on a 16-node
+#      graph) so the perf trajectory is recorded run-over-run.
+#   5. bench targets resolve  — cargo bench --no-run
+#   6. figure binaries        — every fig*/table* binary answers --help
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -19,9 +27,15 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --quiet --workspace --all-targets -- -D warnings
 
-echo "==> tier-1: cargo build --release && cargo test -q"
+echo "==> tier-1 (serial: RED_QAOA_THREADS=1): cargo build --release && cargo test -q"
 cargo build --release
-cargo test -q
+RED_QAOA_THREADS=1 cargo test -q
+
+echo "==> tier-1 (parallel: RED_QAOA_THREADS unset): cargo test -q"
+env -u RED_QAOA_THREADS cargo test -q
+
+echo "==> perf smoke: landscape grid points/sec -> BENCH_landscape.json"
+cargo run --quiet --release -p bench --bin landscape_smoke BENCH_landscape.json
 
 echo "==> benches compile: cargo bench --no-run"
 cargo bench --no-run --quiet

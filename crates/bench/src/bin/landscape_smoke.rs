@@ -1,0 +1,79 @@
+//! CI perf smoke: points/sec of a 32×32 landscape grid on a 16-node graph.
+//!
+//! Runs the grid once with one worker thread and once with four, checks the
+//! two landscapes are bitwise-identical (the determinism contract of
+//! `mathkit::parallel`), and writes a `BENCH_landscape.json` record so the
+//! repository's performance trajectory is tracked run-over-run.
+//!
+//! Usage: `landscape_smoke [output.json]` (default `BENCH_landscape.json`).
+
+use bench::bench_graph;
+use mathkit::parallel::with_threads;
+use qaoa::evaluator::StatevectorEvaluator;
+use qaoa::landscape::Landscape;
+use std::time::Instant;
+
+const NODES: usize = 16;
+const WIDTH: usize = 32;
+
+fn timed_grid(evaluator: &StatevectorEvaluator, threads: usize) -> (Landscape, f64) {
+    let start = Instant::now();
+    let landscape = with_threads(threads, || Landscape::evaluate(WIDTH, evaluator));
+    (landscape, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_landscape.json".to_string());
+    let graph = bench_graph(NODES, 16);
+    let evaluator = StatevectorEvaluator::new(&graph, 1).expect("16-node graph is simulable");
+    let points = WIDTH * WIDTH;
+
+    let (serial, serial_secs) = timed_grid(&evaluator, 1);
+    let (parallel, parallel_secs) = timed_grid(&evaluator, 4);
+    let identical = serial
+        .values
+        .iter()
+        .zip(&parallel.values)
+        .all(|(a, b)| a.to_bits() == b.to_bits());
+    assert!(
+        identical,
+        "parallel landscape diverged from the serial reference"
+    );
+
+    let serial_pps = points as f64 / serial_secs;
+    let parallel_pps = points as f64 / parallel_secs;
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"landscape_grid_smoke\",\n",
+            "  \"nodes\": {},\n",
+            "  \"width\": {},\n",
+            "  \"points\": {},\n",
+            "  \"available_cores\": {},\n",
+            "  \"serial_seconds\": {:.6},\n",
+            "  \"serial_points_per_sec\": {:.2},\n",
+            "  \"threads4_seconds\": {:.6},\n",
+            "  \"threads4_points_per_sec\": {:.2},\n",
+            "  \"speedup_4_threads\": {:.3},\n",
+            "  \"bitwise_identical\": true\n",
+            "}}\n"
+        ),
+        NODES,
+        WIDTH,
+        points,
+        cores,
+        serial_secs,
+        serial_pps,
+        parallel_secs,
+        parallel_pps,
+        serial_secs / parallel_secs,
+    );
+    std::fs::write(&output, &json).expect("write benchmark record");
+    print!("{json}");
+    println!("wrote {output}");
+}

@@ -13,75 +13,17 @@
 
 use crate::RedQaoaError;
 use graphlib::Graph;
-use qaoa::analytic::analytic_expectation_p1;
-use qaoa::expectation::{edge_local_expectation, QaoaInstance, MAX_EXACT_NODES};
+// The backend-selection logic that used to live here as a bespoke enum is now
+// the `qaoa::evaluator` trait layer; re-export the auto-selector so existing
+// `red_qaoa::mse` users keep a one-stop entry point.
+pub use qaoa::evaluator::AutoEvaluator;
+use qaoa::evaluator::{NoisyTrajectoryEvaluator, StatevectorEvaluator};
+use qaoa::expectation::{QaoaInstance, MAX_EXACT_NODES};
 use qaoa::landscape::{evaluate_parameter_set, random_parameter_set, sample_mse, Landscape};
 use qaoa::params::QaoaParams;
 use qsim::noise::NoiseModel;
 use qsim::trajectory::TrajectoryOptions;
 use rand::Rng;
-
-/// An energy evaluator that picks the cheapest exact backend for the graph
-/// size: global statevector for small graphs, the edge-local light-cone
-/// decomposition for larger sparse graphs, and the analytic formula for
-/// `p = 1`.
-#[derive(Debug, Clone)]
-pub enum EnergyEvaluator {
-    /// Exact global statevector evaluation.
-    Exact(QaoaInstance),
-    /// Edge-local light-cone evaluation (exact, graph kept for re-use).
-    EdgeLocal {
-        /// The graph being evaluated.
-        graph: Graph,
-    },
-    /// Closed-form `p = 1` evaluation.
-    Analytic {
-        /// The graph being evaluated.
-        graph: Graph,
-    },
-}
-
-impl EnergyEvaluator {
-    /// Chooses an evaluator for `layers`-layer QAOA on `graph`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`RedQaoaError::Qaoa`] if the graph is degenerate.
-    pub fn new(graph: &Graph, layers: usize) -> Result<Self, RedQaoaError> {
-        if graph.node_count() == 0 || graph.edge_count() == 0 {
-            return Err(RedQaoaError::Qaoa(qaoa::QaoaError::DegenerateGraph));
-        }
-        if graph.node_count() <= 16 {
-            Ok(EnergyEvaluator::Exact(QaoaInstance::new(graph, layers)?))
-        } else if layers == 1 {
-            Ok(EnergyEvaluator::Analytic {
-                graph: graph.clone(),
-            })
-        } else {
-            Ok(EnergyEvaluator::EdgeLocal {
-                graph: graph.clone(),
-            })
-        }
-    }
-
-    /// Evaluates the cost expectation at `params`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`RedQaoaError::Qaoa`] if the edge-local light cones exceed
-    /// [`MAX_EXACT_NODES`] nodes for this graph/parameter combination.
-    pub fn evaluate(&self, params: &QaoaParams) -> Result<f64, RedQaoaError> {
-        match self {
-            EnergyEvaluator::Exact(instance) => Ok(instance.expectation(params)),
-            EnergyEvaluator::EdgeLocal { graph } => {
-                edge_local_expectation(graph, params).map_err(RedQaoaError::from)
-            }
-            EnergyEvaluator::Analytic { graph } => {
-                analytic_expectation_p1(graph, params).map_err(RedQaoaError::from)
-            }
-        }
-    }
-}
 
 /// Ideal landscape MSE between two graphs over `num_points` shared random
 /// parameter vectors (the metric of Figures 13–16 and 21).
@@ -102,15 +44,11 @@ pub fn ideal_sample_mse<R: Rng>(
             "num_points must be positive",
         ));
     }
-    let eval_original = EnergyEvaluator::new(original, layers)?;
-    let eval_reduced = EnergyEvaluator::new(reduced, layers)?;
+    let eval_original = AutoEvaluator::new(original, layers)?;
+    let eval_reduced = AutoEvaluator::new(reduced, layers)?;
     let set = random_parameter_set(layers, num_points, rng);
-    let mut a = Vec::with_capacity(num_points);
-    let mut b = Vec::with_capacity(num_points);
-    for params in &set {
-        a.push(eval_original.evaluate(params)?);
-        b.push(eval_reduced.evaluate(params)?);
-    }
+    let a = evaluate_parameter_set(&set, &eval_original);
+    let b = evaluate_parameter_set(&set, &eval_reduced);
     Ok(sample_mse(&a, &b)?)
 }
 
@@ -166,32 +104,31 @@ pub fn noisy_grid_comparison<R: Rng>(
     let coupling_original = qsim::devices::heavy_hex_like(original.node_count());
     let coupling_reduced = qsim::devices::heavy_hex_like(reduced.node_count());
 
-    let ideal = Landscape::evaluate(width, |p| instance_original.expectation(p));
+    let ideal = Landscape::evaluate(
+        width,
+        &StatevectorEvaluator::from_instance(instance_original.clone()),
+    );
     // Both noisy landscapes draw their trajectories from the same per-point
     // noise substream (common random numbers): the stochastic trajectory
     // error then correlates point-to-point and between the two arms, so the
     // MSE difference reflects the systematic noise response of each circuit
     // rather than independent sampling speckle — which min–max normalization
-    // would otherwise amplify on the lower-contrast landscape.
+    // would otherwise amplify on the lower-contrast landscape. The per-point
+    // backend additionally derives one sub-substream per trajectory, so the
+    // two arms stay coupled trajectory-by-trajectory no matter how many
+    // random draws each circuit consumes — and the scan parallelizes without
+    // changing a single bit.
     let base_seed: u64 = rng.gen();
-    let point = std::cell::Cell::new(0u64);
-    let noisy_baseline = Landscape::evaluate(width, |p| {
-        let idx = point.get();
-        point.set(idx + 1);
-        let mut stream = mathkit::rng::seeded(mathkit::rng::derive_seed(base_seed, idx));
-        instance_original
-            .noisy_expectation_routed(p, &coupling_original, noise, options, &mut stream)
-            .unwrap_or_else(|_| instance_original.noisy_expectation(p, noise, options, &mut stream))
-    });
-    point.set(0);
-    let noisy_reduced = Landscape::evaluate(width, |p| {
-        let idx = point.get();
-        point.set(idx + 1);
-        let mut stream = mathkit::rng::seeded(mathkit::rng::derive_seed(base_seed, idx));
-        instance_reduced
-            .noisy_expectation_routed(p, &coupling_reduced, noise, options, &mut stream)
-            .unwrap_or_else(|_| instance_reduced.noisy_expectation(p, noise, options, &mut stream))
-    });
+    let noisy_baseline = Landscape::evaluate(
+        width,
+        &NoisyTrajectoryEvaluator::per_point(instance_original, *noise, options, base_seed)
+            .with_coupling(coupling_original),
+    );
+    let noisy_reduced = Landscape::evaluate(
+        width,
+        &NoisyTrajectoryEvaluator::per_point(instance_reduced, *noise, options, base_seed)
+            .with_coupling(coupling_reduced),
+    );
 
     let baseline_mse = ideal.mse_to(&noisy_baseline)?;
     let reduced_mse = ideal.mse_to(&noisy_reduced)?;
@@ -219,15 +156,15 @@ pub fn ideal_mse_on_set(
         return Err(RedQaoaError::InvalidParameter("parameter set is empty"));
     }
     let layers = set[0].layers();
-    let eval_original = EnergyEvaluator::new(original, layers)?;
-    let eval_reduced = EnergyEvaluator::new(reduced, layers)?;
-    let a = evaluate_parameter_set(set, |p| eval_original.evaluate(p).unwrap_or(f64::NAN));
-    let b = evaluate_parameter_set(set, |p| eval_reduced.evaluate(p).unwrap_or(f64::NAN));
-    if a.iter().chain(&b).any(|x| x.is_nan()) {
+    if set.iter().any(|p| p.layers() != layers) {
         return Err(RedQaoaError::InvalidParameter(
-            "an evaluation failed on the supplied parameter set",
+            "parameter set mixes layer counts",
         ));
     }
+    let eval_original = AutoEvaluator::new(original, layers)?;
+    let eval_reduced = AutoEvaluator::new(reduced, layers)?;
+    let a = evaluate_parameter_set(set, &eval_original);
+    let b = evaluate_parameter_set(set, &eval_reduced);
     Ok(sample_mse(&a, &b)?)
 }
 
@@ -261,36 +198,16 @@ mod tests {
     }
 
     #[test]
-    fn evaluator_selects_backend_by_size_and_layers() {
-        let small = cycle(8).unwrap();
-        assert!(matches!(
-            EnergyEvaluator::new(&small, 2).unwrap(),
-            EnergyEvaluator::Exact(_)
-        ));
+    fn reexported_auto_evaluator_selects_backends() {
+        // The full selection matrix is covered in `qaoa::evaluator`; here we
+        // only pin the re-export and the error conversion into RedQaoaError.
         let large = cycle(30).unwrap();
         assert!(matches!(
-            EnergyEvaluator::new(&large, 1).unwrap(),
-            EnergyEvaluator::Analytic { .. }
+            AutoEvaluator::new(&large, 1).unwrap(),
+            AutoEvaluator::Analytic(_)
         ));
-        assert!(matches!(
-            EnergyEvaluator::new(&large, 2).unwrap(),
-            EnergyEvaluator::EdgeLocal { .. }
-        ));
-        assert!(EnergyEvaluator::new(&Graph::new(3), 1).is_err());
-    }
-
-    #[test]
-    fn evaluator_backends_agree_on_medium_cycles() {
-        // 18-node cycle: too big for the "small" cutoff used by Exact in this
-        // helper, but we can build the exact instance manually and compare.
-        let g = cycle(18).unwrap();
-        let params = QaoaParams::new(vec![0.6], vec![0.4]).unwrap();
-        let exact = QaoaInstance::new(&g, 1).unwrap().expectation(&params);
-        let analytic = EnergyEvaluator::new(&g, 1)
-            .unwrap()
-            .evaluate(&params)
-            .unwrap();
-        assert!((exact - analytic).abs() < 1e-8);
+        let err: RedQaoaError = AutoEvaluator::new(&Graph::new(3), 1).unwrap_err().into();
+        assert!(matches!(err, RedQaoaError::Qaoa(_)));
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use crate::reduction::{reduce, ReducedGraph, ReductionOptions};
 use crate::RedQaoaError;
 use mathkit::optim::{FnObjective, NelderMead, NelderMeadOptions};
-use qaoa::expectation::QaoaInstance;
+use qaoa::evaluator::{EnergyEvaluator, SequentialNoisyEvaluator, StatevectorEvaluator};
 use qaoa::maxcut::brute_force_maxcut;
 use qaoa::optimize::{approximation_ratio, maximize_with_restarts, OptimizeOptions};
 use qaoa::params::QaoaParams;
@@ -95,22 +95,26 @@ impl PipelineOutcome {
     }
 }
 
-fn refine_on_instance(
-    instance: &QaoaInstance,
+fn refine_on_evaluator<E: EnergyEvaluator>(
+    evaluator: &E,
     start: &QaoaParams,
     iters: usize,
 ) -> (QaoaParams, f64) {
+    let mut scratch = evaluator.scratch();
     if iters == 0 {
-        return (start.clone(), instance.expectation(start));
+        return (start.clone(), evaluator.energy(&mut scratch, 0, start));
     }
     let nm = NelderMead::new(NelderMeadOptions {
         max_iters: iters,
         ..Default::default()
     });
     let layers = start.layers();
+    let mut eval_index = 0u64;
     let mut objective = FnObjective::new(2 * layers, |flat: &[f64]| {
         let params = QaoaParams::from_flat(flat).expect("optimizer keeps the shape");
-        -instance.expectation(&params)
+        let value = evaluator.energy(&mut scratch, eval_index, &params);
+        eval_index += 1;
+        -value
     });
     let result = nm.minimize(&mut objective, &start.to_flat());
     let params = QaoaParams::from_flat(&result.params).expect("valid shape");
@@ -130,43 +134,30 @@ pub fn run_ideal<R: Rng>(
     rng: &mut R,
 ) -> Result<PipelineOutcome, RedQaoaError> {
     let reduction = reduce(graph, &options.reduction, rng)?;
-    let reduced_instance = QaoaInstance::new(reduction.graph(), options.layers)?;
-    let original_instance = QaoaInstance::new(graph, options.layers)?;
+    let reduced_evaluator = StatevectorEvaluator::new(reduction.graph(), options.layers)?;
+    let original_evaluator = StatevectorEvaluator::new(graph, options.layers)?;
 
     // Step 2: parameter search on the reduced graph.
-    let reduced_outcome = maximize_with_restarts(
-        options.layers,
-        |p| reduced_instance.expectation(p),
-        &options.optimize,
-        rng,
-    )?;
+    let reduced_outcome = maximize_with_restarts(&reduced_evaluator, &options.optimize, rng)?;
     let transferred_params = reduced_outcome.best_params.clone();
 
     // Step 3: transfer and refine on the original graph.
-    let (final_params, final_value) = refine_on_instance(
-        &original_instance,
+    let (final_params, final_value) = refine_on_evaluator(
+        &original_evaluator,
         &transferred_params,
         options.refine_iters,
     );
 
     // Plain-QAOA baseline with the same protocol, directly on the original.
-    let baseline_outcome = maximize_with_restarts(
-        options.layers,
-        |p| original_instance.expectation(p),
-        &options.optimize,
-        rng,
-    )?;
+    let baseline_outcome = maximize_with_restarts(&original_evaluator, &options.optimize, rng)?;
 
-    // Re-evaluate Red-QAOA's per-restart results on the original graph so the
-    // "average result" columns are comparable.
-    let red_qaoa_average = {
-        let values: Vec<f64> = reduced_outcome
-            .restart_values
-            .iter()
-            .map(|_| original_instance.expectation(&transferred_params))
-            .collect();
-        values.iter().sum::<f64>() / values.len().max(1) as f64
-    };
+    // Re-evaluate Red-QAOA's transferred parameters on the original graph so
+    // the "average result" columns are comparable. Every restart transfers
+    // the same best parameters, so the per-restart average collapses to a
+    // single deterministic evaluation.
+    let red_qaoa_average = original_evaluator
+        .instance()
+        .expectation(&transferred_params);
 
     let ground_truth = if graph.node_count() <= 22 {
         Some(brute_force_maxcut(graph)?.best_cut)
@@ -229,42 +220,34 @@ pub fn run_noisy<R: Rng>(
     rng: &mut R,
 ) -> Result<NoisyPipelineOutcome, RedQaoaError> {
     let reduction = reduce(graph, &options.reduction, rng)?;
-    let reduced_instance = QaoaInstance::new(reduction.graph(), options.layers)?;
-    let original_instance = QaoaInstance::new(graph, options.layers)?;
+    let reduced_evaluator = StatevectorEvaluator::new(reduction.graph(), options.layers)?;
+    let original_evaluator = StatevectorEvaluator::new(graph, options.layers)?;
     let traj = TrajectoryOptions {
         trajectories: trajectories.max(1),
     };
 
-    // Dedicated noise streams for the two optimizations keep the runs
-    // independent while leaving `rng` free to drive the restart protocol.
+    // Dedicated sequential noise streams for the two optimizations keep the
+    // runs independent while leaving `rng` free to drive the restart
+    // protocol (the classic optimizer protocol; see
+    // `SequentialNoisyEvaluator`).
     let red_seed: u64 = rng.gen();
     let baseline_seed: u64 = rng.gen();
 
     // Red-QAOA: noisy optimization of the reduced circuit.
-    let red_noise_rng = std::cell::RefCell::new(mathkit::rng::seeded(red_seed));
-    let red_outcome = maximize_with_restarts(
-        options.layers,
-        |p| reduced_instance.noisy_expectation(p, noise, traj, &mut *red_noise_rng.borrow_mut()),
-        &options.optimize,
-        rng,
-    )?;
+    let red_noisy =
+        SequentialNoisyEvaluator::new(reduced_evaluator.instance().clone(), *noise, traj, red_seed);
+    let red_outcome = maximize_with_restarts(&red_noisy, &options.optimize, rng)?;
 
     // Baseline: noisy optimization of the original circuit.
-    let baseline_noise_rng = std::cell::RefCell::new(mathkit::rng::seeded(baseline_seed));
-    let baseline_outcome = maximize_with_restarts(
-        options.layers,
-        |p| {
-            original_instance.noisy_expectation(
-                p,
-                noise,
-                traj,
-                &mut *baseline_noise_rng.borrow_mut(),
-            )
-        },
-        &options.optimize,
-        rng,
-    )?;
+    let baseline_noisy = SequentialNoisyEvaluator::new(
+        original_evaluator.instance().clone(),
+        *noise,
+        traj,
+        baseline_seed,
+    );
+    let baseline_outcome = maximize_with_restarts(&baseline_noisy, &options.optimize, rng)?;
 
+    let original_instance = original_evaluator.instance();
     let red_qaoa_ideal_value = original_instance.expectation(&red_outcome.best_params);
     let baseline_ideal_value = original_instance.expectation(&baseline_outcome.best_params);
     let ground_truth = if graph.node_count() <= 22 {
@@ -286,6 +269,7 @@ mod tests {
     use super::*;
     use graphlib::generators::connected_gnp;
     use mathkit::rng::seeded;
+    use qaoa::expectation::QaoaInstance;
     use qsim::devices::fake_toronto;
 
     fn quick_options() -> PipelineOptions {

@@ -55,7 +55,10 @@ pub fn relative_throughput(
 /// Mean relative throughput of Red-QAOA over a dataset on one device.
 ///
 /// Each graph is reduced with the supplied options; graphs that fail to
-/// reduce (degenerate) are skipped.
+/// reduce (degenerate) are skipped. The per-graph SA reductions run through
+/// `mathkit::parallel` with one RNG substream per graph (drawn from `rng`),
+/// so the result is deterministic for a given `rng` state and identical for
+/// every thread count.
 pub fn dataset_relative_throughput<R: Rng>(
     graphs: &[Graph],
     device_qubits: usize,
@@ -63,22 +66,26 @@ pub fn dataset_relative_throughput<R: Rng>(
     options: &ReductionOptions,
     rng: &mut R,
 ) -> Result<f64, RedQaoaError> {
-    let mut total = 0.0;
-    let mut count = 0usize;
-    for g in graphs {
-        let reduced = match reduce(g, options, rng) {
-            Ok(r) => r,
-            Err(_) => continue,
-        };
-        total += relative_throughput(g, reduced.graph(), device_qubits, layers);
-        count += 1;
-    }
-    if count == 0 {
+    let base_seed: u64 = rng.gen();
+    let per_graph = mathkit::parallel::parallel_map_indexed(
+        graphs.len(),
+        || (),
+        |_, i| {
+            let mut stream = mathkit::rng::seeded(mathkit::rng::derive_seed(base_seed, i as u64));
+            reduce(&graphs[i], options, &mut stream)
+                .ok()
+                .map(|reduced| {
+                    relative_throughput(&graphs[i], reduced.graph(), device_qubits, layers)
+                })
+        },
+    );
+    let reduced: Vec<f64> = per_graph.into_iter().flatten().collect();
+    if reduced.is_empty() {
         return Err(RedQaoaError::GraphNotReducible(
             "no graph in the dataset could be reduced",
         ));
     }
-    Ok(total / count as f64)
+    Ok(reduced.iter().sum::<f64>() / reduced.len() as f64)
 }
 
 #[cfg(test)]

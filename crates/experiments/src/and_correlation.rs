@@ -15,8 +15,8 @@ use graphlib::subgraph::enumerate_connected_subgraphs;
 use graphlib::Graph;
 use mathkit::polyfit::{polyfit, Polynomial};
 use mathkit::rng::{derive_seed, seeded};
-use qaoa::expectation::QaoaInstance;
-use qaoa::landscape::{random_parameter_set, sample_mse, Landscape};
+use qaoa::evaluator::StatevectorEvaluator;
+use qaoa::landscape::{evaluate_parameter_set, random_parameter_set, sample_mse, Landscape};
 use qaoa::params::QaoaParams;
 use red_qaoa::RedQaoaError;
 
@@ -85,8 +85,8 @@ pub fn run_fig5(config: &Fig5Config) -> Result<Fig5Result, RedQaoaError> {
     for g_idx in 0..config.graph_count {
         let mut rng = seeded(derive_seed(config.seed, g_idx as u64));
         let graph = connected_gnp(config.nodes, config.edge_probability, &mut rng)?;
-        let instance = QaoaInstance::new(&graph, 1)?;
-        let reference = Landscape::evaluate(config.width, |p| instance.expectation(p));
+        let evaluator = StatevectorEvaluator::new(&graph, 1)?;
+        let reference = Landscape::evaluate(config.width, &evaluator);
         let original_and = average_node_degree(&graph);
         for &size in &config.subgraph_sizes {
             if size >= graph.node_count() {
@@ -100,8 +100,8 @@ pub fn run_fig5(config: &Fig5Config) -> Result<Fig5Result, RedQaoaError> {
                 if sub.edge_count() == 0 {
                     continue;
                 }
-                let sub_instance = QaoaInstance::new(sub, 1)?;
-                let landscape = Landscape::evaluate(config.width, |p| sub_instance.expectation(p));
+                let sub_evaluator = StatevectorEvaluator::new(sub, 1)?;
+                let landscape = Landscape::evaluate(config.width, &sub_evaluator);
                 points.push(AndMsePoint {
                     and_ratio: average_node_degree(sub) / original_and,
                     mse: reference.mse_to(&landscape)?,
@@ -172,9 +172,9 @@ impl Default for Fig7Config {
 pub fn run_fig7(config: &Fig7Config) -> Result<(Vec<MseDistancePoint>, f64), RedQaoaError> {
     let mut rng = seeded(config.seed);
     let graph = connected_gnp(config.nodes, config.edge_probability, &mut rng)?;
-    let instance = QaoaInstance::new(&graph, config.layers)?;
+    let evaluator = StatevectorEvaluator::new(&graph, config.layers)?;
     let set = random_parameter_set(config.layers, config.parameter_sets, &mut rng);
-    let reference: Vec<f64> = set.iter().map(|p| instance.expectation(p)).collect();
+    let reference = evaluate_parameter_set(&set, &evaluator);
     let ref_best = best_params(&set, &reference);
 
     let mut points = Vec::new();
@@ -188,8 +188,8 @@ pub fn run_fig7(config: &Fig7Config) -> Result<(Vec<MseDistancePoint>, f64), Red
         if sub.graph.edge_count() == 0 {
             continue;
         }
-        let sub_instance = QaoaInstance::new(&sub.graph, config.layers)?;
-        let values: Vec<f64> = set.iter().map(|p| sub_instance.expectation(p)).collect();
+        let sub_evaluator = StatevectorEvaluator::new(&sub.graph, config.layers)?;
+        let values = evaluate_parameter_set(&set, &sub_evaluator);
         let mse = sample_mse(&reference, &values)?;
         let sub_best = best_params(&set, &values);
         points.push(MseDistancePoint {

@@ -8,15 +8,15 @@
 use graphlib::generators::connected_gnp;
 use graphlib::Graph;
 use mathkit::rng::{derive_seed, seeded};
+use qaoa::evaluator::{SequentialNoisyEvaluator, StatevectorEvaluator};
 use qaoa::expectation::QaoaInstance;
 use qaoa::maxcut::brute_force_maxcut;
-use qaoa::optimize::{maximize_with_restarts, EvaluationTrace, OptimizeOptions};
+use qaoa::optimize::{maximize_with_restarts, EvaluationTrace, OptimizeOptions, TracedEvaluator};
 use qsim::devices::fake_toronto;
 use qsim::noise::NoiseModel;
 use qsim::trajectory::TrajectoryOptions;
 use red_qaoa::reduction::{reduce, ReductionOptions};
 use red_qaoa::RedQaoaError;
-use std::cell::RefCell;
 
 /// Configuration for the Figure 1 experiment.
 #[derive(Debug, Clone)]
@@ -96,20 +96,25 @@ pub fn run_fig1(config: &Fig1Config) -> Result<Vec<ConvergenceCurves>, RedQaoaEr
         // Ideal optimization.
         let ideal_trace = EvaluationTrace::new();
         {
-            let wrapped = RefCell::new(ideal_trace.wrap(|p| instance.expectation(p)));
-            maximize_with_restarts(1, |p| (*wrapped.borrow_mut())(p), &options, &mut rng)?;
+            let evaluator = StatevectorEvaluator::from_instance(instance.clone());
+            let traced = TracedEvaluator::new(&evaluator, &ideal_trace);
+            maximize_with_restarts(&traced, &options, &mut rng)?;
         }
-        // Noisy optimization.
+        // Noisy optimization (sequential noise stream: the classic
+        // optimizer protocol).
         let noisy_trace = EvaluationTrace::new();
         {
-            let noise_rng = RefCell::new(seeded(derive_seed(config.seed, 100 + i as u64)));
             let traj = TrajectoryOptions {
                 trajectories: config.trajectories,
             };
-            let wrapped = RefCell::new(noisy_trace.wrap(|p| {
-                instance.noisy_expectation(p, &noise, traj, &mut *noise_rng.borrow_mut())
-            }));
-            maximize_with_restarts(1, |p| (*wrapped.borrow_mut())(p), &options, &mut rng)?;
+            let evaluator = SequentialNoisyEvaluator::new(
+                instance.clone(),
+                noise,
+                traj,
+                derive_seed(config.seed, 100 + i as u64),
+            );
+            let traced = TracedEvaluator::new(&evaluator, &noisy_trace);
+            maximize_with_restarts(&traced, &options, &mut rng)?;
         }
 
         results.push(ConvergenceCurves {
@@ -199,19 +204,25 @@ pub fn run_fig20(config: &Fig20Config) -> Result<Fig20Curves, RedQaoaError> {
 
     let baseline_trace = EvaluationTrace::new();
     {
-        let noise_rng = RefCell::new(seeded(derive_seed(config.seed, 1)));
-        let wrapped = RefCell::new(baseline_trace.wrap(|p| {
-            original_instance.noisy_expectation(p, &noise, traj, &mut *noise_rng.borrow_mut())
-        }));
-        maximize_with_restarts(1, |p| (*wrapped.borrow_mut())(p), &options, &mut rng)?;
+        let evaluator = SequentialNoisyEvaluator::new(
+            original_instance.clone(),
+            noise,
+            traj,
+            derive_seed(config.seed, 1),
+        );
+        let traced = TracedEvaluator::new(&evaluator, &baseline_trace);
+        maximize_with_restarts(&traced, &options, &mut rng)?;
     }
     let red_trace = EvaluationTrace::new();
     {
-        let noise_rng = RefCell::new(seeded(derive_seed(config.seed, 2)));
-        let wrapped = RefCell::new(red_trace.wrap(|p| {
-            reduced_instance.noisy_expectation(p, &noise, traj, &mut *noise_rng.borrow_mut())
-        }));
-        maximize_with_restarts(1, |p| (*wrapped.borrow_mut())(p), &options, &mut rng)?;
+        let evaluator = SequentialNoisyEvaluator::new(
+            reduced_instance.clone(),
+            noise,
+            traj,
+            derive_seed(config.seed, 2),
+        );
+        let traced = TracedEvaluator::new(&evaluator, &red_trace);
+        maximize_with_restarts(&traced, &options, &mut rng)?;
     }
 
     Ok(Fig20Curves {

@@ -7,7 +7,7 @@
 
 use graphlib::generators::{connected_gnp, cycle};
 use mathkit::rng::{derive_seed, seeded};
-use qaoa::expectation::QaoaInstance;
+use qaoa::evaluator::StatevectorEvaluator;
 use qaoa::landscape::Landscape;
 use qsim::devices::Device;
 use red_qaoa::mse::{noisy_grid_comparison, NoisyComparison};
@@ -60,10 +60,10 @@ pub struct CycleLandscapes {
 ///
 /// Returns [`RedQaoaError`] if the landscapes cannot be evaluated.
 pub fn run_fig3(width: usize) -> Result<CycleLandscapes, RedQaoaError> {
-    let small_instance = QaoaInstance::new(&cycle(7)?, 1)?;
-    let large_instance = QaoaInstance::new(&cycle(10)?, 1)?;
-    let small = Landscape::evaluate(width, |p| small_instance.expectation(p));
-    let large = Landscape::evaluate(width, |p| large_instance.expectation(p));
+    let small_evaluator = StatevectorEvaluator::new(&cycle(7)?, 1)?;
+    let large_evaluator = StatevectorEvaluator::new(&cycle(10)?, 1)?;
+    let small = Landscape::evaluate(width, &small_evaluator);
+    let large = Landscape::evaluate(width, &large_evaluator);
     let mse = small.mse_to(&large)?;
     Ok(CycleLandscapes { small, large, mse })
 }
@@ -118,14 +118,14 @@ pub fn run_fig6(
     seed: u64,
 ) -> Result<Vec<Fig6Row>, RedQaoaError> {
     let reference_graph = connected_gnp(nodes, 0.4, &mut seeded(derive_seed(seed, 0)))?;
-    let reference_instance = QaoaInstance::new(&reference_graph, 1)?;
-    let reference = Landscape::evaluate(width, |p| reference_instance.expectation(p));
+    let reference_evaluator = StatevectorEvaluator::new(&reference_graph, 1)?;
+    let reference = Landscape::evaluate(width, &reference_evaluator);
     let mut rows = Vec::new();
     for i in 1..graph_count.max(2) {
         let mut rng = seeded(derive_seed(seed, i as u64));
         let graph = connected_gnp(nodes, 0.2 + 0.05 * i as f64, &mut rng)?;
-        let instance = QaoaInstance::new(&graph, 1)?;
-        let landscape = Landscape::evaluate(width, |p| instance.expectation(p));
+        let evaluator = StatevectorEvaluator::new(&graph, 1)?;
+        let landscape = Landscape::evaluate(width, &evaluator);
         rows.push(Fig6Row {
             graph_index: i,
             mse: reference.mse_to(&landscape)?,

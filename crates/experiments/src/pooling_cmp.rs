@@ -13,8 +13,8 @@ use graphlib::Graph;
 use mathkit::rng::{derive_seed, seeded};
 use mathkit::stats::BoxPlot;
 use pooling::{AsaPooling, PoolingMethod, SagPooling, TopKPooling};
-use qaoa::expectation::QaoaInstance;
-use qaoa::landscape::{random_parameter_set, sample_mse};
+use qaoa::evaluator::{SequentialNoisyEvaluator, StatevectorEvaluator};
+use qaoa::landscape::{evaluate_parameter_set, random_parameter_set, sample_mse};
 use qaoa::maxcut::brute_force_maxcut;
 use qaoa::optimize::{maximize_with_restarts, OptimizeOptions};
 use qsim::devices::fake_toronto;
@@ -22,7 +22,6 @@ use qsim::trajectory::TrajectoryOptions;
 use red_qaoa::annealing::{anneal_subgraph, CoolingSchedule, SaOptions};
 use red_qaoa::reduction::{reduce, ReductionOptions};
 use red_qaoa::RedQaoaError;
-use std::cell::RefCell;
 
 /// The reduction methods compared in Figures 8 and 19.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -160,23 +159,20 @@ pub fn run_fig8(config: &Fig8Config) -> Result<Vec<Fig8Cell>, RedQaoaError> {
             for g_idx in 0..config.graph_count {
                 let mut rng = seeded(derive_seed(config.seed, g_idx as u64));
                 let graph = connected_gnp(config.nodes, config.edge_probability, &mut rng)?;
-                let instance = QaoaInstance::new(&graph, config.layers)?;
+                let evaluator = StatevectorEvaluator::new(&graph, config.layers)?;
                 let mut method_rng = seeded(derive_seed(config.seed, 1000 + g_idx as u64));
                 let reduced = match method.reduce_graph(&graph, keep, &mut method_rng) {
                     Ok(r) if r.edge_count() > 0 => r,
                     _ => continue,
                 };
-                let reduced_instance = match QaoaInstance::new(&reduced, config.layers) {
-                    Ok(i) => i,
+                let reduced_evaluator = match StatevectorEvaluator::new(&reduced, config.layers) {
+                    Ok(e) => e,
                     Err(_) => continue,
                 };
                 let mut set_rng = seeded(derive_seed(config.seed, 2000 + g_idx as u64));
                 let set = random_parameter_set(config.layers, config.parameter_sets, &mut set_rng);
-                let a: Vec<f64> = set.iter().map(|p| instance.expectation(p)).collect();
-                let b: Vec<f64> = set
-                    .iter()
-                    .map(|p| reduced_instance.expectation(p))
-                    .collect();
+                let a = evaluate_parameter_set(&set, &evaluator);
+                let b = evaluate_parameter_set(&set, &reduced_evaluator);
                 mses.push(sample_mse(&a, &b)?);
             }
             if mses.is_empty() {
@@ -265,18 +261,20 @@ pub fn run_fig19(config: &Fig19Config) -> Result<Vec<Fig19Row>, RedQaoaError> {
     for g_idx in 0..config.graph_count {
         let mut rng = seeded(derive_seed(config.seed, g_idx as u64));
         let graph = connected_gnp(config.nodes, config.edge_probability, &mut rng)?;
-        let instance = QaoaInstance::new(&graph, 1)?;
+        let evaluator = StatevectorEvaluator::new(&graph, 1)?;
+        let instance = evaluator.instance();
         let ground_truth = brute_force_maxcut(&graph)?.best_cut as f64;
 
-        // Noisy baseline: optimize the original graph under noise.
+        // Noisy baseline: optimize the original graph under noise (one
+        // sequential noise stream per graph, the classic protocol).
         let baseline_ratio = {
-            let noise_rng = RefCell::new(seeded(derive_seed(config.seed, 500 + g_idx as u64)));
-            let outcome = maximize_with_restarts(
-                1,
-                |p| instance.noisy_expectation(p, &noise, traj, &mut *noise_rng.borrow_mut()),
-                &optimize,
-                &mut rng,
-            )?;
+            let noisy = SequentialNoisyEvaluator::new(
+                instance.clone(),
+                noise,
+                traj,
+                derive_seed(config.seed, 500 + g_idx as u64),
+            );
+            let outcome = maximize_with_restarts(&noisy, &optimize, &mut rng)?;
             instance.expectation(&outcome.best_params) / ground_truth
         };
 
@@ -293,24 +291,17 @@ pub fn run_fig19(config: &Fig19Config) -> Result<Vec<Fig19Row>, RedQaoaError> {
                     _ => continue,
                 },
             };
-            let surrogate_instance = match QaoaInstance::new(&surrogate, 1) {
+            let surrogate_instance = match qaoa::expectation::QaoaInstance::new(&surrogate, 1) {
                 Ok(i) => i,
                 Err(_) => continue,
             };
-            let noise_rng = RefCell::new(seeded(derive_seed(config.seed, 700 + g_idx as u64)));
-            let outcome = maximize_with_restarts(
-                1,
-                |p| {
-                    surrogate_instance.noisy_expectation(
-                        p,
-                        &noise,
-                        traj,
-                        &mut *noise_rng.borrow_mut(),
-                    )
-                },
-                &optimize,
-                &mut rng,
-            )?;
+            let noisy = SequentialNoisyEvaluator::new(
+                surrogate_instance,
+                noise,
+                traj,
+                derive_seed(config.seed, 700 + g_idx as u64),
+            );
+            let outcome = maximize_with_restarts(&noisy, &optimize, &mut rng)?;
             let ratio = instance.expectation(&outcome.best_params) / ground_truth;
             improvements[m_idx].push((ratio - baseline_ratio) / baseline_ratio);
         }

@@ -10,7 +10,7 @@ use graphlib::generators::connected_gnp;
 use graphlib::subgraph::enumerate_connected_subgraphs;
 use mathkit::rng::{derive_seed, seeded};
 use mathkit::stats::Histogram;
-use qaoa::expectation::QaoaInstance;
+use qaoa::evaluator::StatevectorEvaluator;
 use qaoa::landscape::Landscape;
 use red_qaoa::annealing::{anneal_subgraph, SaOptions};
 use red_qaoa::RedQaoaError;
@@ -72,8 +72,8 @@ pub struct Fig9Panel {
 pub fn run_fig9(config: &Fig9Config) -> Result<Vec<Fig9Panel>, RedQaoaError> {
     let mut rng = seeded(config.seed);
     let graph = connected_gnp(config.nodes, config.edge_probability, &mut rng)?;
-    let instance = QaoaInstance::new(&graph, 1)?;
-    let reference = Landscape::evaluate(config.width, |p| instance.expectation(p));
+    let evaluator = StatevectorEvaluator::new(&graph, 1)?;
+    let reference = Landscape::evaluate(config.width, &evaluator);
 
     let mut panels = Vec::new();
     for (i, &size) in config.subgraph_sizes.iter().enumerate() {
@@ -86,8 +86,8 @@ pub fn run_fig9(config: &Fig9Config) -> Result<Vec<Fig9Panel>, RedQaoaError> {
             if sub.graph.edge_count() == 0 {
                 continue;
             }
-            let sub_instance = QaoaInstance::new(&sub.graph, 1)?;
-            let landscape = Landscape::evaluate(config.width, |p| sub_instance.expectation(p));
+            let sub_evaluator = StatevectorEvaluator::new(&sub.graph, 1)?;
+            let landscape = Landscape::evaluate(config.width, &sub_evaluator);
             all_mses.push(reference.mse_to(&landscape)?);
         }
         if all_mses.is_empty() {
@@ -96,8 +96,8 @@ pub fn run_fig9(config: &Fig9Config) -> Result<Vec<Fig9Panel>, RedQaoaError> {
         // SA-selected subgraph for the same size.
         let mut sa_rng = seeded(derive_seed(config.seed, 10 + i as u64));
         let sa = anneal_subgraph(&graph, size, &SaOptions::default(), &mut sa_rng)?;
-        let sa_instance = QaoaInstance::new(&sa.subgraph.graph, 1)?;
-        let sa_landscape = Landscape::evaluate(config.width, |p| sa_instance.expectation(p));
+        let sa_evaluator = StatevectorEvaluator::new(&sa.subgraph.graph, 1)?;
+        let sa_landscape = Landscape::evaluate(config.width, &sa_evaluator);
         let sa_mse = reference.mse_to(&sa_landscape)?;
 
         let at_least = all_mses.iter().filter(|&&m| m >= sa_mse).count();

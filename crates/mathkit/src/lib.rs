@@ -16,6 +16,9 @@
 //!   standing in for SciPy's COBYLA in the classical QAOA loop.
 //! * [`rng`] — deterministic seeding helpers so that every experiment in the
 //!   repository is reproducible.
+//! * [`parallel`] — the deterministic chunked parallel-map primitive behind
+//!   the landscape scans and trajectory averages (thread count from
+//!   `RED_QAOA_THREADS`, bitwise-identical to the serial path).
 //!
 //! # Example
 //!
@@ -34,6 +37,7 @@
 pub mod complex;
 pub mod linalg;
 pub mod optim;
+pub mod parallel;
 pub mod polyfit;
 pub mod rng;
 pub mod stats;

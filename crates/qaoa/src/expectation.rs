@@ -25,8 +25,10 @@ use graphlib::Graph;
 use mathkit::Complex64;
 use qsim::circuit::Gate;
 use qsim::noise::NoiseModel;
-use qsim::statevector::StateVector;
-use qsim::trajectory::{noisy_expectation_diagonal, TrajectoryOptions};
+use qsim::statevector::{StateVector, StatevectorWorkspace};
+use qsim::trajectory::{
+    noisy_expectation_diagonal, noisy_expectation_diagonal_seeded, TrajectoryOptions,
+};
 use rand::Rng;
 
 /// Maximum number of nodes for the exact global statevector evaluator.
@@ -85,27 +87,45 @@ impl QaoaInstance {
         &self.cut_table
     }
 
+    /// Prepares `|ψ(γ, β)⟩` in the workspace: uniform superposition, then
+    /// alternating cost-phase and mixer layers. The cost layer is applied as
+    /// a single diagonal pass over the precomputed cut table.
+    fn evolve_into<'w>(
+        &self,
+        workspace: &'w mut StatevectorWorkspace,
+        params: &QaoaParams,
+    ) -> &'w StateVector {
+        assert_eq!(params.layers(), self.layers, "layer count mismatch");
+        evolve_qaoa_layers(workspace, self.graph.node_count(), &self.cut_table, params);
+        workspace.state()
+    }
+
     /// Exact cost expectation for the given parameters (to be *maximized*).
+    ///
+    /// Allocates a fresh workspace per call; hot loops should hold a
+    /// [`StatevectorWorkspace`] and use [`QaoaInstance::expectation_with`]
+    /// (or the `StatevectorEvaluator` backend, which does so internally).
     ///
     /// # Panics
     ///
     /// Panics if `params.layers() != self.layers()`.
     pub fn expectation(&self, params: &QaoaParams) -> f64 {
-        assert_eq!(params.layers(), self.layers, "layer count mismatch");
-        let n = self.graph.node_count();
-        let mut state = StateVector::uniform_superposition(n);
-        for (gamma, beta) in params.gammas.iter().zip(&params.betas) {
-            let phases: Vec<Complex64> = self
-                .cut_table
-                .iter()
-                .map(|&c| Complex64::cis(-gamma * c))
-                .collect();
-            state.apply_diagonal(&phases);
-            for q in 0..n {
-                state.apply_gate(Gate::Rx(q, 2.0 * beta));
-            }
-        }
-        state.expectation_diagonal(&self.cut_table)
+        self.expectation_with(&mut StatevectorWorkspace::new(), params)
+    }
+
+    /// Exact cost expectation evaluated in a reused workspace: after the
+    /// first call of a given size, no allocation happens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.layers() != self.layers()`.
+    pub fn expectation_with(
+        &self,
+        workspace: &mut StatevectorWorkspace,
+        params: &QaoaParams,
+    ) -> f64 {
+        self.evolve_into(workspace, params)
+            .expectation_diagonal(&self.cut_table)
     }
 
     /// Exact measurement distribution for the given parameters.
@@ -114,21 +134,8 @@ impl QaoaInstance {
     ///
     /// Panics if `params.layers() != self.layers()`.
     pub fn probabilities(&self, params: &QaoaParams) -> Vec<f64> {
-        assert_eq!(params.layers(), self.layers, "layer count mismatch");
-        let n = self.graph.node_count();
-        let mut state = StateVector::uniform_superposition(n);
-        for (gamma, beta) in params.gammas.iter().zip(&params.betas) {
-            let phases: Vec<Complex64> = self
-                .cut_table
-                .iter()
-                .map(|&c| Complex64::cis(-gamma * c))
-                .collect();
-            state.apply_diagonal(&phases);
-            for q in 0..n {
-                state.apply_gate(Gate::Rx(q, 2.0 * beta));
-            }
-        }
-        state.probabilities()
+        let mut workspace = StatevectorWorkspace::new();
+        self.evolve_into(&mut workspace, params).probabilities()
     }
 
     /// Noisy cost expectation under a device noise model, evaluated by
@@ -174,6 +181,66 @@ impl QaoaInstance {
         options: TrajectoryOptions,
         rng: &mut R,
     ) -> Result<f64, QaoaError> {
+        let (native, values) = self.routed_native_observable(params, coupling)?;
+        Ok(noisy_expectation_diagonal(
+            &native, noise, &values, options, rng,
+        ))
+    }
+
+    /// Noisy cost expectation under per-trajectory RNG substreams derived
+    /// from `seed` (see `qsim::trajectory::noisy_probabilities_seeded`):
+    /// the result is a pure function of `(params, seed)` and is
+    /// bitwise-identical for every thread count. This is the evaluation the
+    /// per-point noisy landscape backend uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.layers() != self.layers()`.
+    pub fn noisy_expectation_seeded(
+        &self,
+        params: &QaoaParams,
+        noise: &NoiseModel,
+        options: TrajectoryOptions,
+        seed: u64,
+    ) -> f64 {
+        assert_eq!(params.layers(), self.layers, "layer count mismatch");
+        let circuit = qaoa_circuit(&self.graph, params).expect("instance graph is non-degenerate");
+        noisy_expectation_diagonal_seeded(&circuit, noise, &self.cut_table, options, seed)
+    }
+
+    /// Seeded, thread-count-independent variant of
+    /// [`QaoaInstance::noisy_expectation_routed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QaoaError::InvalidParameters`] if the coupling map is
+    /// smaller than the graph or routing fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.layers() != self.layers()`.
+    pub fn noisy_expectation_routed_seeded(
+        &self,
+        params: &QaoaParams,
+        coupling: &qsim::devices::CouplingMap,
+        noise: &NoiseModel,
+        options: TrajectoryOptions,
+        seed: u64,
+    ) -> Result<f64, QaoaError> {
+        let (native, values) = self.routed_native_observable(params, coupling)?;
+        Ok(noisy_expectation_diagonal_seeded(
+            &native, noise, &values, options, seed,
+        ))
+    }
+
+    /// Routes the QAOA circuit onto `coupling`, decomposes it to the native
+    /// gate set, and builds the cut observable on the physical qubits that
+    /// finally hold each graph node.
+    fn routed_native_observable(
+        &self,
+        params: &QaoaParams,
+        coupling: &qsim::devices::CouplingMap,
+    ) -> Result<(qsim::circuit::Circuit, Vec<f64>), QaoaError> {
         assert_eq!(params.layers(), self.layers, "layer count mismatch");
         let n = self.graph.node_count();
         if coupling.qubit_count() < n {
@@ -201,15 +268,36 @@ impl QaoaInstance {
                 }
             }
         }
-        Ok(noisy_expectation_diagonal(
-            &native, noise, &values, options, rng,
-        ))
+        Ok((native, values))
     }
 
     /// The maximum possible cost value (the total number of edges), used to
     /// normalize expectations.
     pub fn edge_count(&self) -> usize {
         self.graph.edge_count()
+    }
+}
+
+/// Shared QAOA layer evolution: resets `workspace` to the uniform
+/// superposition over `qubits` qubits, then applies the alternating
+/// cost-phase (`e^{-iγ H_C}` via the diagonal `cut_table`) and mixer
+/// (`Rx(2β)` on every qubit) layers.
+///
+/// This is the single definition of the ansatz evolution; the global
+/// statevector backend and the edge-local light-cone backend both route
+/// through it so the two can never silently diverge.
+pub(crate) fn evolve_qaoa_layers(
+    workspace: &mut StatevectorWorkspace,
+    qubits: usize,
+    cut_table: &[f64],
+    params: &QaoaParams,
+) {
+    workspace.begin_uniform(qubits);
+    for (gamma, beta) in params.gammas.iter().zip(&params.betas) {
+        workspace.apply_phase_diagonal(cut_table, -gamma);
+        for q in 0..qubits {
+            workspace.state_mut().apply_gate(Gate::Rx(q, 2.0 * beta));
+        }
     }
 }
 

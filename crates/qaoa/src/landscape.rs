@@ -5,8 +5,10 @@
 //! `width × width` grid over `(γ, β)` for `p = 1` (the landscape figures) or
 //! on a shared set of random parameter vectors for `p ≥ 2`.
 
+use crate::evaluator::EnergyEvaluator;
 use crate::params::{QaoaParams, BETA_MAX, GAMMA_MAX};
 use crate::QaoaError;
+use mathkit::parallel::parallel_map_indexed;
 use mathkit::stats::{argmax, normalize, normalized_mse};
 use rand::Rng;
 
@@ -23,27 +25,47 @@ pub struct Landscape {
 }
 
 impl Landscape {
-    /// Evaluates a `p = 1` landscape on a `width × width` grid using the
-    /// provided evaluator. γ ranges over `[0, 2π)` and β over `[0, π)`.
+    /// Evaluates a `p = 1` landscape on a `width × width` grid through an
+    /// [`EnergyEvaluator`] backend. γ ranges over `[0, 2π)` and β over
+    /// `[0, π)`.
+    ///
+    /// The grid points are mapped through `mathkit::parallel` (thread count
+    /// from `RED_QAOA_THREADS`, default the machine's parallelism). Point
+    /// `i·width + j` is evaluation index `i·width + j`, each worker reuses
+    /// one scratch and one hoisted [`QaoaParams`] buffer, and the result is
+    /// bitwise-identical for every thread count (see the determinism
+    /// contract in `mathkit::parallel` and [`crate::evaluator`]).
     ///
     /// # Panics
     ///
-    /// Panics if `width == 0`.
-    pub fn evaluate<F: FnMut(&QaoaParams) -> f64>(width: usize, mut evaluator: F) -> Self {
+    /// Panics if `width == 0` or if the evaluator is not a `p = 1` backend.
+    pub fn evaluate<E>(width: usize, evaluator: &E) -> Self
+    where
+        E: EnergyEvaluator + Sync,
+    {
         assert!(width > 0, "grid width must be positive");
+        assert_eq!(evaluator.layers(), 1, "landscape grids are p = 1");
         let gammas: Vec<f64> = (0..width)
             .map(|i| GAMMA_MAX * i as f64 / width as f64)
             .collect();
         let betas: Vec<f64> = (0..width)
             .map(|j| BETA_MAX * j as f64 / width as f64)
             .collect();
-        let mut values = Vec::with_capacity(width * width);
-        for &gamma in &gammas {
-            for &beta in &betas {
-                let params = QaoaParams::new(vec![gamma], vec![beta]).expect("one layer");
-                values.push(evaluator(&params));
-            }
-        }
+        let values = parallel_map_indexed(
+            width * width,
+            || {
+                // One scratch and one reusable parameter buffer per worker:
+                // grid points mutate the angles in place instead of building
+                // two vectors (plus validation) per point.
+                let params = QaoaParams::new(vec![0.0], vec![0.0]).expect("one layer");
+                (evaluator.scratch(), params)
+            },
+            |(scratch, params), idx| {
+                params.gammas[0] = gammas[idx / width];
+                params.betas[0] = betas[idx % width];
+                evaluator.energy(scratch, idx as u64, params)
+            },
+        );
         Self {
             gammas,
             betas,
@@ -131,11 +153,19 @@ pub fn random_parameter_set<R: Rng>(layers: usize, count: usize, rng: &mut R) ->
 }
 
 /// Evaluates an energy sample at every parameter vector of a shared set.
-pub fn evaluate_parameter_set<F: FnMut(&QaoaParams) -> f64>(
-    set: &[QaoaParams],
-    evaluator: F,
-) -> Vec<f64> {
-    set.iter().map(evaluator).collect()
+///
+/// Entry `i` of the set is evaluation index `i`; the set is mapped through
+/// `mathkit::parallel` with one scratch per worker, bitwise-identical for
+/// every thread count.
+pub fn evaluate_parameter_set<E>(set: &[QaoaParams], evaluator: &E) -> Vec<f64>
+where
+    E: EnergyEvaluator + Sync,
+{
+    parallel_map_indexed(
+        set.len(),
+        || evaluator.scratch(),
+        |scratch, i| evaluator.energy(scratch, i as u64, &set[i]),
+    )
 }
 
 /// Normalized MSE between two energy samples taken on the same parameter set.
@@ -156,14 +186,30 @@ pub fn sample_mse(a: &[f64], b: &[f64]) -> Result<f64, QaoaError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::expectation::QaoaInstance;
+    use crate::evaluator::StatevectorEvaluator;
     use graphlib::generators::cycle;
     use mathkit::rng::seeded;
 
+    /// Closure-backed test evaluator for synthetic energy functions.
+    struct FnEval<F: Fn(&QaoaParams) -> f64>(F, usize);
+
+    impl<F: Fn(&QaoaParams) -> f64> EnergyEvaluator for FnEval<F> {
+        type Scratch = ();
+
+        fn layers(&self) -> usize {
+            self.1
+        }
+
+        fn scratch(&self) -> Self::Scratch {}
+
+        fn energy(&self, _scratch: &mut Self::Scratch, _index: u64, params: &QaoaParams) -> f64 {
+            (self.0)(params)
+        }
+    }
+
     fn cycle_landscape(n: usize, width: usize) -> Landscape {
-        let g = cycle(n).unwrap();
-        let instance = QaoaInstance::new(&g, 1).unwrap();
-        Landscape::evaluate(width, |p| instance.expectation(p))
+        let evaluator = StatevectorEvaluator::new(&cycle(n).unwrap(), 1).unwrap();
+        Landscape::evaluate(width, &evaluator)
     }
 
     #[test]
@@ -220,13 +266,27 @@ mod tests {
     }
 
     #[test]
+    fn landscape_is_bitwise_identical_for_every_thread_count() {
+        let evaluator = StatevectorEvaluator::new(&cycle(6).unwrap(), 1).unwrap();
+        let reference = mathkit::parallel::with_threads(1, || Landscape::evaluate(9, &evaluator));
+        for threads in [2usize, 4] {
+            let parallel =
+                mathkit::parallel::with_threads(threads, || Landscape::evaluate(9, &evaluator));
+            assert_eq!(reference, parallel, "thread count {threads}");
+        }
+    }
+
+    #[test]
     fn parameter_set_evaluation_roundtrip() {
         let mut rng = seeded(2);
         let set = random_parameter_set(2, 32, &mut rng);
         assert_eq!(set.len(), 32);
         assert!(set.iter().all(|p| p.layers() == 2));
-        let a = evaluate_parameter_set(&set, |p| p.gammas[0] + p.betas[1]);
-        let b = evaluate_parameter_set(&set, |p| 2.0 * (p.gammas[0] + p.betas[1]) + 7.0);
+        let a = evaluate_parameter_set(&set, &FnEval(|p: &QaoaParams| p.gammas[0] + p.betas[1], 2));
+        let b = evaluate_parameter_set(
+            &set,
+            &FnEval(|p: &QaoaParams| 2.0 * (p.gammas[0] + p.betas[1]) + 7.0, 2),
+        );
         // Affine transformations vanish under normalized MSE.
         assert!(sample_mse(&a, &b).unwrap() < 1e-12);
         assert!(sample_mse(&a, &a[..10]).is_err());

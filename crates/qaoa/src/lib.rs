@@ -10,6 +10,11 @@
 //!   `qsim` gate IR.
 //! * [`expectation`] — ideal (statevector), edge-local, and noisy
 //!   (trajectory / density-matrix) evaluation of the cost expectation.
+//! * [`evaluator`] — the [`EnergyEvaluator`](evaluator::EnergyEvaluator)
+//!   backend layer: every landscape scan, random-pool sweep, and
+//!   optimization driver evaluates energies through one of its named,
+//!   swappable backends (statevector workspace, analytic `p = 1`,
+//!   edge-local light cones, noisy trajectories).
 //! * [`analytic`] — the closed-form `p = 1` MaxCut expectation.
 //! * [`landscape`] — energy landscapes over parameter grids or random
 //!   parameter sets, normalization, optima, and landscape MSE.
@@ -34,6 +39,7 @@
 
 pub mod analytic;
 pub mod circuit;
+pub mod evaluator;
 pub mod expectation;
 pub mod landscape;
 pub mod maxcut;

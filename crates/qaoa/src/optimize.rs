@@ -5,6 +5,7 @@
 //! (see DESIGN.md for the substitution rationale). The drivers *maximize* the
 //! cost expectation by minimizing its negation.
 
+use crate::evaluator::EnergyEvaluator;
 use crate::params::{QaoaParams, BETA_MAX, GAMMA_MAX};
 use crate::QaoaError;
 use mathkit::optim::{FnObjective, GridSearch, NelderMead, NelderMeadOptions};
@@ -69,12 +70,19 @@ const SEED_POOL_PER_LAYER: usize = 32;
 /// small budget regularly converges into one of them. A coarse global scan
 /// (exhaustive over `(γ, β)` for `p = 1`, best-of-random-pool for deeper
 /// circuits) reliably lands the local refinement in the principal basin.
-fn seed_start<R: Rng, F: Fn(&QaoaParams) -> f64>(
-    layers: usize,
-    evaluator: &F,
+fn seed_start<R: Rng, E: EnergyEvaluator>(
+    evaluator: &E,
+    scratch: &mut E::Scratch,
+    eval_index: &mut u64,
     rng: &mut R,
     evaluations: &mut usize,
 ) -> Vec<f64> {
+    let layers = evaluator.layers();
+    let mut call = |params: &QaoaParams| {
+        let value = evaluator.energy(scratch, *eval_index, params);
+        *eval_index += 1;
+        value
+    };
     if layers == 1 {
         let grid = GridSearch::new(
             vec![0.0, 0.0],
@@ -83,7 +91,7 @@ fn seed_start<R: Rng, F: Fn(&QaoaParams) -> f64>(
         );
         let mut objective = FnObjective::new(2, |flat: &[f64]| {
             let params = QaoaParams::from_flat(flat).expect("grid keeps the shape");
-            -evaluator(&params)
+            -call(&params)
         });
         let result = grid.minimize(&mut objective);
         *evaluations += result.evaluations;
@@ -91,10 +99,10 @@ fn seed_start<R: Rng, F: Fn(&QaoaParams) -> f64>(
     } else {
         let pool = SEED_POOL_PER_LAYER * layers;
         let mut best = QaoaParams::random(layers, rng);
-        let mut best_value = evaluator(&best);
+        let mut best_value = call(&best);
         for _ in 1..pool {
             let candidate = QaoaParams::random(layers, rng);
-            let value = evaluator(&candidate);
+            let value = call(&candidate);
             if value > best_value {
                 best_value = value;
                 best = candidate;
@@ -105,24 +113,30 @@ fn seed_start<R: Rng, F: Fn(&QaoaParams) -> f64>(
     }
 }
 
-/// Maximizes a QAOA expectation evaluator with Nelder–Mead restarts. The
-/// first restart starts from a coarse global scan of the landscape (see
+/// Maximizes a QAOA energy backend with Nelder–Mead restarts. The first
+/// restart starts from a coarse global scan of the landscape (see
 /// [`seed_start`]); the remaining restarts start from random parameters.
+///
+/// Evaluation flows through the [`EnergyEvaluator`] with a single scratch
+/// and a monotonically increasing evaluation index, so per-point stochastic
+/// backends see one fresh noise substream per objective call and
+/// sequential-mode backends consume their stream in call order (the classic
+/// protocol).
 ///
 /// # Errors
 ///
-/// Returns [`QaoaError::InvalidParameters`] if `layers == 0` or
-/// `options.restarts == 0`.
-pub fn maximize_with_restarts<R, F>(
-    layers: usize,
-    evaluator: F,
+/// Returns [`QaoaError::InvalidParameters`] if the evaluator reports zero
+/// layers or `options.restarts == 0`.
+pub fn maximize_with_restarts<R, E>(
+    evaluator: &E,
     options: &OptimizeOptions,
     rng: &mut R,
 ) -> Result<OptimizeOutcome, QaoaError>
 where
     R: Rng,
-    F: Fn(&QaoaParams) -> f64,
+    E: EnergyEvaluator,
 {
+    let layers = evaluator.layers();
     if layers == 0 {
         return Err(QaoaError::InvalidParameters("layers must be positive"));
     }
@@ -133,19 +147,29 @@ where
         max_iters: options.max_iters,
         ..Default::default()
     });
+    let mut scratch = evaluator.scratch();
+    let mut eval_index: u64 = 0;
     let mut best_params: Option<QaoaParams> = None;
     let mut best_value = f64::NEG_INFINITY;
     let mut restart_values = Vec::with_capacity(options.restarts);
     let mut evaluations = 0usize;
     for restart in 0..options.restarts {
         let start = if restart == 0 {
-            seed_start(layers, &evaluator, rng, &mut evaluations)
+            seed_start(
+                evaluator,
+                &mut scratch,
+                &mut eval_index,
+                rng,
+                &mut evaluations,
+            )
         } else {
             QaoaParams::random(layers, rng).to_flat()
         };
         let mut objective = FnObjective::new(2 * layers, |flat: &[f64]| {
             let params = QaoaParams::from_flat(flat).expect("optimizer keeps the shape");
-            -evaluator(&params)
+            let value = evaluator.energy(&mut scratch, eval_index, &params);
+            eval_index += 1;
+            -value
         });
         let result = nm.minimize(&mut objective, &start);
         evaluations += result.evaluations;
@@ -194,17 +218,9 @@ impl EvaluationTrace {
         Self::default()
     }
 
-    /// Wraps an evaluator so that every call is recorded in this trace.
-    pub fn wrap<'a, F>(&'a self, mut evaluator: F) -> impl FnMut(&QaoaParams) -> f64 + 'a
-    where
-        F: FnMut(&QaoaParams) -> f64 + 'a,
-    {
-        let inner = Rc::clone(&self.inner);
-        move |params: &QaoaParams| {
-            let value = evaluator(params);
-            inner.borrow_mut().push((params.clone(), value));
-            value
-        }
+    /// Appends one `(parameters, value)` observation to the trace.
+    pub fn record(&self, params: &QaoaParams, value: f64) {
+        self.inner.borrow_mut().push((params.clone(), value));
     }
 
     /// Number of recorded evaluations.
@@ -237,10 +253,48 @@ impl EvaluationTrace {
     }
 }
 
+/// An [`EnergyEvaluator`] decorator that records every evaluation in an
+/// [`EvaluationTrace`] (the convergence experiments re-evaluate the visited
+/// parameters on an ideal backend afterwards).
+///
+/// The trace is an `Rc`-backed cell, so a traced evaluator is intentionally
+/// not `Sync`: it serves the serial optimization drivers, not parallel
+/// scans.
+#[derive(Debug)]
+pub struct TracedEvaluator<'a, E> {
+    inner: &'a E,
+    trace: &'a EvaluationTrace,
+}
+
+impl<'a, E> TracedEvaluator<'a, E> {
+    /// Wraps `inner` so every call is appended to `trace`.
+    pub fn new(inner: &'a E, trace: &'a EvaluationTrace) -> Self {
+        Self { inner, trace }
+    }
+}
+
+impl<E: EnergyEvaluator> EnergyEvaluator for TracedEvaluator<'_, E> {
+    type Scratch = E::Scratch;
+
+    fn layers(&self) -> usize {
+        self.inner.layers()
+    }
+
+    fn scratch(&self) -> Self::Scratch {
+        self.inner.scratch()
+    }
+
+    fn energy(&self, scratch: &mut Self::Scratch, index: u64, params: &QaoaParams) -> f64 {
+        let value = self.inner.energy(scratch, index, params);
+        self.trace.record(params, value);
+        value
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::expectation::QaoaInstance;
+    use crate::evaluator::StatevectorEvaluator;
     use crate::maxcut::brute_force_maxcut;
     use graphlib::generators::{connected_gnp, cycle};
     use mathkit::rng::seeded;
@@ -248,11 +302,10 @@ mod tests {
     #[test]
     fn optimization_beats_random_parameters_on_a_cycle() {
         let g = cycle(6).unwrap();
-        let instance = QaoaInstance::new(&g, 1).unwrap();
+        let evaluator = StatevectorEvaluator::new(&g, 1).unwrap();
         let mut rng = seeded(3);
         let outcome = maximize_with_restarts(
-            1,
-            |p| instance.expectation(p),
+            &evaluator,
             &OptimizeOptions {
                 restarts: 4,
                 max_iters: 150,
@@ -279,11 +332,10 @@ mod tests {
     fn optimized_ratio_is_reasonable_on_random_graphs() {
         let mut rng = seeded(8);
         let g = connected_gnp(7, 0.4, &mut rng).unwrap();
-        let instance = QaoaInstance::new(&g, 1).unwrap();
+        let evaluator = StatevectorEvaluator::new(&g, 1).unwrap();
         let truth = brute_force_maxcut(&g).unwrap().best_cut as f64;
         let outcome = maximize_with_restarts(
-            1,
-            |p| instance.expectation(p),
+            &evaluator,
             &OptimizeOptions {
                 restarts: 3,
                 max_iters: 120,
@@ -295,13 +347,32 @@ mod tests {
         assert!(ratio > 0.55 && ratio <= 1.0, "ratio {ratio}");
     }
 
+    /// Constant-energy evaluator with a configurable layer count, for
+    /// exercising the driver's validation paths.
+    struct ConstEval(usize);
+
+    impl EnergyEvaluator for ConstEval {
+        type Scratch = ();
+
+        fn layers(&self) -> usize {
+            self.0
+        }
+
+        fn scratch(&self) -> Self::Scratch {}
+
+        fn energy(&self, _scratch: &mut Self::Scratch, _index: u64, _params: &QaoaParams) -> f64 {
+            0.0
+        }
+    }
+
     #[test]
     fn invalid_options_are_rejected() {
         let mut rng = seeded(1);
-        assert!(maximize_with_restarts(0, |_| 0.0, &OptimizeOptions::default(), &mut rng).is_err());
+        assert!(
+            maximize_with_restarts(&ConstEval(0), &OptimizeOptions::default(), &mut rng).is_err()
+        );
         assert!(maximize_with_restarts(
-            1,
-            |_| 0.0,
+            &ConstEval(1),
             &OptimizeOptions {
                 restarts: 0,
                 max_iters: 10
@@ -312,16 +383,34 @@ mod tests {
     }
 
     #[test]
+    fn traced_evaluator_records_through_the_driver() {
+        let g = cycle(5).unwrap();
+        let evaluator = StatevectorEvaluator::new(&g, 1).unwrap();
+        let trace = EvaluationTrace::new();
+        let traced = TracedEvaluator::new(&evaluator, &trace);
+        let mut rng = seeded(4);
+        let outcome = maximize_with_restarts(
+            &traced,
+            &OptimizeOptions {
+                restarts: 1,
+                max_iters: 20,
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(trace.len(), outcome.evaluations);
+        let best_recorded = trace.running_best().last().copied().unwrap();
+        assert!((best_recorded - outcome.best_value).abs() < 1e-12);
+    }
+
+    #[test]
     fn evaluation_trace_records_calls() {
         let trace = EvaluationTrace::new();
         assert!(trace.is_empty());
-        {
-            let mut wrapped = trace.wrap(|p: &QaoaParams| p.gammas[0]);
-            let a = QaoaParams::new(vec![0.5], vec![0.1]).unwrap();
-            let b = QaoaParams::new(vec![0.2], vec![0.1]).unwrap();
-            assert_eq!(wrapped(&a), 0.5);
-            assert_eq!(wrapped(&b), 0.2);
-        }
+        let a = QaoaParams::new(vec![0.5], vec![0.1]).unwrap();
+        let b = QaoaParams::new(vec![0.2], vec![0.1]).unwrap();
+        trace.record(&a, 0.5);
+        trace.record(&b, 0.2);
         assert_eq!(trace.len(), 2);
         let best = trace.running_best();
         assert_eq!(best, vec![0.5, 0.5]);

@@ -5,13 +5,19 @@
 //! hardware. This crate rebuilds that stack from scratch:
 //!
 //! * [`circuit`] — a small quantum-circuit IR (gates, depth, gate counts).
-//! * [`statevector`] — an ideal statevector simulator.
+//! * [`statevector`] — an ideal statevector simulator, plus the
+//!   [`StatevectorWorkspace`](statevector::StatevectorWorkspace) that
+//!   recycles amplitude/phase buffers so repeated evaluations (landscape
+//!   scans) allocate nothing per point.
 //! * [`density`] — a density-matrix simulator with Kraus noise channels,
 //!   practical for small qubit counts.
 //! * [`noise`] — noise channels, per-device noise parameters, and readout
 //!   error models.
 //! * [`trajectory`] — a Monte-Carlo (quantum-trajectory) noisy simulator that
-//!   scales to the 14-qubit circuits used in the paper's noisy studies.
+//!   scales to the 14-qubit circuits used in the paper's noisy studies; the
+//!   seeded entry points average trajectories through `mathkit::parallel`
+//!   with per-trajectory RNG substreams, bitwise-identical for every thread
+//!   count.
 //! * [`devices`] — device presets (ibmq Kolkata/Toronto/…, Rigetti
 //!   Aspen-M-3, and the Falcon/Eagle/Hummingbird topologies of the
 //!   throughput study) with coupling maps and calibrated error rates.

@@ -57,6 +57,42 @@ impl StateVector {
         sv
     }
 
+    /// Re-initializes this state to `|0…0⟩` over `qubit_count` qubits,
+    /// reusing the existing amplitude allocation (it only grows, never
+    /// reallocates once large enough). This is the zero-allocation entry
+    /// point used by [`StatevectorWorkspace`] in grid scans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit_count` exceeds [`MAX_STATEVECTOR_QUBITS`].
+    pub fn reinitialize_zero(&mut self, qubit_count: usize) {
+        assert!(
+            qubit_count <= MAX_STATEVECTOR_QUBITS,
+            "statevector limited to {MAX_STATEVECTOR_QUBITS} qubits"
+        );
+        self.qubit_count = qubit_count;
+        self.amplitudes.clear();
+        self.amplitudes.resize(1 << qubit_count, Complex64::zero());
+        self.amplitudes[0] = Complex64::one();
+    }
+
+    /// Re-initializes this state to the uniform superposition `|s⟩` over
+    /// `qubit_count` qubits, reusing the existing amplitude allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit_count` exceeds [`MAX_STATEVECTOR_QUBITS`].
+    pub fn reinitialize_uniform(&mut self, qubit_count: usize) {
+        assert!(
+            qubit_count <= MAX_STATEVECTOR_QUBITS,
+            "statevector limited to {MAX_STATEVECTOR_QUBITS} qubits"
+        );
+        self.qubit_count = qubit_count;
+        let amp = Complex64::new(1.0 / ((1usize << qubit_count) as f64).sqrt(), 0.0);
+        self.amplitudes.clear();
+        self.amplitudes.resize(1 << qubit_count, amp);
+    }
+
     /// Number of qubits.
     pub fn qubit_count(&self) -> usize {
         self.qubit_count
@@ -362,25 +398,130 @@ impl StateVector {
     /// Samples `shots` measurement outcomes in the computational basis and
     /// returns per-basis-state counts.
     pub fn sample_counts<R: Rng>(&self, shots: usize, rng: &mut R) -> Vec<usize> {
-        let probs = self.probabilities();
-        let mut counts = vec![0usize; probs.len()];
-        // Cumulative distribution for inverse-transform sampling.
-        let mut cdf = Vec::with_capacity(probs.len());
-        let mut acc = 0.0;
-        for p in &probs {
-            acc += p;
-            cdf.push(acc);
+        sample_counts_from_probabilities(&self.probabilities(), shots, rng)
+    }
+}
+
+/// Draws `shots` inverse-transform samples from a probability vector and
+/// returns per-outcome counts.
+///
+/// The prefix-sum CDF is built once and each shot is placed with a binary
+/// search (`O(shots · log dim)` instead of the linear scan's
+/// `O(shots · dim)`), which matters for the `2^n`-entry distributions the
+/// simulators produce. Shared by [`StateVector::sample_counts`] and the
+/// noisy trajectory sampler.
+///
+/// # Panics
+///
+/// Panics if `probabilities` is empty.
+pub fn sample_counts_from_probabilities<R: Rng>(
+    probabilities: &[f64],
+    shots: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    assert!(!probabilities.is_empty(), "empty distribution");
+    let mut counts = vec![0usize; probabilities.len()];
+    // Cumulative distribution for inverse-transform sampling.
+    let mut cdf = Vec::with_capacity(probabilities.len());
+    let mut acc = 0.0;
+    for p in probabilities {
+        acc += p;
+        cdf.push(acc);
+    }
+    let total = acc.max(f64::MIN_POSITIVE);
+    for _ in 0..shots {
+        let r: f64 = rng.gen::<f64>() * total;
+        let idx = match cdf.binary_search_by(|x| x.partial_cmp(&r).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i.min(probabilities.len() - 1),
+        };
+        counts[idx] += 1;
+    }
+    counts
+}
+
+/// Reusable scratch buffers for repeated statevector evaluations.
+///
+/// Landscape scans evaluate the same circuit family thousands of times; a
+/// fresh `2^n` amplitude vector (plus a `2^n` phase table per cost layer)
+/// per evaluation is pure allocator traffic. A workspace owns both buffers
+/// and recycles them: after the first evaluation of a given size no further
+/// allocation happens. Buffers only grow, so one workspace can serve
+/// subgraphs of mixed sizes (the edge-local light-cone evaluator does this).
+///
+/// A workspace is intentionally `!Sync`-by-use: each worker thread of a
+/// parallel scan creates its own (see `mathkit::parallel`).
+#[derive(Debug, Clone)]
+pub struct StatevectorWorkspace {
+    state: StateVector,
+    phases: Vec<Complex64>,
+}
+
+impl StatevectorWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self {
+            state: StateVector::new(0),
+            phases: Vec::new(),
         }
-        let total = acc.max(f64::MIN_POSITIVE);
-        for _ in 0..shots {
-            let r: f64 = rng.gen::<f64>() * total;
-            let idx = match cdf.binary_search_by(|x| x.partial_cmp(&r).unwrap()) {
-                Ok(i) => i,
-                Err(i) => i.min(probs.len() - 1),
-            };
-            counts[idx] += 1;
-        }
-        counts
+    }
+
+    /// Creates a workspace with buffers pre-sized for `qubit_count` qubits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qubit_count` exceeds [`MAX_STATEVECTOR_QUBITS`].
+    pub fn with_qubits(qubit_count: usize) -> Self {
+        let mut ws = Self::new();
+        ws.begin_zero(qubit_count);
+        ws.phases.reserve(1 << qubit_count);
+        ws
+    }
+
+    /// Resets the working state to `|0…0⟩` over `qubit_count` qubits without
+    /// allocating (once the buffers have grown to this size).
+    pub fn begin_zero(&mut self, qubit_count: usize) -> &mut StateVector {
+        self.state.reinitialize_zero(qubit_count);
+        &mut self.state
+    }
+
+    /// Resets the working state to the uniform superposition over
+    /// `qubit_count` qubits without allocating.
+    pub fn begin_uniform(&mut self, qubit_count: usize) -> &mut StateVector {
+        self.state.reinitialize_uniform(qubit_count);
+        &mut self.state
+    }
+
+    /// Applies the diagonal unitary `|z⟩ ↦ e^{i·scale·table[z]} |z⟩` to the
+    /// working state, building the phase table in the reused scratch buffer.
+    ///
+    /// This is the QAOA cost layer: with `scale = -γ` and `table` the
+    /// cut-value diagonal it applies `e^{-iγ H_C}` in one pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `table.len()` differs from the state dimension.
+    pub fn apply_phase_diagonal(&mut self, table: &[f64], scale: f64) {
+        self.phases.clear();
+        self.phases
+            .extend(table.iter().map(|&v| Complex64::cis(scale * v)));
+        self.state.apply_diagonal(&self.phases);
+    }
+
+    /// Borrow of the working state.
+    pub fn state(&self) -> &StateVector {
+        &self.state
+    }
+
+    /// Mutable borrow of the working state (for applying gates).
+    pub fn state_mut(&mut self) -> &mut StateVector {
+        &mut self.state
+    }
+}
+
+impl Default for StatevectorWorkspace {
+    fn default() -> Self {
+        Self::new()
     }
 }
 
@@ -543,6 +684,104 @@ mod tests {
             let z = sv.expectation_z(q);
             assert!((p1 - (1.0 - z) / 2.0).abs() < EPS);
         }
+    }
+
+    #[test]
+    fn binary_search_sampling_matches_linear_scan_reference() {
+        // Regression guard for the CDF binary search: for identical RNG
+        // draws it must pick exactly the same outcome as the straightforward
+        // linear scan it replaced.
+        let mut c = Circuit::new(3);
+        c.extend([Gate::H(0), Gate::Ry(1, 0.8), Gate::Cnot(0, 2)])
+            .unwrap();
+        let sv = StateVector::from_circuit(&c);
+        let probs = sv.probabilities();
+        let mut cdf = Vec::with_capacity(probs.len());
+        let mut acc = 0.0;
+        for p in &probs {
+            acc += p;
+            cdf.push(acc);
+        }
+        let total = acc.max(f64::MIN_POSITIVE);
+        let mut linear_counts = vec![0usize; probs.len()];
+        let mut rng = seeded(99);
+        for _ in 0..4096 {
+            let r: f64 = rng.gen::<f64>() * total;
+            let idx = cdf
+                .iter()
+                .position(|&x| x >= r)
+                .unwrap_or(probs.len() - 1)
+                .min(probs.len() - 1);
+            linear_counts[idx] += 1;
+        }
+        let fast_counts = sv.sample_counts(4096, &mut seeded(99));
+        assert_eq!(fast_counts, linear_counts);
+    }
+
+    #[test]
+    fn fixed_seed_shot_histogram_is_stable() {
+        // Snapshot regression: refactors of the sampler must not change the
+        // histogram produced by a fixed seed.
+        let mut c = Circuit::new(2);
+        c.extend([Gate::H(0), Gate::Ry(1, 1.1)]).unwrap();
+        let sv = StateVector::from_circuit(&c);
+        let counts = sv.sample_counts(1000, &mut seeded(2024));
+        assert_eq!(counts.iter().sum::<usize>(), 1000);
+        assert_eq!(counts, SNAPSHOT_COUNTS);
+    }
+
+    /// Fixed-seed histogram for `fixed_seed_shot_histogram_is_stable`.
+    const SNAPSHOT_COUNTS: [usize; 4] = [364, 352, 127, 157];
+
+    #[test]
+    fn workspace_reuse_matches_fresh_statevectors() {
+        let mut ws = StatevectorWorkspace::new();
+        for &n in &[3usize, 2, 4, 3] {
+            ws.begin_uniform(n);
+            let fresh = StateVector::uniform_superposition(n);
+            assert_eq!(ws.state().qubit_count(), n);
+            for (a, b) in ws.state().amplitudes().iter().zip(fresh.amplitudes()) {
+                assert!((*a - *b).norm() < EPS);
+            }
+            ws.state_mut().apply_gate(Gate::Rx(0, 0.4));
+            let mut fresh = fresh;
+            fresh.apply_gate(Gate::Rx(0, 0.4));
+            assert_eq!(ws.state().amplitudes(), fresh.amplitudes());
+        }
+        // begin_zero resets any residue from the previous evaluation.
+        ws.begin_zero(2);
+        assert!((ws.state().probabilities()[0] - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn workspace_phase_diagonal_matches_explicit_table() {
+        let table = [0.0, 1.0, 2.0, 1.0];
+        let mut ws = StatevectorWorkspace::with_qubits(2);
+        ws.begin_uniform(2);
+        ws.apply_phase_diagonal(&table, -0.7);
+        let mut reference = StateVector::uniform_superposition(2);
+        let phases: Vec<Complex64> = table.iter().map(|&v| Complex64::cis(-0.7 * v)).collect();
+        reference.apply_diagonal(&phases);
+        assert_eq!(ws.state().amplitudes(), reference.amplitudes());
+        // A second application reuses the scratch without reallocation side
+        // effects on the result.
+        ws.begin_uniform(2);
+        ws.apply_phase_diagonal(&table, -0.7);
+        assert_eq!(ws.state().amplitudes(), reference.amplitudes());
+    }
+
+    #[test]
+    fn reinitialize_reuses_capacity_and_resets_contents() {
+        let mut sv = StateVector::uniform_superposition(4);
+        sv.apply_gate(Gate::Rx(2, 1.0));
+        let capacity_before = sv.amplitudes.capacity();
+        sv.reinitialize_zero(4);
+        assert_eq!(sv.amplitudes.capacity(), capacity_before);
+        assert!((sv.probabilities()[0] - 1.0).abs() < EPS);
+        sv.reinitialize_uniform(3);
+        assert_eq!(sv.qubit_count(), 3);
+        assert_eq!(sv.amplitudes.capacity(), capacity_before);
+        assert!((sv.norm_sqr() - 1.0).abs() < EPS);
     }
 
     #[test]

@@ -13,7 +13,9 @@
 use crate::circuit::{Circuit, Gate};
 use crate::density::apply_readout_confusion;
 use crate::noise::NoiseModel;
-use crate::statevector::StateVector;
+use crate::statevector::{sample_counts_from_probabilities, StateVector};
+use mathkit::parallel::parallel_map_indexed;
+use mathkit::rng::{derive_seed, seeded};
 use rand::Rng;
 
 /// Configuration of the trajectory simulator.
@@ -73,7 +75,8 @@ fn amplitude_damping_jump<R: Rng>(sv: &mut StateVector, qubit: usize, gamma: f64
     sv.renormalize();
 }
 
-/// Runs one noisy trajectory and returns the final statevector.
+/// Runs one noisy trajectory into an existing statevector (re-initialized to
+/// `|0…0⟩` first), so trajectory loops can reuse one amplitude allocation.
 ///
 /// Per gate and per participating qubit three error processes are applied:
 /// a depolarizing Pauli error with the calibrated gate-error probability, a
@@ -86,8 +89,13 @@ fn amplitude_damping_jump<R: Rng>(sv: &mut StateVector, qubit: usize, gamma: f64
 /// is the dominant size-dependent error source on hardware: a circuit twice
 /// as deep exposes every qubit to roughly twice the idle decay, which is
 /// precisely the penalty Red-QAOA's smaller circuits avoid.
-fn run_trajectory<R: Rng>(circuit: &Circuit, noise: &NoiseModel, rng: &mut R) -> StateVector {
-    let mut sv = StateVector::new(circuit.qubit_count());
+fn run_trajectory_into<R: Rng>(
+    sv: &mut StateVector,
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    rng: &mut R,
+) {
+    sv.reinitialize_zero(circuit.qubit_count());
     let depol = [noise.error_1q, noise.error_2q];
     let relax = [
         noise.relaxation_probability(noise.gate_time_1q_ns),
@@ -111,7 +119,7 @@ fn run_trajectory<R: Rng>(circuit: &Circuit, noise: &NoiseModel, rng: &mut R) ->
                 sv.apply_gate(Gate::Z(q));
             }
             if relax[kind] > 0.0 {
-                amplitude_damping_jump(&mut sv, q, relax[kind], rng);
+                amplitude_damping_jump(sv, q, relax[kind], rng);
             }
         }
     }
@@ -125,14 +133,13 @@ fn run_trajectory<R: Rng>(circuit: &Circuit, noise: &NoiseModel, rng: &mut R) ->
         }
         let p_relax = noise.relaxation_probability(idle_ns);
         if p_relax > 0.0 {
-            amplitude_damping_jump(&mut sv, q, p_relax, rng);
+            amplitude_damping_jump(sv, q, p_relax, rng);
         }
         let p_dephase = 0.5 * noise.dephasing_probability(idle_ns);
         if p_dephase > 0.0 && rng.gen::<f64>() < p_dephase {
             sv.apply_gate(Gate::Z(q));
         }
     }
-    sv
 }
 
 /// Average measurement distribution of a circuit under the noise model.
@@ -150,9 +157,70 @@ pub fn noisy_probabilities<R: Rng>(
     let ideal_noise = noise.effective_error_1q() <= 0.0 && noise.effective_error_2q() <= 0.0;
     let effective_runs = if ideal_noise { 1 } else { runs };
     let mut acc = vec![0.0f64; dim];
+    let mut sv = StateVector::new(circuit.qubit_count());
     for _ in 0..effective_runs {
-        let sv = run_trajectory(circuit, noise, rng);
-        for (a, p) in acc.iter_mut().zip(sv.probabilities()) {
+        run_trajectory_into(&mut sv, circuit, noise, rng);
+        for (a, amp) in acc.iter_mut().zip(sv.amplitudes()) {
+            *a += amp.norm_sqr();
+        }
+    }
+    for a in acc.iter_mut() {
+        *a /= effective_runs as f64;
+    }
+    apply_readout_confusion(&acc, circuit.qubit_count(), noise)
+}
+
+/// Number of trajectories summed per reduction chunk of the seeded average.
+///
+/// The chunk size is a fixed constant — *not* derived from the thread count —
+/// so the floating-point summation tree of [`noisy_probabilities_seeded`] is
+/// identical no matter how many workers process the chunks.
+const SEEDED_TRAJECTORY_CHUNK: usize = 8;
+
+/// Average measurement distribution of a circuit under the noise model,
+/// driven by per-trajectory RNG substreams instead of one sequential stream.
+///
+/// Trajectory `t` draws from `seeded(derive_seed(seed, t))`, so the set of
+/// trajectories is a pure function of `seed` and the result is
+/// **bitwise-identical for every thread count** (including serial). The
+/// averaging is chunked through `mathkit::parallel`, which is how trajectory
+/// shot averaging participates in the workspace's deterministic parallelism.
+///
+/// Per-trajectory substreams also strengthen the common-random-numbers
+/// coupling used by the noisy landscape comparisons: two circuits evaluated
+/// with the same `seed` see the same noise stream per trajectory index
+/// regardless of how many random draws each circuit consumes.
+pub fn noisy_probabilities_seeded(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    options: TrajectoryOptions,
+    seed: u64,
+) -> Vec<f64> {
+    let dim = 1usize << circuit.qubit_count();
+    let runs = options.trajectories.max(1);
+    let ideal_noise = noise.effective_error_1q() <= 0.0 && noise.effective_error_2q() <= 0.0;
+    let effective_runs = if ideal_noise { 1 } else { runs };
+    let chunks = effective_runs.div_ceil(SEEDED_TRAJECTORY_CHUNK);
+    let partials = parallel_map_indexed(
+        chunks,
+        || StateVector::new(circuit.qubit_count()),
+        |sv, chunk| {
+            let lo = chunk * SEEDED_TRAJECTORY_CHUNK;
+            let hi = (lo + SEEDED_TRAJECTORY_CHUNK).min(effective_runs);
+            let mut acc = vec![0.0f64; dim];
+            for t in lo..hi {
+                let mut rng = seeded(derive_seed(seed, t as u64));
+                run_trajectory_into(sv, circuit, noise, &mut rng);
+                for (a, amp) in acc.iter_mut().zip(sv.amplitudes()) {
+                    *a += amp.norm_sqr();
+                }
+            }
+            acc
+        },
+    );
+    let mut acc = vec![0.0f64; dim];
+    for partial in partials {
+        for (a, p) in acc.iter_mut().zip(partial) {
             *a += p;
         }
     }
@@ -160,6 +228,24 @@ pub fn noisy_probabilities<R: Rng>(
         *a /= effective_runs as f64;
     }
     apply_readout_confusion(&acc, circuit.qubit_count(), noise)
+}
+
+/// Seeded, thread-count-independent variant of
+/// [`noisy_expectation_diagonal`] (see [`noisy_probabilities_seeded`]).
+///
+/// # Panics
+///
+/// Panics if `values.len() != 2^n`.
+pub fn noisy_expectation_diagonal_seeded(
+    circuit: &Circuit,
+    noise: &NoiseModel,
+    values: &[f64],
+    options: TrajectoryOptions,
+    seed: u64,
+) -> f64 {
+    let probs = noisy_probabilities_seeded(circuit, noise, options, seed);
+    assert_eq!(values.len(), probs.len());
+    probs.iter().zip(values).map(|(p, v)| p * v).sum()
 }
 
 /// Noisy expectation value of a diagonal observable (given its value on every
@@ -190,22 +276,7 @@ pub fn noisy_sample_counts<R: Rng>(
     rng: &mut R,
 ) -> Vec<usize> {
     let probs = noisy_probabilities(circuit, noise, options, rng);
-    let mut counts = vec![0usize; probs.len()];
-    let mut cdf = Vec::with_capacity(probs.len());
-    let mut acc = 0.0;
-    for p in &probs {
-        acc += p;
-        cdf.push(acc);
-    }
-    for _ in 0..shots {
-        let r: f64 = rng.gen::<f64>() * acc;
-        let idx = match cdf.binary_search_by(|x| x.partial_cmp(&r).unwrap()) {
-            Ok(i) => i,
-            Err(i) => i.min(probs.len() - 1),
-        };
-        counts[idx] += 1;
-    }
-    counts
+    sample_counts_from_probabilities(&probs, shots, rng)
 }
 
 #[cfg(test)]
@@ -353,6 +424,61 @@ mod tests {
             probs[0],
             probs[7]
         );
+    }
+
+    #[test]
+    fn seeded_probabilities_are_thread_count_invariant() {
+        let c = ghz(3);
+        let noise = test_noise();
+        let opts = TrajectoryOptions { trajectories: 37 };
+        let reference = mathkit::parallel::with_threads(1, || {
+            noisy_probabilities_seeded(&c, &noise, opts, 0xDEAD)
+        });
+        for threads in [2usize, 4] {
+            let parallel = mathkit::parallel::with_threads(threads, || {
+                noisy_probabilities_seeded(&c, &noise, opts, 0xDEAD)
+            });
+            let bits_match = reference
+                .iter()
+                .zip(&parallel)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(bits_match, "thread count {threads} changed the average");
+        }
+        // A different seed gives a different (still normalized) distribution.
+        let other = noisy_probabilities_seeded(&c, &noise, opts, 0xBEEF);
+        assert!((other.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert_ne!(reference, other);
+    }
+
+    #[test]
+    fn seeded_average_approaches_density_matrix_result() {
+        let c = ghz(3);
+        let noise = NoiseModel::new(
+            0.004,
+            0.03,
+            ReadoutError::new(0.02, 0.03),
+            f64::INFINITY,
+            f64::INFINITY,
+            35.0,
+            300.0,
+        );
+        let exact = simulate_noisy_probabilities(&c, &noise).unwrap();
+        let approx =
+            noisy_probabilities_seeded(&c, &noise, TrajectoryOptions { trajectories: 3000 }, 7);
+        let err = mse(&exact, &approx).unwrap();
+        assert!(err < 5e-4, "mse {err}");
+    }
+
+    #[test]
+    fn seeded_expectation_matches_seeded_probabilities() {
+        let c = ghz(2);
+        let noise = test_noise();
+        let opts = TrajectoryOptions { trajectories: 64 };
+        let values = [1.0, 0.0, 0.0, 1.0];
+        let e = noisy_expectation_diagonal_seeded(&c, &noise, &values, opts, 11);
+        let probs = noisy_probabilities_seeded(&c, &noise, opts, 11);
+        let manual: f64 = probs.iter().zip(values).map(|(p, v)| p * v).sum();
+        assert_eq!(e.to_bits(), manual.to_bits());
     }
 
     #[test]

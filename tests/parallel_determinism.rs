@@ -1,0 +1,162 @@
+//! Property tests of the threading/determinism contract: every parallel
+//! scan must be **bitwise-identical** to the serial path for any worker
+//! count (`RED_QAOA_THREADS ∈ {1, 2, 4}` is exercised here through the
+//! scoped `mathkit::parallel::with_threads` override, which takes priority
+//! over the environment variable).
+
+use graphlib::generators::connected_gnp;
+use mathkit::parallel::with_threads;
+use mathkit::rng::seeded;
+use proptest::prelude::*;
+use qaoa::evaluator::{NoisyTrajectoryEvaluator, StatevectorEvaluator};
+use qaoa::landscape::Landscape;
+use qsim::trajectory::TrajectoryOptions;
+use red_qaoa::mse::{ideal_sample_mse, noisy_grid_comparison};
+use red_qaoa::pipeline::{run_noisy, PipelineOptions};
+use red_qaoa::reduction::ReductionOptions;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn bits(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Ideal landscape grids: same bits for 1, 2, and 4 workers.
+    #[test]
+    fn ideal_landscapes_are_thread_count_invariant(
+        seed in 0u64..500,
+        nodes in 5usize..9,
+        width in 3usize..8,
+    ) {
+        let graph = connected_gnp(nodes, 0.45, &mut seeded(seed)).unwrap();
+        prop_assume!(graph.edge_count() > 0);
+        let evaluator = StatevectorEvaluator::new(&graph, 1).unwrap();
+        let reference = with_threads(1, || Landscape::evaluate(width, &evaluator));
+        for threads in THREAD_COUNTS {
+            let scan = with_threads(threads, || Landscape::evaluate(width, &evaluator));
+            prop_assert_eq!(bits(&reference.values), bits(&scan.values));
+        }
+    }
+
+    /// Random-pool MSEs (the Figures 13–16 metric): bitwise-stable across
+    /// worker counts for both p = 1 and p = 2 backends.
+    #[test]
+    fn sample_mses_are_thread_count_invariant(
+        seed in 0u64..500,
+        nodes in 6usize..10,
+        layers in 1usize..3,
+    ) {
+        let original = connected_gnp(nodes, 0.5, &mut seeded(seed)).unwrap();
+        let reduced = connected_gnp(nodes - 1, 0.5, &mut seeded(seed + 1)).unwrap();
+        let reference = with_threads(1, || {
+            ideal_sample_mse(&original, &reduced, layers, 24, &mut seeded(seed + 2)).unwrap()
+        });
+        for threads in THREAD_COUNTS {
+            let mse = with_threads(threads, || {
+                ideal_sample_mse(&original, &reduced, layers, 24, &mut seeded(seed + 2)).unwrap()
+            });
+            prop_assert_eq!(reference.to_bits(), mse.to_bits());
+        }
+    }
+
+    /// Noisy landscape grids (per-point substreams + per-trajectory
+    /// sub-substreams): the whole three-landscape comparison is
+    /// bitwise-stable across worker counts.
+    #[test]
+    fn noisy_grid_comparisons_are_thread_count_invariant(
+        seed in 0u64..200,
+        nodes in 6usize..8,
+    ) {
+        let graph = connected_gnp(nodes, 0.5, &mut seeded(seed)).unwrap();
+        let reduced = connected_gnp(nodes - 1, 0.5, &mut seeded(seed + 1)).unwrap();
+        let noise = qsim::devices::fake_toronto().noise;
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                noisy_grid_comparison(&graph, &reduced, 3, &noise, 6, &mut seeded(seed + 2))
+                    .unwrap()
+            })
+        };
+        let reference = run(1);
+        for threads in THREAD_COUNTS {
+            let comparison = run(threads);
+            prop_assert_eq!(
+                bits(&reference.noisy_baseline.values),
+                bits(&comparison.noisy_baseline.values)
+            );
+            prop_assert_eq!(
+                bits(&reference.noisy_reduced.values),
+                bits(&comparison.noisy_reduced.values)
+            );
+            prop_assert_eq!(reference.baseline_mse.to_bits(), comparison.baseline_mse.to_bits());
+            prop_assert_eq!(reference.reduced_mse.to_bits(), comparison.reduced_mse.to_bits());
+        }
+    }
+
+    /// A noisy landscape scan evaluated point-by-point with a fresh scratch
+    /// per point equals the scan through `Landscape::evaluate` — the
+    /// per-point substream really is a pure function of the index.
+    #[test]
+    fn per_point_noisy_scan_matches_manual_point_evaluation(seed in 0u64..200) {
+        use qaoa::evaluator::EnergyEvaluator;
+        let graph = connected_gnp(6, 0.5, &mut seeded(seed)).unwrap();
+        let instance = qaoa::expectation::QaoaInstance::new(&graph, 1).unwrap();
+        let noise = qsim::devices::fake_toronto().noise;
+        let evaluator = NoisyTrajectoryEvaluator::per_point(
+            instance,
+            noise,
+            TrajectoryOptions { trajectories: 4 },
+            seed,
+        );
+        let scan = with_threads(2, || Landscape::evaluate(3, &evaluator));
+        for (idx, &value) in scan.values.iter().enumerate() {
+            let params = qaoa::params::QaoaParams::new(
+                vec![scan.gammas[idx / 3]],
+                vec![scan.betas[idx % 3]],
+            )
+            .unwrap();
+            let point = evaluator.energy(&mut evaluator.scratch(), idx as u64, &params);
+            prop_assert_eq!(value.to_bits(), point.to_bits());
+        }
+    }
+}
+
+/// The end-to-end noisy pipeline (sequential noise streams inside the
+/// optimizer, parallel primitives elsewhere) produces identical outcomes for
+/// every worker count.
+#[test]
+fn noisy_pipeline_is_thread_count_invariant() {
+    let graph = connected_gnp(8, 0.45, &mut seeded(11)).unwrap();
+    let options = PipelineOptions {
+        layers: 1,
+        reduction: ReductionOptions::default(),
+        optimize: qaoa::optimize::OptimizeOptions {
+            restarts: 2,
+            max_iters: 25,
+        },
+        refine_iters: 10,
+    };
+    let noise = qsim::devices::fake_toronto().noise;
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            run_noisy(&graph, &options, &noise, 8, &mut seeded(12)).unwrap()
+        })
+    };
+    let reference = run(1);
+    for threads in [2usize, 4] {
+        let outcome = run(threads);
+        assert_eq!(
+            reference.red_qaoa_ideal_value.to_bits(),
+            outcome.red_qaoa_ideal_value.to_bits(),
+            "threads {threads}"
+        );
+        assert_eq!(
+            reference.baseline_ideal_value.to_bits(),
+            outcome.baseline_ideal_value.to_bits(),
+            "threads {threads}"
+        );
+        assert_eq!(reference.reduction.graph(), outcome.reduction.graph());
+    }
+}
