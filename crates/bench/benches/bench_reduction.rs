@@ -1,10 +1,13 @@
 //! Benchmarks of the Red-QAOA graph-reduction engine (Figure 18): the SA
 //! inner loop and the full binary-search reduction at several graph sizes.
 
-use bench::bench_graph;
+use bench::{bench_graph, rebuild_objective};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphlib::metrics::average_node_degree;
+use graphlib::subgraph::random_connected_subgraph;
 use red_qaoa::annealing::{anneal_subgraph, CoolingSchedule, SaOptions};
 use red_qaoa::reduction::{reduce, ReductionOptions};
+use red_qaoa::sa_state::SaState;
 
 fn bench_sa_single_size(c: &mut Criterion) {
     let mut group = c.benchmark_group("sa_anneal_fixed_size");
@@ -51,10 +54,52 @@ fn bench_cooling_schedules(c: &mut Criterion) {
     group.finish();
 }
 
+/// The PR-3 tentpole comparison: scoring one candidate swap by rebuilding
+/// the induced subgraph (the pre-incremental hot loop) versus the
+/// `SaState` incremental evaluator. Both score the same fixed batch of
+/// proposals from the same state.
+fn bench_move_eval_rebuild_vs_incremental(c: &mut Criterion) {
+    let graph = bench_graph(60, 21);
+    let k = 40;
+    let target = average_node_degree(&graph);
+    let mut rng = mathkit::rng::seeded(23);
+    let initial = random_connected_subgraph(&graph, k, &mut rng).expect("samplable");
+    let mut state = SaState::new(&graph, &initial.nodes, target, 10.0).expect("valid selection");
+    let swaps: Vec<(usize, usize)> = (0..256)
+        .map(|_| state.propose(&mut rng).expect("non-empty boundary"))
+        .collect();
+
+    let mut group = c.benchmark_group("sa_move_eval_rebuild_vs_incremental");
+    group.bench_function("rebuild_per_move", |b| {
+        let mut candidate = Vec::with_capacity(k);
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &(out, inn) in &swaps {
+                candidate.clear();
+                candidate.extend(initial.nodes.iter().copied().filter(|&u| u != out));
+                candidate.push(inn);
+                acc += rebuild_objective(&graph, &candidate, target, 10.0);
+            }
+            acc
+        })
+    });
+    group.bench_function("incremental", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f64;
+            for &(out, inn) in &swaps {
+                acc += state.evaluate_swap(out, inn);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sa_single_size,
     bench_full_reduction_fig18,
-    bench_cooling_schedules
+    bench_cooling_schedules,
+    bench_move_eval_rebuild_vs_incremental
 );
 criterion_main!(benches);

@@ -1,0 +1,174 @@
+//! CI perf smoke for the graph-reduction engine: SA moves/sec, the
+//! incremental-vs-rebuild move-evaluation speedup, and `reduce_pool`
+//! graphs/sec.
+//!
+//! Three measurements, all written to a `BENCH_reduction.json` record so the
+//! repository's performance trajectory is tracked run-over-run:
+//!
+//! 1. **moves/sec** — full `anneal_subgraph` runs with a slow constant
+//!    schedule, reported as Metropolis steps per second (every iteration is
+//!    a genuine step; the annealer has no skipped moves).
+//! 2. **move evaluation** — the same fixed batch of candidate swaps scored
+//!    by the incremental `SaState` and by the old rebuild-per-move path
+//!    (`induced_subgraph` + `average_node_degree` + `connected_components`).
+//! 3. **graphs/sec** — `reduce_pool` over a pool of random graphs, run with
+//!    one worker and with four; the two results must be bitwise-identical
+//!    (the determinism contract of `mathkit::parallel`).
+//!
+//! Usage: `reduction_smoke [output.json]` (default `BENCH_reduction.json`).
+
+use bench::{bench_graph, rebuild_objective};
+use graphlib::metrics::average_node_degree;
+use graphlib::subgraph::random_connected_subgraph;
+use mathkit::parallel::with_threads;
+use mathkit::rng::{derive_seed, seeded};
+use red_qaoa::annealing::{anneal_subgraph, CoolingSchedule, SaOptions};
+use red_qaoa::reduction::{reduce_pool, ReductionOptions};
+use red_qaoa::sa_state::SaState;
+use std::time::Instant;
+
+const SA_NODES: usize = 48;
+const SA_K: usize = 32;
+const SA_RUNS: usize = 12;
+const EVAL_SWAPS: usize = 512;
+const EVAL_ROUNDS: usize = 200;
+const POOL_GRAPHS: usize = 24;
+const POOL_NODES: usize = 20;
+const SMOKE_SEED: u64 = 0x5A0C_2026;
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_reduction.json".to_string());
+
+    // --- 1. SA hot loop: Metropolis steps per second. -----------------------
+    let graph = bench_graph(SA_NODES, 7);
+    let options = SaOptions {
+        // A slow constant schedule keeps the move count high and independent
+        // of the adaptive stagnation heuristics.
+        cooling: CoolingSchedule::Constant(0.999),
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let mut total_moves = 0usize;
+    for run in 0..SA_RUNS {
+        let mut rng = seeded(derive_seed(SMOKE_SEED, run as u64));
+        let outcome =
+            anneal_subgraph(&graph, SA_K, &options, &mut rng).expect("benchmark graph anneals");
+        total_moves += outcome.iterations;
+    }
+    let anneal_secs = start.elapsed().as_secs_f64();
+    let moves_per_sec = total_moves as f64 / anneal_secs;
+
+    // --- 2. Move evaluation: incremental SaState vs rebuild-per-move. ------
+    let target = average_node_degree(&graph);
+    let mut rng = seeded(derive_seed(SMOKE_SEED, 100));
+    let initial =
+        random_connected_subgraph(&graph, SA_K, &mut rng).expect("benchmark subgraph samples");
+    let mut state = SaState::new(&graph, &initial.nodes, target, 10.0).expect("valid selection");
+    let swaps: Vec<(usize, usize)> = (0..EVAL_SWAPS)
+        .map(|_| state.propose(&mut rng).expect("boundary is non-empty"))
+        .collect();
+
+    let start = Instant::now();
+    let mut incremental_acc = 0.0f64;
+    for _ in 0..EVAL_ROUNDS {
+        for &(out, inn) in &swaps {
+            incremental_acc += state.evaluate_swap(out, inn);
+        }
+    }
+    let incremental_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let mut rebuild_acc = 0.0f64;
+    let mut candidate = Vec::with_capacity(SA_K);
+    for _ in 0..EVAL_ROUNDS {
+        for &(out, inn) in &swaps {
+            candidate.clear();
+            candidate.extend(initial.nodes.iter().copied().filter(|&u| u != out));
+            candidate.push(inn);
+            rebuild_acc += rebuild_objective(&graph, &candidate, target, 10.0);
+        }
+    }
+    let rebuild_secs = start.elapsed().as_secs_f64();
+    assert!(
+        (incremental_acc - rebuild_acc).abs() < 1e-6 * rebuild_acc.abs().max(1.0),
+        "incremental evaluator diverged from the rebuild-per-move objective"
+    );
+    let evals = (EVAL_SWAPS * EVAL_ROUNDS) as f64;
+    let incremental_evals_per_sec = evals / incremental_secs;
+    let rebuild_evals_per_sec = evals / rebuild_secs;
+
+    // --- 3. reduce_pool: graphs/sec + thread-count determinism. -------------
+    let pool: Vec<graphlib::Graph> = (0..POOL_GRAPHS)
+        .map(|i| bench_graph(POOL_NODES, 1000 + i as u64))
+        .collect();
+    let reduction_options = ReductionOptions::default();
+    let start = Instant::now();
+    let serial = with_threads(1, || reduce_pool(&pool, &reduction_options, SMOKE_SEED));
+    let serial_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let threaded = with_threads(4, || reduce_pool(&pool, &reduction_options, SMOKE_SEED));
+    let threaded_secs = start.elapsed().as_secs_f64();
+    let identical = serial.len() == threaded.len()
+        && serial.iter().zip(&threaded).all(|(a, b)| match (a, b) {
+            (Ok(a), Ok(b)) => {
+                a.subgraph.nodes == b.subgraph.nodes
+                    && a.and_ratio.to_bits() == b.and_ratio.to_bits()
+                    && a.node_reduction.to_bits() == b.node_reduction.to_bits()
+            }
+            (Err(a), Err(b)) => a == b,
+            _ => false,
+        });
+    assert!(
+        identical,
+        "parallel reduce_pool diverged from the serial reference"
+    );
+    let serial_gps = POOL_GRAPHS as f64 / serial_secs;
+    let threaded_gps = POOL_GRAPHS as f64 / threaded_secs;
+
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"reduction_smoke\",\n",
+            "  \"available_cores\": {},\n",
+            "  \"sa_nodes\": {},\n",
+            "  \"sa_subgraph_size\": {},\n",
+            "  \"sa_runs\": {},\n",
+            "  \"sa_total_moves\": {},\n",
+            "  \"sa_moves_per_sec\": {:.2},\n",
+            "  \"move_evals\": {},\n",
+            "  \"incremental_evals_per_sec\": {:.2},\n",
+            "  \"rebuild_evals_per_sec\": {:.2},\n",
+            "  \"incremental_speedup_vs_rebuild\": {:.3},\n",
+            "  \"pool_graphs\": {},\n",
+            "  \"pool_graph_nodes\": {},\n",
+            "  \"serial_graphs_per_sec\": {:.3},\n",
+            "  \"threads4_graphs_per_sec\": {:.3},\n",
+            "  \"pool_speedup_4_threads\": {:.3},\n",
+            "  \"bitwise_identical\": true\n",
+            "}}\n"
+        ),
+        cores,
+        SA_NODES,
+        SA_K,
+        SA_RUNS,
+        total_moves,
+        moves_per_sec,
+        EVAL_SWAPS * EVAL_ROUNDS,
+        incremental_evals_per_sec,
+        rebuild_evals_per_sec,
+        incremental_evals_per_sec / rebuild_evals_per_sec,
+        POOL_GRAPHS,
+        POOL_NODES,
+        serial_gps,
+        threaded_gps,
+        serial_secs / threaded_secs,
+    );
+    std::fs::write(&output, &json).expect("write benchmark record");
+    print!("{json}");
+    println!("wrote {output}");
+}

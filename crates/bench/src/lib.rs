@@ -9,6 +9,9 @@
 #![warn(rust_2018_idioms)]
 
 use graphlib::generators::connected_gnp;
+use graphlib::metrics::average_node_degree;
+use graphlib::subgraph::induced_subgraph;
+use graphlib::traversal::connected_components;
 use graphlib::Graph;
 use mathkit::rng::{derive_seed, seeded};
 
@@ -19,6 +22,18 @@ pub const BENCH_SEED: u64 = 0xBE4C_2024;
 pub fn bench_graph(nodes: usize, stream: u64) -> Graph {
     let mut rng = seeded(derive_seed(BENCH_SEED, stream));
     connected_gnp(nodes, 0.4, &mut rng).expect("valid benchmark graph")
+}
+
+/// The pre-incremental SA objective: rebuild the induced subgraph and rerun
+/// the global metrics. This is the rebuild-per-move baseline that both the
+/// `sa_move_eval_rebuild_vs_incremental` criterion group and the
+/// `reduction_smoke` CI bin compare the incremental `SaState` evaluator
+/// against — one definition so the two measurements can never drift apart.
+pub fn rebuild_objective(graph: &Graph, nodes: &[usize], target_and: f64, penalty: f64) -> f64 {
+    let sub = induced_subgraph(graph, nodes).expect("valid selection");
+    let and = average_node_degree(&sub.graph);
+    let components = connected_components(&sub.graph).len();
+    (and - target_and).abs() + penalty * (components.saturating_sub(1)) as f64
 }
 
 #[cfg(test)]

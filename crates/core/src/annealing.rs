@@ -1,18 +1,40 @@
 //! Algorithm 1: simulated-annealing subgraph search.
 //!
-//! The SA state is a set of `k` nodes inducing a connected subgraph of the
-//! input graph. A move swaps one selected node for an unselected node; the
-//! objective is the absolute difference between the subgraph's Average Node
-//! Degree (AND) and the original graph's AND, with a penalty for
-//! disconnecting the subgraph. Moves that improve the objective are always
-//! accepted; worse moves are accepted with probability
-//! `exp(-(Δf)/T)` where the temperature `T` follows either a constant
-//! (`T ← α·T`) or an adaptive cooling schedule.
+//! The SA state is a set of `k` nodes inducing a subgraph of the input graph,
+//! maintained incrementally by [`crate::sa_state::SaState`]: membership
+//! bitset, cached internal-degree sums, and a deduplicated boundary set, so
+//! each candidate move is scored in `O(deg(out) + deg(inn))` plus a
+//! neighborhood-limited connectivity check — no induced subgraph is ever
+//! rebuilt inside the loop and the steady state performs zero allocations.
+//!
+//! A move swaps one selected node for an unselected *boundary* node (uniform
+//! over the deduplicated boundary, matching Algorithm 1's uniform neighbor
+//! pick); because the incoming node is never already selected, every
+//! iteration performs a genuine Metropolis step — no degenerate
+//! duplicate-producing swaps exist that could burn an iteration and cool the
+//! temperature without evaluating a move. The objective is the absolute
+//! difference between the subgraph's Average Node Degree (AND) and the
+//! original graph's AND, with a penalty for disconnecting the subgraph.
+//!
+//! Acceptance and cooling semantics:
+//!
+//! * moves that strictly improve the objective are always accepted; worse
+//!   moves are accepted with probability `exp(-(Δf)/T)`;
+//! * neutral moves (`Δf = 0`) are therefore always accepted (`p < exp(0)`
+//!   always holds) **but count toward the stagnation streak exactly like
+//!   rejections** — on degenerate landscapes (e.g. complete graphs, where
+//!   every swap is neutral) the adaptive schedule engages and terminates the
+//!   plateaued search instead of running the full constant-cooling budget.
+//!   Improving accepts and genuine uphill accepts (the annealer still
+//!   exploring at temperature) reset the streak;
+//! * the temperature `T` then cools by either a constant factor (`T ← α·T`)
+//!   or the adaptive factor, which strengthens once the stagnation streak
+//!   outgrows a short patience window.
 
+use crate::sa_state::SaState;
 use crate::RedQaoaError;
 use graphlib::metrics::average_node_degree;
 use graphlib::subgraph::{induced_subgraph, random_connected_subgraph, Subgraph};
-use graphlib::traversal::connected_components;
 use graphlib::Graph;
 use rand::Rng;
 
@@ -21,23 +43,33 @@ use rand::Rng;
 pub enum CoolingSchedule {
     /// Multiply the temperature by a constant factor every step: `T ← α·T`.
     Constant(f64),
-    /// Adaptive cooling: the factor starts at `base` and decreases as the
-    /// run accumulates consecutive rejections, so stagnating searches cool
-    /// (and therefore terminate) faster. This is the lower-overhead schedule
-    /// the paper equips Red-QAOA with by default.
+    /// Adaptive cooling: the factor starts at `base` and decreases once the
+    /// streak of stagnating steps (rejections and neutral accepts) outgrows
+    /// a short patience window, so plateaued searches cool (and therefore
+    /// terminate) faster. This is the lower-overhead schedule the paper
+    /// equips Red-QAOA with by default.
     Adaptive {
-        /// Cooling factor applied when moves are still being accepted.
+        /// Cooling factor applied while the search is still making progress.
         base: f64,
     },
 }
 
+/// Non-improving steps tolerated before the adaptive schedule starts
+/// strengthening its cooling factor. Healthy searches routinely go this many
+/// steps between improvements (rejections of disconnecting moves, neutral
+/// drift across equal-AND subgraphs); only streaks beyond the window signal
+/// a genuine plateau.
+const STAGNATION_PATIENCE: usize = 30;
+
 impl CoolingSchedule {
-    fn factor(&self, consecutive_rejections: usize) -> f64 {
+    fn factor(&self, stagnation_streak: usize) -> f64 {
         match *self {
             CoolingSchedule::Constant(alpha) => alpha,
             CoolingSchedule::Adaptive { base } => {
-                // Each streak of 5 rejections strengthens the cooling.
-                let boost = 1.0 + consecutive_rejections as f64 / 5.0;
+                // Beyond the patience window, every 5 further non-improving
+                // steps strengthen the cooling.
+                let excess = stagnation_streak.saturating_sub(STAGNATION_PATIENCE);
+                let boost = 1.0 + excess as f64 / 5.0;
                 base.powf(boost)
             }
         }
@@ -95,10 +127,17 @@ pub struct SaOutcome {
     pub accepted: usize,
 }
 
-fn objective(graph: &Graph, nodes: &[usize], target_and: f64, penalty: f64) -> (f64, Subgraph) {
+/// From-scratch objective used only at run boundaries (final reporting); the
+/// hot loop goes through [`SaState`].
+fn objective_from_scratch(
+    graph: &Graph,
+    nodes: &[usize],
+    target_and: f64,
+    penalty: f64,
+) -> (f64, Subgraph) {
     let sub = induced_subgraph(graph, nodes).expect("nodes are valid");
     let and = average_node_degree(&sub.graph);
-    let components = connected_components(&sub.graph).len();
+    let components = graphlib::traversal::connected_components(&sub.graph).len();
     let value = (and - target_and).abs() + penalty * (components.saturating_sub(1)) as f64;
     (value, sub)
 }
@@ -134,86 +173,61 @@ pub fn anneal_subgraph<R: Rng>(
     // Line 3: random connected initial subgraph.
     let initial = random_connected_subgraph(graph, k, rng)
         .map_err(|_| RedQaoaError::GraphNotReducible("no connected subgraph of this size"))?;
-    let mut current_nodes = initial.nodes.clone();
-    let (mut current_value, _) = objective(
+    let mut state = SaState::new(
         graph,
-        &current_nodes,
+        &initial.nodes,
         target_and,
         options.disconnection_penalty,
-    );
-    let mut best_nodes = current_nodes.clone();
-    let mut best_value = current_value;
+    )?;
+    let mut best_nodes = state.nodes().to_vec();
+    let mut best_value = state.objective();
 
     let mut temperature = options.initial_temp;
     let mut iterations = 0usize;
     let mut accepted = 0usize;
-    let mut consecutive_rejections = 0usize;
+    let mut stagnation_streak = 0usize;
 
     while temperature > options.final_temp {
         iterations += 1;
-        // Line 6: neighbouring subgraph — swap one inside node for an outside
-        // node (prefer outside nodes adjacent to the current selection so the
-        // subgraph tends to stay connected).
-        let inside_idx = rng.gen_range(0..current_nodes.len());
-        let mut outside_candidates: Vec<usize> = Vec::new();
-        for &u in &current_nodes {
-            for v in graph.neighbors(u) {
-                if !current_nodes.contains(&v) {
-                    outside_candidates.push(v);
-                }
-            }
-        }
-        if outside_candidates.is_empty() {
-            // Selection already covers its whole component; fall back to any
-            // outside node.
-            outside_candidates = (0..n).filter(|u| !current_nodes.contains(u)).collect();
-        }
-        if outside_candidates.is_empty() {
+        // Line 6: neighbouring subgraph — swap one selected node for a
+        // boundary node (uniform over the deduplicated boundary; the swap can
+        // never duplicate a selected node by construction).
+        let Some((out, inn)) = state.propose(rng) else {
             break; // k == n, nothing to swap.
-        }
-        let new_node = outside_candidates[rng.gen_range(0..outside_candidates.len())];
-        let mut candidate_nodes = current_nodes.clone();
-        candidate_nodes[inside_idx] = new_node;
-        candidate_nodes.sort_unstable();
-        candidate_nodes.dedup();
-        if candidate_nodes.len() < k {
-            // The swap duplicated an existing node; skip this move.
-            temperature *= options.cooling.factor(consecutive_rejections);
-            continue;
-        }
-
-        let (candidate_value, _) = objective(
-            graph,
-            &candidate_nodes,
-            target_and,
-            options.disconnection_penalty,
-        );
+        };
+        let current_value = state.objective();
+        let candidate_value = state.evaluate_swap(out, inn);
+        let improving = candidate_value < current_value;
 
         // Lines 9–16: Metropolis acceptance.
-        let accept = if candidate_value < current_value {
-            true
-        } else {
+        let accept = improving || {
             let p: f64 = rng.gen();
             p < (-(candidate_value - current_value) / temperature).exp()
         };
         if accept {
-            current_nodes = candidate_nodes;
-            current_value = candidate_value;
+            state.apply_swap(out, inn);
             accepted += 1;
-            consecutive_rejections = 0;
-            if current_value < best_value {
-                best_value = current_value;
-                best_nodes = current_nodes.clone();
+            if candidate_value < best_value {
+                best_value = candidate_value;
+                best_nodes.clear();
+                best_nodes.extend_from_slice(state.nodes());
             }
-        } else {
-            consecutive_rejections += 1;
         }
-
-        // Lines 17–21: cooling.
-        temperature *= options.cooling.factor(consecutive_rejections);
+        // Lines 17–21: cooling. Neutral accepts (always taken, since
+        // `p < exp(0)` always holds) count toward the stagnation streak
+        // exactly like rejections, so a plateaued search — e.g. a complete
+        // graph where every swap is neutral — engages the adaptive schedule
+        // and terminates. Strict improvements and genuine uphill accepts
+        // (the annealer still exploring at temperature) reset it.
+        if accept && candidate_value != current_value {
+            stagnation_streak = 0;
+        } else {
+            stagnation_streak += 1;
+        }
+        temperature *= options.cooling.factor(stagnation_streak);
     }
 
-    let (final_value, subgraph) = objective(
+    let (final_value, subgraph) = objective_from_scratch(
         graph,
         &best_nodes,
         target_and,
@@ -297,8 +311,12 @@ mod tests {
     #[test]
     fn adaptive_cooling_terminates_in_fewer_iterations_when_stuck() {
         // On a complete graph every same-size subgraph has the same AND, so
-        // every move is neutral; the adaptive schedule should cool faster
-        // than a slow constant schedule.
+        // every move is neutral: always accepted, never improving. The
+        // adaptive schedule must engage on that stagnation and terminate in
+        // a small fraction of the constant schedule's iterations. (Before
+        // the stagnation fix, neutral accepts reset the streak and both
+        // schedules ran the identical number of iterations, making this
+        // comparison vacuous.)
         let g = complete(10);
         let mut rng_a = seeded(7);
         let adaptive = anneal_subgraph(
@@ -322,7 +340,42 @@ mod tests {
             &mut rng_c,
         )
         .unwrap();
-        assert!(adaptive.iterations <= constant.iterations);
+        assert!(
+            adaptive.iterations * 2 < constant.iterations,
+            "adaptive ran {} iterations vs constant's {} — the stagnation \
+             streak did not engage",
+            adaptive.iterations,
+            constant.iterations
+        );
+    }
+
+    #[test]
+    fn every_iteration_performs_a_metropolis_step_on_degenerate_landscapes() {
+        // All moves on a complete graph are neutral, hence always accepted:
+        // accepted must equal iterations. (The pre-fix loop could skip
+        // iterations — cooling the temperature without any Metropolis step —
+        // when a proposal duplicated a selected node; boundary-based
+        // proposals make that impossible by construction.)
+        let g = complete(9);
+        let mut rng = seeded(13);
+        let out = anneal_subgraph(&g, 6, &SaOptions::default(), &mut rng).unwrap();
+        assert!(out.iterations > 0);
+        assert_eq!(
+            out.accepted, out.iterations,
+            "some iteration burned temperature without a Metropolis step"
+        );
+    }
+
+    #[test]
+    fn reported_objective_matches_from_scratch_recomputation() {
+        let mut rng = seeded(21);
+        let g = connected_gnp(12, 0.4, &mut rng).unwrap();
+        let out = anneal_subgraph(&g, 7, &SaOptions::default(), &mut rng).unwrap();
+        let target = average_node_degree(&g);
+        let and = average_node_degree(&out.subgraph.graph);
+        let components = graphlib::traversal::connected_components(&out.subgraph.graph).len();
+        let expected = (and - target).abs() + 10.0 * (components.saturating_sub(1)) as f64;
+        assert_eq!(out.objective.to_bits(), expected.to_bits());
     }
 
     #[test]

@@ -14,8 +14,12 @@
 //!
 //! * [`annealing`] — Algorithm 1: simulated-annealing subgraph search with
 //!   constant and adaptive cooling.
-//! * [`reduction`] — the binary search over subgraph sizes and the
-//!   node/edge-reduction bookkeeping.
+//! * [`sa_state`] — the incremental move evaluator behind the annealer:
+//!   O(deg) AND deltas, deduplicated boundary proposals, and
+//!   neighborhood-limited connectivity with zero steady-state allocations.
+//! * [`reduction`] — the binary search over subgraph sizes, the
+//!   node/edge-reduction bookkeeping, and the deterministic parallel
+//!   [`reduction::reduce_pool`] over graph slices.
 //! * [`mse`] — ideal and noisy energy-landscape comparisons between the
 //!   original and reduced graphs (the paper's headline metric).
 //! * [`pipeline`] — the end-to-end Red-QAOA flow (reduce → optimize on `G'` →
@@ -44,6 +48,7 @@ pub mod annealing;
 pub mod mse;
 pub mod pipeline;
 pub mod reduction;
+pub mod sa_state;
 pub mod throughput;
 pub mod transfer;
 

@@ -134,6 +134,24 @@ pub fn run_ideal<R: Rng>(
     rng: &mut R,
 ) -> Result<PipelineOutcome, RedQaoaError> {
     let reduction = reduce(graph, &options.reduction, rng)?;
+    run_ideal_with_reduction(graph, reduction, options, rng)
+}
+
+/// Runs the ideal pipeline's steps 2 and 3 on a reduction computed
+/// elsewhere — typically one entry of a [`crate::reduction::reduce_pool`]
+/// batch, so experiments can reduce a whole graph pool in parallel and then
+/// drive each pipeline off its precomputed surrogate.
+///
+/// # Errors
+///
+/// Returns [`RedQaoaError`] if either graph is too large for exact
+/// simulation.
+pub fn run_ideal_with_reduction<R: Rng>(
+    graph: &graphlib::Graph,
+    reduction: ReducedGraph,
+    options: &PipelineOptions,
+    rng: &mut R,
+) -> Result<PipelineOutcome, RedQaoaError> {
     let reduced_evaluator = StatevectorEvaluator::new(reduction.graph(), options.layers)?;
     let original_evaluator = StatevectorEvaluator::new(graph, options.layers)?;
 

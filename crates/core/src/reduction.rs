@@ -5,12 +5,24 @@
 //! required AND ratio (default 0.7, Section 4.3) is returned. The binary
 //! search is what gives the `n log n` preprocessing scaling reported in
 //! Figure 18.
+//!
+//! Two layers fan out through `mathkit::parallel::parallel_map_indexed` with
+//! per-index RNG substreams, so results are bitwise-identical for every
+//! `RED_QAOA_THREADS` value:
+//!
+//! * the `sa_runs` independent SA restarts at each candidate size inside
+//!   [`reduce`];
+//! * whole graphs across a slice in [`reduce_pool`] (one derived seed per
+//!   graph; a `reduce` running inside the pool detects the enclosing
+//!   parallel region and runs its restarts serially).
 
 use crate::annealing::{anneal_subgraph, SaOptions};
 use crate::RedQaoaError;
 use graphlib::metrics::{and_ratio, average_node_degree};
 use graphlib::subgraph::Subgraph;
 use graphlib::Graph;
+use mathkit::parallel::parallel_map_indexed;
+use mathkit::rng::{derive_seed, seeded};
 use rand::Rng;
 
 /// Default minimum acceptable AND ratio between the reduced and original
@@ -74,9 +86,22 @@ fn best_subgraph_of_size<R: Rng>(
     options: &ReductionOptions,
     rng: &mut R,
 ) -> Result<Subgraph, RedQaoaError> {
+    // The independent restarts fan out with one derived substream per run,
+    // so the winner is the same for every worker-thread count (ties break
+    // toward the lowest run index).
+    let runs = options.sa_runs.max(1);
+    let runs_seed: u64 = rng.gen();
+    let outcomes = parallel_map_indexed(
+        runs,
+        || (),
+        |_, run| {
+            let mut run_rng = seeded(derive_seed(runs_seed, run as u64));
+            anneal_subgraph(graph, k, &options.sa, &mut run_rng)
+        },
+    );
     let mut best: Option<(f64, Subgraph)> = None;
-    for _ in 0..options.sa_runs.max(1) {
-        let outcome = anneal_subgraph(graph, k, &options.sa, rng)?;
+    for outcome in outcomes {
+        let outcome = outcome?;
         let replace = match &best {
             None => true,
             Some((obj, _)) => outcome.objective < *obj,
@@ -175,24 +200,51 @@ pub fn reduce<R: Rng>(
     })
 }
 
+/// Reduces every graph of a slice in parallel, one RNG substream per graph.
+///
+/// Graph `i` is reduced with a generator seeded by
+/// `derive_seed(seed, i)`, so the output is **bitwise-identical for every
+/// `RED_QAOA_THREADS` value** (the same contract as the landscape scans; see
+/// `tests/parallel_determinism.rs`). Errors are reported per graph rather
+/// than aborting the pool — a too-small or edgeless graph yields an `Err`
+/// entry while the rest of the slice still reduces.
+pub fn reduce_pool(
+    graphs: &[Graph],
+    options: &ReductionOptions,
+    seed: u64,
+) -> Vec<Result<ReducedGraph, RedQaoaError>> {
+    parallel_map_indexed(
+        graphs.len(),
+        || (),
+        |_, i| {
+            let mut rng = seeded(derive_seed(seed, i as u64));
+            reduce(&graphs[i], options, &mut rng)
+        },
+    )
+}
+
 /// Reduces every graph of a slice and reports the mean node and edge
 /// reduction ratios (the quantities of Figures 13 and 15).
 ///
-/// Graphs that fail to reduce (too small / edgeless) are skipped.
+/// Graphs that fail to reduce (too small / edgeless) are skipped. The work
+/// runs through [`reduce_pool`] (one derived substream per graph), so the
+/// means are thread-count invariant.
 pub fn mean_reduction_ratios<R: Rng>(
     graphs: &[Graph],
     options: &ReductionOptions,
     rng: &mut R,
 ) -> (f64, f64) {
+    let pool_seed: u64 = rng.gen();
     let mut node_sum = 0.0;
     let mut edge_sum = 0.0;
     let mut count = 0usize;
-    for g in graphs {
-        if let Ok(reduced) = reduce(g, options, rng) {
-            node_sum += reduced.node_reduction;
-            edge_sum += reduced.edge_reduction;
-            count += 1;
-        }
+    for reduced in reduce_pool(graphs, options, pool_seed)
+        .into_iter()
+        .flatten()
+    {
+        node_sum += reduced.node_reduction;
+        edge_sum += reduced.edge_reduction;
+        count += 1;
     }
     if count == 0 {
         (0.0, 0.0)
@@ -302,6 +354,27 @@ mod tests {
         // Edge reduction should be at least as large as node reduction on
         // average (removing nodes removes their incident edges).
         assert!(edge_red + 1e-9 >= node_red);
+    }
+
+    #[test]
+    fn reduce_pool_matches_per_graph_reduce_and_reports_errors_in_place() {
+        let mut rng = seeded(9);
+        let mut graphs: Vec<Graph> = (0..3)
+            .map(|_| connected_gnp(10, 0.4, &mut rng).unwrap())
+            .collect();
+        graphs.insert(1, Graph::new(4)); // edgeless: must fail in place
+        let results = reduce_pool(&graphs, &ReductionOptions::default(), 42);
+        assert_eq!(results.len(), 4);
+        assert!(results[1].is_err());
+        for (i, result) in results.iter().enumerate() {
+            if i == 1 {
+                continue;
+            }
+            let pooled = result.as_ref().unwrap();
+            let mut solo_rng = seeded(mathkit::rng::derive_seed(42, i as u64));
+            let solo = reduce(&graphs[i], &ReductionOptions::default(), &mut solo_rng).unwrap();
+            assert_eq!(pooled, &solo, "graph {i} diverged from a solo reduce");
+        }
     }
 
     #[test]

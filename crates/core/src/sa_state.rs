@@ -1,0 +1,654 @@
+//! Incremental move evaluator for the simulated-annealing subgraph search.
+//!
+//! [`SaState`] maintains a `k`-node selection of a parent graph together with
+//! everything Algorithm 1's hot loop needs to score and commit a node swap
+//! without rebuilding the induced subgraph:
+//!
+//! * a **membership bitset** (`in_set`) plus a position index, so membership
+//!   tests are `O(1)` instead of the `Vec::contains` linear scans of the
+//!   original implementation;
+//! * a **cached internal-degree table** (`internal_degree[w]` = number of
+//!   selected neighbors of `w`, maintained for every node) and its sum over
+//!   the selection, so the AND delta of swapping `out` for `inn` costs
+//!   `O(deg(out) + deg(inn))`;
+//! * an incrementally maintained, **deduplicated boundary set** — the outside
+//!   nodes adjacent to the selection — so move proposals are uniform over
+//!   distinct neighbors (Algorithm 1's proposal distribution) and never
+//!   produce a degenerate duplicate swap;
+//! * **neighborhood-limited connectivity**: the component count of a
+//!   candidate swap is derived from the current count through local rules
+//!   (isolated/leaf removal, an early-exit traversal around the removed
+//!   node); a full scan of the selection runs only as a fallback on already
+//!   disconnected states and as a `debug_assert!` cross-check;
+//! * reusable scratch buffers (epoch-stamped visit arrays, a traversal
+//!   queue), so the steady-state evaluate/apply cycle performs **zero heap
+//!   allocations**.
+//!
+//! The evaluator is exact: `objective`, `and_value`, and `components` are
+//! bitwise-identical to the from-scratch `induced_subgraph` +
+//! `average_node_degree` + `connected_components` computation (property
+//! tested in `tests/sa_state_equivalence.rs`).
+
+use crate::RedQaoaError;
+use graphlib::Graph;
+use rand::Rng;
+
+/// Sentinel for "not present" in the position indexes.
+const NONE: usize = usize::MAX;
+
+/// Incremental state of one simulated-annealing subgraph search.
+///
+/// Construction is `O(V + E)` (it snapshots the adjacency into a flat CSR
+/// layout); every subsequent [`SaState::evaluate_swap`] /
+/// [`SaState::apply_swap`] pair touches only the neighborhoods of the two
+/// swapped nodes plus, for connectivity, the mutated component region.
+#[derive(Debug, Clone)]
+pub struct SaState<'g> {
+    graph: &'g Graph,
+    target_and: f64,
+    penalty: f64,
+    /// CSR offsets into `adj`; `adj[offsets[u]..offsets[u + 1]]` are `u`'s
+    /// neighbors.
+    offsets: Vec<usize>,
+    adj: Vec<usize>,
+    /// Membership bitset of the current selection.
+    in_set: Vec<bool>,
+    /// The current selection in arbitrary order (swap-remove friendly).
+    nodes: Vec<usize>,
+    /// `pos_in_nodes[u]` is `u`'s index in `nodes`, or `NONE` if outside.
+    pos_in_nodes: Vec<usize>,
+    /// For every node: number of its neighbors inside the selection.
+    internal_degree: Vec<usize>,
+    /// Sum of `internal_degree` over the selection (= 2 × induced edges).
+    internal_degree_sum: usize,
+    /// Outside nodes with at least one selected neighbor, deduplicated.
+    boundary: Vec<usize>,
+    /// `pos_in_boundary[u]` is `u`'s index in `boundary`, or `NONE`.
+    pos_in_boundary: Vec<usize>,
+    /// Connected components of the current induced subgraph.
+    components: usize,
+    // --- reusable scratch (no steady-state allocations) ---
+    visit_epoch: Vec<u64>,
+    mark_epoch: Vec<u64>,
+    epoch: u64,
+    queue: Vec<usize>,
+    outside_scratch: Vec<usize>,
+    /// Component count of the last evaluated swap, reused by `apply_swap`.
+    last_eval: Option<(usize, usize, usize)>,
+}
+
+impl<'g> SaState<'g> {
+    /// Builds the incremental state for `nodes` (a duplicate-free selection
+    /// of `graph`).
+    ///
+    /// `target_and` is the parent graph's average node degree and `penalty`
+    /// the per-extra-component disconnection penalty of the SA objective.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RedQaoaError::InvalidParameter`] if the selection is empty,
+    /// contains duplicates, or references a node outside the graph.
+    pub fn new(
+        graph: &'g Graph,
+        nodes: &[usize],
+        target_and: f64,
+        penalty: f64,
+    ) -> Result<Self, RedQaoaError> {
+        let n = graph.node_count();
+        if nodes.is_empty() {
+            return Err(RedQaoaError::InvalidParameter(
+                "SA selection must be non-empty",
+            ));
+        }
+        let mut in_set = vec![false; n];
+        let mut pos_in_nodes = vec![NONE; n];
+        let mut selection = Vec::with_capacity(nodes.len());
+        for &u in nodes {
+            if u >= n {
+                return Err(RedQaoaError::InvalidParameter(
+                    "SA selection node out of range",
+                ));
+            }
+            if in_set[u] {
+                return Err(RedQaoaError::InvalidParameter(
+                    "SA selection contains a duplicate node",
+                ));
+            }
+            in_set[u] = true;
+            pos_in_nodes[u] = selection.len();
+            selection.push(u);
+        }
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0);
+        let mut adj = Vec::with_capacity(2 * graph.edge_count());
+        for u in 0..n {
+            adj.extend(graph.neighbors(u));
+            offsets.push(adj.len());
+        }
+
+        let internal_degree: Vec<usize> = (0..n)
+            .map(|u| graph.neighbor_count_in(u, &in_set))
+            .collect();
+        let internal_degree_sum = selection.iter().map(|&u| internal_degree[u]).sum();
+        let mut boundary = Vec::new();
+        let mut pos_in_boundary = vec![NONE; n];
+        for u in 0..n {
+            if !in_set[u] && internal_degree[u] > 0 {
+                pos_in_boundary[u] = boundary.len();
+                boundary.push(u);
+            }
+        }
+
+        let mut state = Self {
+            graph,
+            target_and,
+            penalty,
+            offsets,
+            adj,
+            in_set,
+            nodes: selection,
+            pos_in_nodes,
+            internal_degree,
+            internal_degree_sum,
+            boundary,
+            pos_in_boundary,
+            components: 0,
+            visit_epoch: vec![0; n],
+            mark_epoch: vec![0; n],
+            epoch: 0,
+            queue: Vec::with_capacity(nodes.len()),
+            outside_scratch: Vec::new(),
+            last_eval: None,
+        };
+        state.components = state.count_components(None);
+        Ok(state)
+    }
+
+    /// The current selection (arbitrary order, no duplicates).
+    pub fn nodes(&self) -> &[usize] {
+        &self.nodes
+    }
+
+    /// Deduplicated outside nodes adjacent to the selection.
+    pub fn boundary(&self) -> &[usize] {
+        &self.boundary
+    }
+
+    /// `true` if `node` is in the current selection.
+    pub fn contains(&self, node: usize) -> bool {
+        self.in_set[node]
+    }
+
+    /// Average node degree of the current induced subgraph.
+    pub fn and_value(&self) -> f64 {
+        self.internal_degree_sum as f64 / self.nodes.len() as f64
+    }
+
+    /// Connected components of the current induced subgraph.
+    pub fn components(&self) -> usize {
+        self.components
+    }
+
+    /// The SA objective of the current selection:
+    /// `|AND − target| + penalty · (components − 1)`.
+    pub fn objective(&self) -> f64 {
+        self.value_of(self.internal_degree_sum, self.components)
+    }
+
+    fn value_of(&self, degree_sum: usize, components: usize) -> f64 {
+        (degree_sum as f64 / self.nodes.len() as f64 - self.target_and).abs()
+            + self.penalty * (components.saturating_sub(1)) as f64
+    }
+
+    fn adj_range(&self, u: usize) -> std::ops::Range<usize> {
+        self.offsets[u]..self.offsets[u + 1]
+    }
+
+    /// Proposes a move: a uniformly chosen selected node to evict and a
+    /// uniformly chosen boundary node to bring in. Boundary nodes are
+    /// deduplicated, so an outside node is proposed with equal probability
+    /// regardless of how many edges it has into the selection. When the
+    /// selection already covers all of its components (empty boundary) the
+    /// incoming node is drawn uniformly from all outside nodes instead.
+    ///
+    /// Returns `None` only when the selection spans the whole graph.
+    pub fn propose<R: Rng>(&mut self, rng: &mut R) -> Option<(usize, usize)> {
+        let out = self.nodes[rng.gen_range(0..self.nodes.len())];
+        let inn = if self.boundary.is_empty() {
+            self.outside_scratch.clear();
+            for w in 0..self.in_set.len() {
+                if !self.in_set[w] {
+                    self.outside_scratch.push(w);
+                }
+            }
+            if self.outside_scratch.is_empty() {
+                return None;
+            }
+            self.outside_scratch[rng.gen_range(0..self.outside_scratch.len())]
+        } else {
+            self.boundary[rng.gen_range(0..self.boundary.len())]
+        };
+        Some((out, inn))
+    }
+
+    /// Scores the swap `out → inn` without committing it, in
+    /// `O(deg(out) + deg(inn))` plus the neighborhood-limited connectivity
+    /// check. The computed component count is cached and reused by a
+    /// matching [`SaState::apply_swap`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `out` is not selected or `inn` is.
+    pub fn evaluate_swap(&mut self, out: usize, inn: usize) -> f64 {
+        debug_assert!(self.in_set[out], "swap source must be selected");
+        debug_assert!(!self.in_set[inn], "swap target must be outside");
+        let components = self.candidate_components(out, inn);
+        self.last_eval = Some((out, inn, components));
+        self.value_of(self.candidate_degree_sum(out, inn), components)
+    }
+
+    fn candidate_degree_sum(&self, out: usize, inn: usize) -> usize {
+        let uv = usize::from(self.graph.has_edge(out, inn));
+        self.internal_degree_sum - 2 * self.internal_degree[out]
+            + 2 * (self.internal_degree[inn] - uv)
+    }
+
+    /// Commits the swap `out → inn`, updating membership, degree caches, the
+    /// boundary set, and the component count. Zero allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `out` is not selected or `inn` is.
+    pub fn apply_swap(&mut self, out: usize, inn: usize) {
+        debug_assert!(self.in_set[out], "swap source must be selected");
+        debug_assert!(!self.in_set[inn], "swap target must be outside");
+        let components = match self.last_eval {
+            Some((o, i, c)) if o == out && i == inn => c,
+            _ => self.candidate_components(out, inn),
+        };
+        self.last_eval = None;
+
+        // `out` leaves: drop its contribution to the degree sum first (its
+        // own internal degree still reflects the old selection here).
+        self.internal_degree_sum -= 2 * self.internal_degree[out];
+        self.in_set[out] = false;
+        let pos = self.pos_in_nodes[out];
+        self.nodes.swap_remove(pos);
+        if pos < self.nodes.len() {
+            self.pos_in_nodes[self.nodes[pos]] = pos;
+        }
+        self.pos_in_nodes[out] = NONE;
+        for i in self.adj_range(out) {
+            let w = self.adj[i];
+            self.internal_degree[w] -= 1;
+            if !self.in_set[w] && self.internal_degree[w] == 0 && self.pos_in_boundary[w] != NONE {
+                self.boundary_remove(w);
+            }
+        }
+        if self.internal_degree[out] > 0 {
+            self.boundary_add(out);
+        }
+
+        // `inn` joins.
+        if self.pos_in_boundary[inn] != NONE {
+            self.boundary_remove(inn);
+        }
+        self.in_set[inn] = true;
+        self.pos_in_nodes[inn] = self.nodes.len();
+        self.nodes.push(inn);
+        for i in self.adj_range(inn) {
+            let w = self.adj[i];
+            self.internal_degree[w] += 1;
+            if !self.in_set[w] && self.internal_degree[w] == 1 {
+                self.boundary_add(w);
+            }
+        }
+        self.internal_degree_sum += 2 * self.internal_degree[inn];
+        self.components = components;
+
+        debug_assert_eq!({ self.count_components(None) }, self.components);
+        debug_assert_eq!(
+            self.internal_degree_sum,
+            self.nodes
+                .iter()
+                .map(|&u| self.internal_degree[u])
+                .sum::<usize>()
+        );
+    }
+
+    fn boundary_add(&mut self, w: usize) {
+        debug_assert_eq!(self.pos_in_boundary[w], NONE);
+        self.pos_in_boundary[w] = self.boundary.len();
+        self.boundary.push(w);
+    }
+
+    fn boundary_remove(&mut self, w: usize) {
+        let pos = self.pos_in_boundary[w];
+        debug_assert_ne!(pos, NONE);
+        self.boundary.swap_remove(pos);
+        if pos < self.boundary.len() {
+            self.pos_in_boundary[self.boundary[pos]] = pos;
+        }
+        self.pos_in_boundary[w] = NONE;
+    }
+
+    /// Component count of the candidate selection `S ∖ {out} ∪ {inn}`.
+    ///
+    /// Fast paths cover the overwhelmingly common cases without touching
+    /// anything beyond the swapped nodes' neighborhoods:
+    ///
+    /// * evicting an isolated or degree-1 node never splits a component;
+    /// * for higher degrees on a connected state, an early-exit traversal
+    ///   around `out` (stopping as soon as every selected neighbor of `out`
+    ///   is reached) decides whether the removal splits;
+    /// * an incoming node with no remaining selected neighbor adds a
+    ///   singleton component; one attaching to a connected remainder keeps
+    ///   it connected.
+    ///
+    /// Only on already disconnected states (rare: the objective's penalty
+    /// makes them short-lived) does the count fall back to a full scan of
+    /// the candidate selection — still allocation-free and bounded by `k`.
+    fn candidate_components(&mut self, out: usize, inn: usize) -> usize {
+        let deg_out = self.internal_degree[out];
+        let inn_links = self.internal_degree[inn] - usize::from(self.graph.has_edge(out, inn));
+
+        let after_removal = if deg_out == 0 {
+            // `out` was a singleton component.
+            Some(self.components - 1)
+        } else if deg_out == 1 {
+            // Evicting a leaf never splits its component.
+            Some(self.components)
+        } else if self.components == 1 && self.removal_keeps_component_connected(out) {
+            Some(1)
+        } else {
+            None
+        };
+
+        let result = match after_removal {
+            Some(components) => {
+                if inn_links == 0 {
+                    components + 1
+                } else if components == 1 {
+                    1
+                } else {
+                    // `inn` may bridge several components; count exactly.
+                    self.count_components(Some((out, inn)))
+                }
+            }
+            None => self.count_components(Some((out, inn))),
+        };
+        debug_assert_eq!(result, self.count_components(Some((out, inn))));
+        result
+    }
+
+    /// `true` if the selection minus `out` keeps `out`'s component in one
+    /// piece. Early-exit traversal: stops as soon as all selected neighbors
+    /// of `out` have been reached, so well-connected regions answer after
+    /// exploring only the mutated neighborhood.
+    fn removal_keeps_component_connected(&mut self, out: usize) -> bool {
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let mut remaining = 0usize;
+        let mut first = NONE;
+        for i in self.adj_range(out) {
+            let w = self.adj[i];
+            if self.in_set[w] {
+                self.mark_epoch[w] = epoch;
+                remaining += 1;
+                if first == NONE {
+                    first = w;
+                }
+            }
+        }
+        debug_assert!(remaining >= 2, "fast paths handle degrees 0 and 1");
+        self.visit_epoch[out] = epoch; // exclude `out` from the traversal
+        self.visit_epoch[first] = epoch;
+        remaining -= 1;
+        self.queue.clear();
+        self.queue.push(first);
+        while let Some(w) = self.queue.pop() {
+            for i in self.adj_range(w) {
+                let x = self.adj[i];
+                if self.in_set[x] && self.visit_epoch[x] != epoch {
+                    self.visit_epoch[x] = epoch;
+                    if self.mark_epoch[x] == epoch {
+                        remaining -= 1;
+                        if remaining == 0 {
+                            return true;
+                        }
+                    }
+                    self.queue.push(x);
+                }
+            }
+        }
+        remaining == 0
+    }
+
+    /// Exact component count of the current selection (`swap == None`) or of
+    /// the candidate selection after `swap = Some((out, inn))`. Full scan of
+    /// the (≤ `k`-node) selection using the epoch-stamped scratch — the slow
+    /// path behind the incremental rules, and the debug-assertion oracle.
+    fn count_components(&mut self, swap: Option<(usize, usize)>) -> usize {
+        fn is_member(in_set: &[bool], swap: Option<(usize, usize)>, w: usize) -> bool {
+            match swap {
+                Some((out, inn)) => w == inn || (in_set[w] && w != out),
+                None => in_set[w],
+            }
+        }
+
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let mut components = 0usize;
+        let member_count = self.nodes.len();
+        let mut idx = 0usize;
+        loop {
+            let start = if idx < member_count {
+                self.nodes[idx]
+            } else if idx == member_count {
+                match swap {
+                    Some((_, inn)) => inn,
+                    None => break,
+                }
+            } else {
+                break;
+            };
+            idx += 1;
+            if !is_member(&self.in_set, swap, start) || self.visit_epoch[start] == epoch {
+                continue;
+            }
+            components += 1;
+            self.visit_epoch[start] = epoch;
+            self.queue.clear();
+            self.queue.push(start);
+            while let Some(w) = self.queue.pop() {
+                for i in self.offsets[w]..self.offsets[w + 1] {
+                    let x = self.adj[i];
+                    if is_member(&self.in_set, swap, x) && self.visit_epoch[x] != epoch {
+                        self.visit_epoch[x] = epoch;
+                        self.queue.push(x);
+                    }
+                }
+            }
+        }
+        components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlib::generators::{complete, connected_gnp, cycle, star};
+    use graphlib::metrics::average_node_degree;
+    use graphlib::subgraph::induced_subgraph;
+    use graphlib::traversal::connected_components;
+    use mathkit::rng::seeded;
+
+    fn scratch_state(graph: &Graph, nodes: &[usize]) -> (f64, f64, usize) {
+        let target = average_node_degree(graph);
+        let sub = induced_subgraph(graph, nodes).unwrap();
+        let and = average_node_degree(&sub.graph);
+        let components = connected_components(&sub.graph).len();
+        (
+            (and - target).abs() + 10.0 * (components.saturating_sub(1)) as f64,
+            and,
+            components,
+        )
+    }
+
+    #[test]
+    fn new_state_matches_from_scratch_metrics() {
+        let mut rng = seeded(3);
+        let g = connected_gnp(12, 0.35, &mut rng).unwrap();
+        let target = average_node_degree(&g);
+        let nodes = [0, 2, 3, 7, 8];
+        let state = SaState::new(&g, &nodes, target, 10.0).unwrap();
+        let (value, and, components) = scratch_state(&g, &nodes);
+        assert_eq!(state.objective().to_bits(), value.to_bits());
+        assert_eq!(state.and_value().to_bits(), and.to_bits());
+        assert_eq!(state.components(), components);
+    }
+
+    #[test]
+    fn invalid_selections_are_rejected() {
+        let g = cycle(6).unwrap();
+        assert!(SaState::new(&g, &[], 2.0, 10.0).is_err());
+        assert!(SaState::new(&g, &[0, 0], 2.0, 10.0).is_err());
+        assert!(SaState::new(&g, &[0, 9], 2.0, 10.0).is_err());
+    }
+
+    #[test]
+    fn evaluate_then_apply_is_consistent() {
+        let g = cycle(8).unwrap();
+        let target = average_node_degree(&g);
+        let mut state = SaState::new(&g, &[0, 1, 2, 3], target, 10.0).unwrap();
+        // Swap 0 out for 4 (stays a path → connected).
+        let predicted = state.evaluate_swap(0, 4);
+        state.apply_swap(0, 4);
+        assert_eq!(state.objective().to_bits(), predicted.to_bits());
+        let mut nodes = state.nodes().to_vec();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![1, 2, 3, 4]);
+        assert_eq!(state.components(), 1);
+    }
+
+    #[test]
+    fn disconnecting_swap_is_scored_with_penalty() {
+        let g = cycle(8).unwrap();
+        let target = average_node_degree(&g);
+        // Path 0-1-2-3; swapping the middle node 1 out for the far node 5
+        // splits the selection into {0}, {2,3}, {5}.
+        let mut state = SaState::new(&g, &[0, 1, 2, 3], target, 10.0).unwrap();
+        let value = state.evaluate_swap(1, 5);
+        let (expected, _, components) = scratch_state(&g, &[0, 2, 3, 5]);
+        assert_eq!(value.to_bits(), expected.to_bits());
+        state.apply_swap(1, 5);
+        assert_eq!(state.components(), components);
+        assert!(state.components() > 1);
+    }
+
+    #[test]
+    fn boundary_is_deduplicated_and_proposals_are_uniform_over_it() {
+        // Selection {0, 1} on a graph where node 2 has two edges into the
+        // selection and node 3 only one: the old per-edge candidate list
+        // proposed 2 twice as often; the deduplicated boundary is uniform.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 2), (0, 3)]).unwrap();
+        let target = average_node_degree(&g);
+        let mut state = SaState::new(&g, &[0, 1], target, 10.0).unwrap();
+        let mut boundary = state.boundary().to_vec();
+        boundary.sort_unstable();
+        assert_eq!(boundary, vec![2, 3]);
+
+        let mut rng = seeded(17);
+        let trials = 8000usize;
+        let mut count_2 = 0usize;
+        for _ in 0..trials {
+            let (_, inn) = state.propose(&mut rng).unwrap();
+            if inn == 2 {
+                count_2 += 1;
+            }
+        }
+        let frac = count_2 as f64 / trials as f64;
+        assert!(
+            (frac - 0.5).abs() < 0.05,
+            "node with two inside-edges proposed with frequency {frac}, expected ~0.5"
+        );
+    }
+
+    #[test]
+    fn star_graph_proposals_are_uniform_across_leaves() {
+        // Selection = the hub of a 9-node star; every leaf is a boundary
+        // node and must be proposed equally often (Algorithm 1's uniform
+        // neighbor pick).
+        let g = star(9).unwrap();
+        let target = average_node_degree(&g);
+        let mut state = SaState::new(&g, &[0], target, 10.0).unwrap();
+        assert_eq!(state.boundary().len(), 8);
+
+        let mut rng = seeded(23);
+        let trials = 16_000usize;
+        let mut counts = [0usize; 9];
+        for _ in 0..trials {
+            let (_, inn) = state.propose(&mut rng).unwrap();
+            counts[inn] += 1;
+        }
+        assert_eq!(counts[0], 0, "the hub is selected, never proposed");
+        let expected = trials as f64 / 8.0;
+        for (leaf, &count) in counts.iter().enumerate().skip(1) {
+            let deviation = (count as f64 - expected).abs() / expected;
+            assert!(
+                deviation < 0.15,
+                "leaf {leaf} proposed {count} times, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_boundary_falls_back_to_all_outside_nodes() {
+        // Two disjoint edges: selecting one whole component leaves an empty
+        // boundary; proposals must fall back to the other component.
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let target = average_node_degree(&g);
+        let mut state = SaState::new(&g, &[0, 1], target, 10.0).unwrap();
+        assert!(state.boundary().is_empty());
+        let mut rng = seeded(5);
+        let (_, inn) = state.propose(&mut rng).unwrap();
+        assert!(inn == 2 || inn == 3);
+    }
+
+    #[test]
+    fn whole_graph_selection_has_no_proposals() {
+        let g = complete(5);
+        let target = average_node_degree(&g);
+        let mut state = SaState::new(&g, &[0, 1, 2, 3, 4], target, 10.0).unwrap();
+        let mut rng = seeded(7);
+        assert!(state.propose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn long_random_walk_stays_exact() {
+        let mut rng = seeded(41);
+        let g = connected_gnp(14, 0.3, &mut rng).unwrap();
+        let target = average_node_degree(&g);
+        let initial = graphlib::subgraph::random_connected_subgraph(&g, 8, &mut rng).unwrap();
+        let mut state = SaState::new(&g, &initial.nodes, target, 10.0).unwrap();
+        for step in 0..200 {
+            let Some((out, inn)) = state.propose(&mut rng) else {
+                break;
+            };
+            let value = state.evaluate_swap(out, inn);
+            if rng.gen::<bool>() {
+                state.apply_swap(out, inn);
+                assert_eq!(state.objective().to_bits(), value.to_bits(), "step {step}");
+            }
+            let (expected, and, components) = scratch_state(&g, state.nodes());
+            assert_eq!(
+                state.objective().to_bits(),
+                expected.to_bits(),
+                "step {step}"
+            );
+            assert_eq!(state.and_value().to_bits(), and.to_bits(), "step {step}");
+            assert_eq!(state.components(), components, "step {step}");
+        }
+    }
+}

@@ -9,8 +9,8 @@
 
 use datasets::generators::random_graphs_with_degree;
 use mathkit::rng::{derive_seed, seeded};
-use red_qaoa::pipeline::{run_ideal, PipelineOptions};
-use red_qaoa::reduction::ReductionOptions;
+use red_qaoa::pipeline::{run_ideal_with_reduction, PipelineOptions};
+use red_qaoa::reduction::{reduce_pool, ReductionOptions};
 use red_qaoa::RedQaoaError;
 
 /// Configuration of the Figure 17 experiment.
@@ -77,11 +77,21 @@ pub fn run_fig17(config: &Fig17Config) -> Result<Vec<Fig17Row>, RedQaoaError> {
     let mut rows = Vec::new();
     for (l_idx, &layers) in config.layers.iter().enumerate() {
         let restarts = *config.restarts.get(l_idx).unwrap_or(&3);
+        // All reductions of a row come from one deterministic parallel pool;
+        // the per-graph pipelines then run off their precomputed surrogates.
+        let reductions = reduce_pool(
+            &graphs,
+            &ReductionOptions::default(),
+            derive_seed(config.seed, 77_000 + l_idx as u64),
+        );
         let mut best_ratios = Vec::new();
         let mut average_ratios = Vec::new();
         let mut node_reductions = Vec::new();
         let mut edge_reductions = Vec::new();
         for (g_idx, graph) in graphs.iter().enumerate() {
+            let Ok(reduction) = reductions[g_idx].clone() else {
+                continue;
+            };
             let mut rng = seeded(derive_seed(config.seed, (l_idx * 1000 + g_idx) as u64));
             let options = PipelineOptions {
                 layers,
@@ -92,7 +102,7 @@ pub fn run_fig17(config: &Fig17Config) -> Result<Vec<Fig17Row>, RedQaoaError> {
                 },
                 refine_iters: config.iterations / 2,
             };
-            let outcome = match run_ideal(graph, &options, &mut rng) {
+            let outcome = match run_ideal_with_reduction(graph, reduction, &options, &mut rng) {
                 Ok(o) => o,
                 Err(_) => continue,
             };

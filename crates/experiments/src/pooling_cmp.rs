@@ -20,7 +20,7 @@ use qaoa::optimize::{maximize_with_restarts, OptimizeOptions};
 use qsim::devices::fake_toronto;
 use qsim::trajectory::TrajectoryOptions;
 use red_qaoa::annealing::{anneal_subgraph, CoolingSchedule, SaOptions};
-use red_qaoa::reduction::{reduce, ReductionOptions};
+use red_qaoa::reduction::{reduce_pool, ReductionOptions};
 use red_qaoa::RedQaoaError;
 
 /// The reduction methods compared in Figures 8 and 19.
@@ -258,12 +258,25 @@ pub fn run_fig19(config: &Fig19Config) -> Result<Vec<Fig19Row>, RedQaoaError> {
     let methods = [Method::Asa, Method::Sag, Method::TopK, Method::SaAdaptive];
     let mut improvements: Vec<Vec<f64>> = vec![Vec::new(); methods.len()];
 
-    for g_idx in 0..config.graph_count {
-        let mut rng = seeded(derive_seed(config.seed, g_idx as u64));
-        let graph = connected_gnp(config.nodes, config.edge_probability, &mut rng)?;
-        let evaluator = StatevectorEvaluator::new(&graph, 1)?;
+    // Generate the test graphs first, then distill every Red-QAOA surrogate
+    // through one deterministic parallel pool.
+    let graphs: Vec<Graph> = (0..config.graph_count)
+        .map(|g_idx| {
+            let mut rng = seeded(derive_seed(config.seed, g_idx as u64));
+            connected_gnp(config.nodes, config.edge_probability, &mut rng)
+        })
+        .collect::<Result<_, _>>()?;
+    let reductions = reduce_pool(
+        &graphs,
+        &ReductionOptions::default(),
+        derive_seed(config.seed, 42_000),
+    );
+
+    for (g_idx, graph) in graphs.iter().enumerate() {
+        let mut rng = seeded(derive_seed(config.seed, 10_000 + g_idx as u64));
+        let evaluator = StatevectorEvaluator::new(graph, 1)?;
         let instance = evaluator.instance();
-        let ground_truth = brute_force_maxcut(&graph)?.best_cut as f64;
+        let ground_truth = brute_force_maxcut(graph)?.best_cut as f64;
 
         // Noisy baseline: optimize the original graph under noise (one
         // sequential noise stream per graph, the classic protocol).
@@ -278,15 +291,19 @@ pub fn run_fig19(config: &Fig19Config) -> Result<Vec<Fig19Row>, RedQaoaError> {
             instance.expectation(&outcome.best_params) / ground_truth
         };
 
-        // Red-QAOA's reduction (shared target size for the pooling methods).
-        let red = reduce(&graph, &ReductionOptions::default(), &mut rng)?;
+        // Red-QAOA's reduction (shared target size for the pooling methods),
+        // precomputed by the parallel pool above.
+        let red = match &reductions[g_idx] {
+            Ok(red) => red,
+            Err(e) => return Err(e.clone()),
+        };
         let keep_ratio = red.graph().node_count() as f64 / graph.node_count() as f64;
 
         for (m_idx, method) in methods.iter().enumerate() {
             let mut method_rng = seeded(derive_seed(config.seed, 900 + g_idx as u64));
             let surrogate = match method {
                 Method::SaAdaptive => red.graph().clone(),
-                other => match other.reduce_graph(&graph, keep_ratio, &mut method_rng) {
+                other => match other.reduce_graph(graph, keep_ratio, &mut method_rng) {
                     Ok(g) if g.edge_count() > 0 => g,
                     _ => continue,
                 },

@@ -8,6 +8,8 @@
 
 use graphlib::generators::connected_gnp;
 use graphlib::subgraph::enumerate_connected_subgraphs;
+use graphlib::Graph;
+use mathkit::parallel::parallel_map_indexed;
 use mathkit::rng::{derive_seed, seeded};
 use mathkit::stats::Histogram;
 use qaoa::evaluator::StatevectorEvaluator;
@@ -66,6 +68,10 @@ pub struct Fig9Panel {
 
 /// Runs the Figure 9 experiment.
 ///
+/// The panels (one per subgraph size) are independent, so they fan out
+/// through `parallel_map_indexed` with one derived SA substream per size —
+/// the output is identical for every `RED_QAOA_THREADS` value.
+///
 /// # Errors
 ///
 /// Returns [`RedQaoaError`] if enumeration or evaluation fails.
@@ -75,44 +81,62 @@ pub fn run_fig9(config: &Fig9Config) -> Result<Vec<Fig9Panel>, RedQaoaError> {
     let evaluator = StatevectorEvaluator::new(&graph, 1)?;
     let reference = Landscape::evaluate(config.width, &evaluator);
 
+    let results = parallel_map_indexed(
+        config.subgraph_sizes.len(),
+        || (),
+        |_, i| build_panel(&graph, &reference, config, i, config.subgraph_sizes[i]),
+    );
     let mut panels = Vec::new();
-    for (i, &size) in config.subgraph_sizes.iter().enumerate() {
-        if size >= graph.node_count() || size < 2 {
-            continue;
+    for result in results {
+        if let Some(panel) = result? {
+            panels.push(panel);
         }
-        let subs = enumerate_connected_subgraphs(&graph, size)?;
-        let mut all_mses = Vec::with_capacity(subs.len());
-        for sub in &subs {
-            if sub.graph.edge_count() == 0 {
-                continue;
-            }
-            let sub_evaluator = StatevectorEvaluator::new(&sub.graph, 1)?;
-            let landscape = Landscape::evaluate(config.width, &sub_evaluator);
-            all_mses.push(reference.mse_to(&landscape)?);
-        }
-        if all_mses.is_empty() {
-            continue;
-        }
-        // SA-selected subgraph for the same size.
-        let mut sa_rng = seeded(derive_seed(config.seed, 10 + i as u64));
-        let sa = anneal_subgraph(&graph, size, &SaOptions::default(), &mut sa_rng)?;
-        let sa_evaluator = StatevectorEvaluator::new(&sa.subgraph.graph, 1)?;
-        let sa_landscape = Landscape::evaluate(config.width, &sa_evaluator);
-        let sa_mse = reference.mse_to(&sa_landscape)?;
-
-        let at_least = all_mses.iter().filter(|&&m| m >= sa_mse).count();
-        let histogram = Histogram::new(&all_mses, config.bins)
-            .map_err(|_| RedQaoaError::InvalidParameter("histogram construction failed"))?;
-        panels.push(Fig9Panel {
-            size,
-            reduction_ratio: 1.0 - size as f64 / config.nodes as f64,
-            sa_percentile: at_least as f64 / all_mses.len() as f64,
-            histogram,
-            all_mses,
-            sa_mse,
-        });
     }
     Ok(panels)
+}
+
+/// Builds one Figure 9 panel; returns `None` for degenerate sizes.
+fn build_panel(
+    graph: &Graph,
+    reference: &Landscape,
+    config: &Fig9Config,
+    i: usize,
+    size: usize,
+) -> Result<Option<Fig9Panel>, RedQaoaError> {
+    if size >= graph.node_count() || size < 2 {
+        return Ok(None);
+    }
+    let subs = enumerate_connected_subgraphs(graph, size)?;
+    let mut all_mses = Vec::with_capacity(subs.len());
+    for sub in &subs {
+        if sub.graph.edge_count() == 0 {
+            continue;
+        }
+        let sub_evaluator = StatevectorEvaluator::new(&sub.graph, 1)?;
+        let landscape = Landscape::evaluate(config.width, &sub_evaluator);
+        all_mses.push(reference.mse_to(&landscape)?);
+    }
+    if all_mses.is_empty() {
+        return Ok(None);
+    }
+    // SA-selected subgraph for the same size.
+    let mut sa_rng = seeded(derive_seed(config.seed, 10 + i as u64));
+    let sa = anneal_subgraph(graph, size, &SaOptions::default(), &mut sa_rng)?;
+    let sa_evaluator = StatevectorEvaluator::new(&sa.subgraph.graph, 1)?;
+    let sa_landscape = Landscape::evaluate(config.width, &sa_evaluator);
+    let sa_mse = reference.mse_to(&sa_landscape)?;
+
+    let at_least = all_mses.iter().filter(|&&m| m >= sa_mse).count();
+    let histogram = Histogram::new(&all_mses, config.bins)
+        .map_err(|_| RedQaoaError::InvalidParameter("histogram construction failed"))?;
+    Ok(Some(Fig9Panel {
+        size,
+        reduction_ratio: 1.0 - size as f64 / config.nodes as f64,
+        sa_percentile: at_least as f64 / all_mses.len() as f64,
+        histogram,
+        all_mses,
+        sa_mse,
+    }))
 }
 
 #[cfg(test)]

@@ -212,6 +212,26 @@ impl Graph {
         self.edge_count() as f64 / max_edges as f64
     }
 
+    /// Number of neighbors of `node` whose entry in `mask` is `true`.
+    ///
+    /// This is the degree of `node` restricted to the vertex subset encoded
+    /// by `mask` — the primitive an incremental subgraph evaluator needs to
+    /// compute the degree delta of a node swap in `O(deg)` without building
+    /// the induced subgraph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or `mask` is shorter than the node
+    /// count.
+    pub fn neighbor_count_in(&self, node: usize, mask: &[bool]) -> usize {
+        assert!(node < self.node_count, "node {node} out of range");
+        assert!(
+            mask.len() >= self.node_count,
+            "mask shorter than node count"
+        );
+        self.adjacency[node].iter().filter(|&&v| mask[v]).count()
+    }
+
     /// Number of common neighbors of `u` and `v` (the number of triangles
     /// through the edge `{u, v}` when the edge exists).
     ///
@@ -327,6 +347,17 @@ mod tests {
     fn edges_are_sorted_and_unique() {
         let g = Graph::from_edges(4, &[(2, 3), (0, 1), (1, 0)]).unwrap();
         assert_eq!(g.edges(), vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn neighbor_count_in_restricts_degree_to_mask() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (2, 3)]).unwrap();
+        let all = vec![true; 5];
+        assert_eq!(g.neighbor_count_in(0, &all), g.degree(0));
+        let mask = vec![false, true, true, false, false];
+        assert_eq!(g.neighbor_count_in(0, &mask), 2);
+        assert_eq!(g.neighbor_count_in(2, &mask), 0);
+        assert_eq!(g.neighbor_count_in(4, &all), 0);
     }
 
     #[test]

@@ -91,9 +91,19 @@ proptest! {
         let graph = connected_gnp(12, 0.4, &mut rng).unwrap();
         let target = average_node_degree(&graph);
         let k = 8;
-        let sa = anneal_subgraph(&graph, k, &SaOptions::default(), &mut seeded(seed + 1)).unwrap();
+        // The production protocol (ReductionOptions::sa_runs = 2): the
+        // adaptive schedule deliberately terminates stagnating runs early
+        // since the plateau-stagnation fix, and the reduction layer hedges
+        // that with independent restarts. A single truncated run can lose to
+        // a lucky random draw; the best of two must not.
+        let sa_gap = (0..2u64)
+            .map(|run| {
+                let mut sa_rng = seeded(mathkit::rng::derive_seed(seed + 1, run));
+                let sa = anneal_subgraph(&graph, k, &SaOptions::default(), &mut sa_rng).unwrap();
+                (average_node_degree(&sa.subgraph.graph) - target).abs()
+            })
+            .fold(f64::INFINITY, f64::min);
         let random = random_connected_subgraph(&graph, k, &mut seeded(seed + 2)).unwrap();
-        let sa_gap = (average_node_degree(&sa.subgraph.graph) - target).abs();
         let random_gap = (average_node_degree(&random.graph) - target).abs();
         prop_assert!(sa_gap <= random_gap + 1e-9, "sa {sa_gap} vs random {random_gap}");
     }

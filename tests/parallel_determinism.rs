@@ -6,14 +6,14 @@
 
 use graphlib::generators::connected_gnp;
 use mathkit::parallel::with_threads;
-use mathkit::rng::seeded;
+use mathkit::rng::{derive_seed, seeded};
 use proptest::prelude::*;
 use qaoa::evaluator::{NoisyTrajectoryEvaluator, StatevectorEvaluator};
 use qaoa::landscape::Landscape;
 use qsim::trajectory::TrajectoryOptions;
 use red_qaoa::mse::{ideal_sample_mse, noisy_grid_comparison};
 use red_qaoa::pipeline::{run_noisy, PipelineOptions};
-use red_qaoa::reduction::ReductionOptions;
+use red_qaoa::reduction::{reduce_pool, ReductionOptions};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 
@@ -92,6 +92,33 @@ proptest! {
             );
             prop_assert_eq!(reference.baseline_mse.to_bits(), comparison.baseline_mse.to_bits());
             prop_assert_eq!(reference.reduced_mse.to_bits(), comparison.reduced_mse.to_bits());
+        }
+    }
+
+    /// Pool reduction (one SA substream per graph, nested substreams per SA
+    /// restart): the reduced subgraphs and every reported ratio are
+    /// bitwise-identical for 1, 2, and 4 workers.
+    #[test]
+    fn reduce_pool_is_thread_count_invariant(seed in 0u64..500) {
+        let graphs: Vec<_> = (0..5)
+            .map(|i| {
+                let nodes = 8 + (i % 3);
+                connected_gnp(nodes, 0.45, &mut seeded(derive_seed(seed, i as u64))).unwrap()
+            })
+            .collect();
+        let options = ReductionOptions::default();
+        let reference = with_threads(1, || reduce_pool(&graphs, &options, seed));
+        for threads in THREAD_COUNTS {
+            let pool = with_threads(threads, || reduce_pool(&graphs, &options, seed));
+            prop_assert_eq!(reference.len(), pool.len());
+            for (a, b) in reference.iter().zip(&pool) {
+                let a = a.as_ref().expect("connected graphs reduce");
+                let b = b.as_ref().expect("connected graphs reduce");
+                prop_assert_eq!(&a.subgraph.nodes, &b.subgraph.nodes);
+                prop_assert_eq!(a.and_ratio.to_bits(), b.and_ratio.to_bits());
+                prop_assert_eq!(a.node_reduction.to_bits(), b.node_reduction.to_bits());
+                prop_assert_eq!(a.edge_reduction.to_bits(), b.edge_reduction.to_bits());
+            }
         }
     }
 

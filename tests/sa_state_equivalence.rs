@@ -1,0 +1,95 @@
+//! Property tests of the incremental SA move evaluator: over random
+//! accepted/rejected move sequences, `SaState`'s objective, AND value, and
+//! component count must be **exactly** (bitwise) equal to the from-scratch
+//! `induced_subgraph` + `average_node_degree` + `connected_components`
+//! computation, and its deduplicated boundary set must match the set of
+//! outside nodes adjacent to the selection.
+
+use graphlib::generators::connected_gnp;
+use graphlib::metrics::average_node_degree;
+use graphlib::subgraph::{induced_subgraph, random_connected_subgraph};
+use graphlib::traversal::connected_components;
+use graphlib::Graph;
+use mathkit::rng::seeded;
+use proptest::prelude::*;
+use rand::Rng;
+use red_qaoa::annealing::{anneal_subgraph, SaOptions};
+use red_qaoa::sa_state::SaState;
+
+const PENALTY: f64 = 10.0;
+
+/// The pre-incremental objective: rebuild the induced subgraph and rerun the
+/// global metrics.
+fn from_scratch(graph: &Graph, nodes: &[usize], target: f64) -> (f64, f64, usize) {
+    let sub = induced_subgraph(graph, nodes).expect("valid selection");
+    let and = average_node_degree(&sub.graph);
+    let components = connected_components(&sub.graph).len();
+    let value = (and - target).abs() + PENALTY * (components.saturating_sub(1)) as f64;
+    (value, and, components)
+}
+
+fn expected_boundary(graph: &Graph, nodes: &[usize]) -> Vec<usize> {
+    (0..graph.node_count())
+        .filter(|&w| !nodes.contains(&w) && graph.neighbors(w).any(|x| nodes.contains(&x)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Evaluate/apply over a random move sequence: every candidate score and
+    /// every committed state matches the from-scratch computation bit for
+    /// bit.
+    #[test]
+    fn incremental_state_matches_from_scratch(
+        seed in 0u64..10_000,
+        nodes in 6usize..14,
+        steps in 10usize..60,
+    ) {
+        let mut rng = seeded(seed);
+        let graph = connected_gnp(nodes, 0.35, &mut rng).unwrap();
+        let k = 2 + (seed as usize % (nodes - 2));
+        let initial = random_connected_subgraph(&graph, k, &mut rng).unwrap();
+        let target = average_node_degree(&graph);
+        let mut state = SaState::new(&graph, &initial.nodes, target, PENALTY).unwrap();
+        let mut current: Vec<usize> = initial.nodes.clone();
+
+        for _ in 0..steps {
+            let Some((out, inn)) = state.propose(&mut rng) else { break };
+            let mut candidate = current.clone();
+            candidate.retain(|&u| u != out);
+            candidate.push(inn);
+            let (expected_value, _, _) = from_scratch(&graph, &candidate, target);
+            let got = state.evaluate_swap(out, inn);
+            prop_assert_eq!(expected_value.to_bits(), got.to_bits());
+            // Random accept/reject, independent of the objective, so the
+            // walk also visits disconnected (penalized) selections.
+            if rng.gen::<bool>() {
+                state.apply_swap(out, inn);
+                current = candidate;
+            }
+            let (value, and, components) = from_scratch(&graph, &current, target);
+            prop_assert_eq!(value.to_bits(), state.objective().to_bits());
+            prop_assert_eq!(and.to_bits(), state.and_value().to_bits());
+            prop_assert_eq!(components, state.components());
+
+            let mut boundary = state.boundary().to_vec();
+            boundary.sort_unstable();
+            prop_assert_eq!(expected_boundary(&graph, &current), boundary);
+        }
+    }
+
+    /// The annealer's reported objective is the from-scratch objective of
+    /// the subgraph it returns (the incremental loop never drifts from the
+    /// ground truth it is supposed to be tracking).
+    #[test]
+    fn anneal_outcome_objective_is_exact(seed in 0u64..5_000, nodes in 6usize..12) {
+        let mut rng = seeded(seed);
+        let graph = connected_gnp(nodes, 0.4, &mut rng).unwrap();
+        let k = 2 + (seed as usize % (nodes - 2));
+        let outcome = anneal_subgraph(&graph, k, &SaOptions::default(), &mut rng).unwrap();
+        let target = average_node_degree(&graph);
+        let (value, _, _) = from_scratch(&graph, &outcome.subgraph.nodes, target);
+        prop_assert_eq!(value.to_bits(), outcome.objective.to_bits());
+    }
+}
