@@ -7,6 +7,10 @@
 #      clippy::needless_range_loop, granted workspace-wide in Cargo.toml
 #      ([workspace.lints.clippy]) because index loops are the clearest form
 #      for the dense-matrix and qubit kernels.
+#   2b. cargo doc (warnings denied) — every crate carries
+#      #![deny(missing_docs)], so missing rustdoc already fails the build;
+#      this gate additionally fails on rustdoc-only rot (broken intra-doc
+#      links, malformed doc fragments) that rustc cannot see.
 #   3. tier-1 verify          — cargo build --release && cargo test -q,
 #      run twice: once with RED_QAOA_THREADS=1 (forced-serial paths) and
 #      once with the variable unset (parallel paths, default thread count).
@@ -28,6 +32,9 @@ cargo fmt --check
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --quiet --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc --workspace --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "==> tier-1 (serial: RED_QAOA_THREADS=1): cargo build --release && cargo test -q"
 cargo build --release

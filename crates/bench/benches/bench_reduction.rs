@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphlib::metrics::average_node_degree;
 use graphlib::subgraph::random_connected_subgraph;
 use red_qaoa::annealing::{anneal_subgraph, CoolingSchedule, SaOptions};
-use red_qaoa::reduction::{reduce, ReductionOptions};
+use red_qaoa::reduction::{reduce, ReductionOptions, WarmStart};
 use red_qaoa::sa_state::SaState;
 
 fn bench_sa_single_size(c: &mut Criterion) {
@@ -95,11 +95,35 @@ fn bench_move_eval_rebuild_vs_incremental(c: &mut Criterion) {
     group.finish();
 }
 
+/// The PR-4 tentpole comparison: the full binary-search `reduce` with the
+/// warm-started SA (each candidate size seeded from the previous size's
+/// best subgraph at reduced temperature) versus the cold re-anneal-per-size
+/// search, at the Figure 18 graph sizes.
+fn bench_reduce_warm_vs_cold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reduce_warm_vs_cold");
+    group.sample_size(10);
+    for &n in &[20usize, 60, 120] {
+        let graph = bench_graph(n, 700 + n as u64);
+        for (label, warm_start) in [("cold", WarmStart::Off), ("warm", WarmStart::On)] {
+            let options = ReductionOptions {
+                warm_start,
+                ..Default::default()
+            };
+            group.bench_with_input(BenchmarkId::new(label, n), &graph, |b, graph| {
+                let mut rng = mathkit::rng::seeded(29);
+                b.iter(|| reduce(graph, &options, &mut rng).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_sa_single_size,
     bench_full_reduction_fig18,
     bench_cooling_schedules,
-    bench_move_eval_rebuild_vs_incremental
+    bench_move_eval_rebuild_vs_incremental,
+    bench_reduce_warm_vs_cold
 );
 criterion_main!(benches);

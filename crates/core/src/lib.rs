@@ -13,13 +13,14 @@
 //! Module map:
 //!
 //! * [`annealing`] — Algorithm 1: simulated-annealing subgraph search with
-//!   constant and adaptive cooling.
+//!   constant and adaptive cooling (exposed stagnation knobs), cold and
+//!   warm-seeded entry points.
 //! * [`sa_state`] — the incremental move evaluator behind the annealer:
 //!   O(deg) AND deltas, deduplicated boundary proposals, and
 //!   neighborhood-limited connectivity with zero steady-state allocations.
-//! * [`reduction`] — the binary search over subgraph sizes, the
-//!   node/edge-reduction bookkeeping, and the deterministic parallel
-//!   [`reduction::reduce_pool`] over graph slices.
+//! * [`reduction`] — the (warm-startable) binary search over subgraph
+//!   sizes, the node/edge-reduction bookkeeping, and the deterministic
+//!   parallel [`reduction::reduce_pool`] over graph slices.
 //! * [`mse`] — ideal and noisy energy-landscape comparisons between the
 //!   original and reduced graphs (the paper's headline metric).
 //! * [`pipeline`] — the end-to-end Red-QAOA flow (reduce → optimize on `G'` →

@@ -15,8 +15,15 @@
 //! * whole graphs across a slice in [`reduce_pool`] (one derived seed per
 //!   graph; a `reduce` running inside the pool detects the enclosing
 //!   parallel region and runs its restarts serially).
+//!
+//! The binary search is **warm-started** by default ([`WarmStart::Auto`]):
+//! after the first candidate size, each SA run is seeded from the previous
+//! size's best subgraph (deterministically resized by one-node drops/grows)
+//! and started at a reduced temperature, instead of re-annealing from a
+//! fresh random seed — the previous size already paid for that exploration.
+//! [`WarmStart::Off`] restores (bit for bit) the cold-start behaviour.
 
-use crate::annealing::{anneal_subgraph, SaOptions};
+use crate::annealing::{anneal_subgraph, anneal_subgraph_from_seed, SaOptions};
 use crate::RedQaoaError;
 use graphlib::metrics::{and_ratio, average_node_degree};
 use graphlib::subgraph::Subgraph;
@@ -29,6 +36,51 @@ use rand::Rng;
 /// graphs (Section 4.3: a 0.7 ratio corresponds to the 0.02 MSE threshold).
 pub const DEFAULT_AND_RATIO_THRESHOLD: f64 = 0.7;
 
+/// Smallest graph for which [`WarmStart::Auto`] enables warm starts.
+///
+/// Below this size the binary search only visits two or three candidate
+/// sizes and each SA run is a few hundred cheap moves, so there is nothing
+/// worth reusing; at and above it the seeded runs measurably cut latency
+/// (the Figure 18 sizes, 20–320 nodes, all qualify — see
+/// `reduce_warm_vs_cold` in the bench crate and `BENCH_reduction.json`).
+pub const WARM_START_AUTO_MIN_NODES: usize = 16;
+
+/// Fraction of [`SaOptions::initial_temp`] a warm-started SA run starts at.
+///
+/// A warm seed is already near the previous size's optimum, so re-heating to
+/// the full `T0` would only walk away from it and re-pay the exploration the
+/// previous candidate size already performed. The reduced temperature keeps
+/// enough mobility to repair the one-node resize while letting the adaptive
+/// schedule terminate the (quickly plateauing) run early.
+const WARM_TEMP_FRACTION: f64 = 0.25;
+
+/// Whether the binary search re-anneals every candidate size from scratch or
+/// reuses the previous size's best subgraph as the SA seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WarmStart {
+    /// Always anneal from a fresh random connected seed (the pre-warm-start
+    /// behaviour, bitwise-identical to it for any fixed RNG seed).
+    Off,
+    /// Seed every candidate size after the first from the previous size's
+    /// best subgraph ([`crate::annealing::anneal_subgraph_from_seed`]).
+    On,
+    /// [`WarmStart::On`] for graphs with at least
+    /// [`WARM_START_AUTO_MIN_NODES`] nodes, [`WarmStart::Off`] below.
+    #[default]
+    Auto,
+}
+
+impl WarmStart {
+    /// Resolves the policy for a graph of `nodes` nodes.
+    pub fn enabled_for(self, nodes: usize) -> bool {
+        match self {
+            WarmStart::Off => false,
+            WarmStart::On => true,
+            WarmStart::Auto => nodes >= WARM_START_AUTO_MIN_NODES,
+        }
+    }
+}
+
 /// Configuration of the full reduction step.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReductionOptions {
@@ -37,6 +89,10 @@ pub struct ReductionOptions {
     /// SA configuration used at every candidate size.
     pub sa: SaOptions,
     /// Number of independent SA runs per candidate size (the best one wins).
+    /// Warm-started sizes run once: the seed is deterministic and already
+    /// near-optimal, so extra restarts from the same point at reduced
+    /// temperature mostly duplicate work (restarts exist to decorrelate from
+    /// *bad random* seeds).
     pub sa_runs: usize,
     /// Smallest subgraph size the search will consider.
     pub min_size: usize,
@@ -46,6 +102,8 @@ pub struct ReductionOptions {
     /// reduction (default: keep at least 65% of the nodes) keeps Red-QAOA in
     /// the ~25–40% node-reduction regime the paper reports.
     pub min_size_fraction: f64,
+    /// Warm-start policy of the binary search (default: [`WarmStart::Auto`]).
+    pub warm_start: WarmStart,
 }
 
 impl Default for ReductionOptions {
@@ -56,6 +114,7 @@ impl Default for ReductionOptions {
             sa_runs: 2,
             min_size: 3,
             min_size_fraction: 0.65,
+            warm_start: WarmStart::default(),
         }
     }
 }
@@ -84,13 +143,30 @@ fn best_subgraph_of_size<R: Rng>(
     graph: &Graph,
     k: usize,
     options: &ReductionOptions,
+    warm_seed: Option<&[usize]>,
     rng: &mut R,
 ) -> Result<Subgraph, RedQaoaError> {
-    // The independent restarts fan out with one derived substream per run,
-    // so the winner is the same for every worker-thread count (ties break
-    // toward the lowest run index).
-    let runs = options.sa_runs.max(1);
     let runs_seed: u64 = rng.gen();
+    if let Some(seed_selection) = warm_seed {
+        // Warm path: one SA run seeded from the previous candidate size's
+        // best subgraph, started at a reduced temperature (the seed is
+        // already near-optimal; see `WARM_TEMP_FRACTION`). The resize is
+        // deterministic and the single run consumes its own substream, so
+        // the result is thread-count invariant just like the cold fan-out.
+        let sa = SaOptions {
+            initial_temp: (options.sa.initial_temp * WARM_TEMP_FRACTION)
+                .max(options.sa.final_temp * 4.0)
+                .min(options.sa.initial_temp),
+            ..options.sa
+        };
+        let mut run_rng = seeded(derive_seed(runs_seed, 0));
+        let outcome = anneal_subgraph_from_seed(graph, seed_selection, k, &sa, &mut run_rng)?;
+        return Ok(outcome.subgraph);
+    }
+    // Cold path: independent restarts fan out with one derived substream per
+    // run, so the winner is the same for every worker-thread count (ties
+    // break toward the lowest run index).
+    let runs = options.sa_runs.max(1);
     let outcomes = parallel_map_indexed(
         runs,
         || (),
@@ -122,6 +198,26 @@ fn best_subgraph_of_size<R: Rng>(
 /// is returned; if no proper subgraph qualifies the original graph is
 /// returned unreduced (a valid, if disappointing, outcome the pipeline
 /// handles gracefully).
+///
+/// Under [`ReductionOptions::warm_start`] (default [`WarmStart::Auto`]),
+/// every candidate size after the first seeds its SA run from the previous
+/// size's best subgraph instead of re-annealing from scratch — the `n log n`
+/// preprocessing claim of Figure 18 with the log-factor's constant cut
+/// roughly in half (see `BENCH_reduction.json`'s `warm_vs_cold` record).
+/// [`WarmStart::Off`] reproduces the pre-warm-start outputs bit for bit.
+///
+/// # Example
+///
+/// ```
+/// use graphlib::generators::connected_gnp;
+/// use red_qaoa::reduction::{reduce, ReductionOptions};
+///
+/// let mut rng = mathkit::rng::seeded(7);
+/// let graph = connected_gnp(14, 0.4, &mut rng).unwrap();
+/// let reduced = reduce(&graph, &ReductionOptions::default(), &mut rng).unwrap();
+/// assert!(reduced.graph().node_count() <= graph.node_count());
+/// assert!(reduced.and_ratio >= 0.7 - 1e-9);
+/// ```
 ///
 /// # Errors
 ///
@@ -155,10 +251,18 @@ pub fn reduce<R: Rng>(
     let mut lo = options.min_size.max(fraction_floor).clamp(2, n);
     let mut hi = n;
     let mut accepted: Option<Subgraph> = None;
+    // Best subgraph of the most recently evaluated size: the warm seed for
+    // the next candidate size (None until the first size is evaluated, which
+    // therefore always anneals cold).
+    let warm = options.warm_start.enabled_for(n);
+    let mut last_best: Option<Vec<usize>> = None;
 
     while lo < hi {
         let mid = (lo + hi) / 2;
-        let candidate = best_subgraph_of_size(graph, mid, options, rng)?;
+        let candidate = best_subgraph_of_size(graph, mid, options, last_best.as_deref(), rng)?;
+        if warm {
+            last_best = Some(candidate.nodes.clone());
+        }
         let ratio = if original_and <= f64::EPSILON {
             1.0
         } else {
@@ -176,7 +280,7 @@ pub fn reduce<R: Rng>(
         Some(sub) => sub,
         None => {
             // Try the final size (lo == hi); fall back to the whole graph.
-            let candidate = best_subgraph_of_size(graph, lo, options, rng)?;
+            let candidate = best_subgraph_of_size(graph, lo, options, last_best.as_deref(), rng)?;
             let ratio = and_ratio(graph, &candidate.graph);
             if ratio >= options.and_ratio_threshold && candidate.graph.edge_count() > 0 {
                 candidate
@@ -205,9 +309,24 @@ pub fn reduce<R: Rng>(
 /// Graph `i` is reduced with a generator seeded by
 /// `derive_seed(seed, i)`, so the output is **bitwise-identical for every
 /// `RED_QAOA_THREADS` value** (the same contract as the landscape scans; see
-/// `tests/parallel_determinism.rs`). Errors are reported per graph rather
-/// than aborting the pool — a too-small or edgeless graph yields an `Err`
-/// entry while the rest of the slice still reduces.
+/// `tests/parallel_determinism.rs` and `docs/determinism.md` at the
+/// repository root for the full contract). Errors are reported per graph
+/// rather than aborting the pool — a too-small or edgeless graph yields an
+/// `Err` entry while the rest of the slice still reduces.
+///
+/// # Example
+///
+/// ```
+/// use graphlib::generators::connected_gnp;
+/// use red_qaoa::reduction::{reduce_pool, ReductionOptions};
+///
+/// let graphs: Vec<_> = (0..3)
+///     .map(|i| connected_gnp(10, 0.4, &mut mathkit::rng::seeded(i)).unwrap())
+///     .collect();
+/// let results = reduce_pool(&graphs, &ReductionOptions::default(), 42);
+/// assert_eq!(results.len(), 3);
+/// assert!(results.iter().all(|r| r.is_ok()));
+/// ```
 pub fn reduce_pool(
     graphs: &[Graph],
     options: &ReductionOptions,

@@ -1,19 +1,48 @@
 //! Figure 8: MSE vs reduction ratio for SA and GNN-pooling baselines.
-use experiments::pooling_cmp::{run_fig8, Fig8Config};
+//!
+//! With `--sweep-sa-knobs`, runs the `SaOptions::{stagnation_patience,
+//! boost_divisor}` ablation on the same protocol instead (the sweep that
+//! chose the defaults recorded on `SaOptions::default`).
+use experiments::pooling_cmp::{run_fig8, run_sa_knob_sweep, Fig8Config};
 
 fn main() {
-    experiments::cli::handle_default_args(
-        "Figure 8: MSE vs reduction ratio for SA and GNN-pooling baselines",
-    );
-    let cells = run_fig8(&Fig8Config::default()).expect("figure 8 experiment failed");
-    println!("# Figure 8: mean landscape MSE by method and node-reduction ratio");
-    println!("method\treduction_ratio\tmean_mse");
-    for c in &cells {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sweep = args.iter().any(|a| a == "--sweep-sa-knobs");
+    let help = args.iter().any(|a| a == "--help" || a == "-h");
+    // --help keeps working in sweep mode; only a bare --sweep-sa-knobs run
+    // skips the shared handler (which would warn about the flag it doesn't
+    // know).
+    if !sweep || help {
+        experiments::cli::handle_default_args(
+            "Figure 8: MSE vs reduction ratio for SA and GNN-pooling baselines \
+             (--sweep-sa-knobs runs the stagnation-patience/boost-divisor ablation)",
+        );
+        let cells = run_fig8(&Fig8Config::default()).expect("figure 8 experiment failed");
+        println!("# Figure 8: mean landscape MSE by method and node-reduction ratio");
+        println!("method\treduction_ratio\tmean_mse");
+        for c in &cells {
+            println!(
+                "{}\t{:.2}\t{:.5}",
+                c.method.label(),
+                c.reduction_ratio,
+                c.mean_mse
+            );
+        }
+        return;
+    }
+    let rows = run_sa_knob_sweep(
+        &Fig8Config::default(),
+        0.3,
+        &[5, 15, 30, 60],
+        &[2.0, 5.0, 10.0],
+    )
+    .expect("SA knob sweep failed");
+    println!("# SA knob ablation (Figure 8 protocol, reduction ratio 0.30)");
+    println!("stagnation_patience\tboost_divisor\tmean_mse\tmean_iterations");
+    for r in &rows {
         println!(
-            "{}\t{:.2}\t{:.5}",
-            c.method.label(),
-            c.reduction_ratio,
-            c.mean_mse
+            "{}\t{:.0}\t{:.5}\t{:.1}",
+            r.stagnation_patience, r.boost_divisor, r.mean_mse, r.mean_iterations
         );
     }
 }

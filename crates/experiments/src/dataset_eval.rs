@@ -8,7 +8,7 @@
 use datasets::{aids, imdb, linux, random_suite, Dataset};
 use mathkit::rng::{derive_seed, seeded};
 use red_qaoa::mse::ideal_sample_mse;
-use red_qaoa::reduction::{reduce, ReductionOptions};
+use red_qaoa::reduction::{reduce_pool, ReductionOptions};
 use red_qaoa::RedQaoaError;
 
 /// Configuration of the dataset evaluation.
@@ -76,9 +76,14 @@ fn evaluate_dataset(
     let mut node_red = Vec::new();
     let mut edge_red = Vec::new();
     let mut mse_per_layer = vec![Vec::new(); config.layers.len()];
-    for (g_idx, graph) in graphs.iter().enumerate() {
-        let mut rng = seeded(derive_seed(config.seed, g_idx as u64));
-        let reduced = match reduce(graph, &ReductionOptions::default(), &mut rng) {
+    // One deterministic parallel pool over the whole split: graph `g_idx`
+    // reduces on the substream `derive_seed(config.seed, g_idx)` — exactly
+    // the stream the old per-graph `reduce` loop used, so the migration is
+    // output-preserving, and the pool is bitwise-identical for every
+    // `RED_QAOA_THREADS` value.
+    let reductions = reduce_pool(&graphs, &ReductionOptions::default(), config.seed);
+    for (g_idx, (graph, reduction)) in graphs.iter().zip(reductions).enumerate() {
+        let reduced = match reduction {
             Ok(r) => r,
             Err(_) => continue,
         };

@@ -11,7 +11,7 @@ use qaoa::evaluator::StatevectorEvaluator;
 use qaoa::landscape::Landscape;
 use qsim::devices::Device;
 use red_qaoa::mse::{noisy_grid_comparison, NoisyComparison};
-use red_qaoa::reduction::{reduce, ReductionOptions};
+use red_qaoa::reduction::{reduce_pool, ReductionOptions};
 use red_qaoa::RedQaoaError;
 
 /// Configuration shared by the landscape figures.
@@ -80,7 +80,16 @@ pub fn run_device_landscapes(
 ) -> Result<NoisyComparison, RedQaoaError> {
     let mut rng = seeded(config.seed);
     let graph = connected_gnp(config.nodes, config.edge_probability, &mut rng)?;
-    let reduced = reduce(&graph, &ReductionOptions::default(), &mut rng)?;
+    // A one-graph `reduce_pool` on a derived substream: the reduction no
+    // longer advances the comparison's RNG stream and stays bitwise
+    // thread-count invariant like the multi-graph pools.
+    let reduced = reduce_pool(
+        std::slice::from_ref(&graph),
+        &ReductionOptions::default(),
+        derive_seed(config.seed, 1),
+    )
+    .pop()
+    .expect("one-graph pool yields one result")?;
     noisy_grid_comparison(
         &graph,
         reduced.graph(),

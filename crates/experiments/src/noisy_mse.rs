@@ -8,11 +8,18 @@
 //!   seven IBM devices spanning a wide error-rate range.
 
 use graphlib::generators::connected_gnp;
+use graphlib::Graph;
 use mathkit::rng::{derive_seed, seeded};
 use qsim::devices::{aspen_m3, fake_toronto, noise_sweep_devices, Device};
 use red_qaoa::mse::noisy_grid_comparison;
-use red_qaoa::reduction::{reduce, ReductionOptions};
+use red_qaoa::reduction::{reduce_pool, ReductionOptions};
 use red_qaoa::RedQaoaError;
+
+/// Stream offset separating the reduction pool's seed from the per-size
+/// graph-generation and comparison streams.
+const REDUCE_STREAM: u64 = 40_000;
+/// Stream offset of the per-size noisy-comparison substreams.
+const COMPARISON_STREAM: u64 = 20_000;
 
 /// Configuration shared by the noisy-MSE sweeps.
 #[derive(Debug, Clone)]
@@ -64,13 +71,30 @@ pub fn run_size_sweep(
     config: &NoisyMseConfig,
     device: &Device,
 ) -> Result<Vec<NoisyMseRow>, RedQaoaError> {
+    // Generate every test graph first, then distill the whole sweep through
+    // one deterministic `reduce_pool` (one RNG substream per graph, bitwise
+    // thread-count invariant); each size's noisy comparison runs on its own
+    // derived substream.
+    let graphs: Vec<Graph> = config
+        .node_counts
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            let mut rng = seeded(derive_seed(config.seed, i as u64));
+            connected_gnp(n, config.edge_probability, &mut rng)
+        })
+        .collect::<Result<_, _>>()?;
+    let reductions = reduce_pool(
+        &graphs,
+        &ReductionOptions::default(),
+        derive_seed(config.seed, REDUCE_STREAM),
+    );
     let mut rows = Vec::new();
-    for (i, &n) in config.node_counts.iter().enumerate() {
-        let mut rng = seeded(derive_seed(config.seed, i as u64));
-        let graph = connected_gnp(n, config.edge_probability, &mut rng)?;
-        let reduced = reduce(&graph, &ReductionOptions::default(), &mut rng)?;
+    for (i, (graph, reduction)) in graphs.iter().zip(reductions).enumerate() {
+        let reduced = reduction?;
+        let mut rng = seeded(derive_seed(config.seed, COMPARISON_STREAM + i as u64));
         let comparison = noisy_grid_comparison(
-            &graph,
+            graph,
             reduced.graph(),
             config.width,
             &device.noise,
@@ -78,7 +102,7 @@ pub fn run_size_sweep(
             &mut rng,
         )?;
         rows.push(NoisyMseRow {
-            nodes: n,
+            nodes: config.node_counts[i],
             baseline_mse: comparison.baseline_mse,
             red_qaoa_mse: comparison.reduced_mse,
             reduced_nodes: reduced.graph().node_count(),
@@ -132,9 +156,18 @@ pub fn run_fig24(
 ) -> Result<Vec<NoiseModelRow>, RedQaoaError> {
     let mut rng = seeded(seed);
     let graph = connected_gnp(nodes, 0.4, &mut rng)?;
-    let reduced = reduce(&graph, &ReductionOptions::default(), &mut rng)?;
+    // A one-graph pool keeps this call site on the same deterministic
+    // substream scheme as the multi-graph sweeps.
+    let reduced = reduce_pool(
+        std::slice::from_ref(&graph),
+        &ReductionOptions::default(),
+        derive_seed(seed, REDUCE_STREAM),
+    )
+    .pop()
+    .expect("one-graph pool yields one result")?;
     let mut rows = Vec::new();
-    for device in noise_sweep_devices() {
+    for (d_idx, device) in noise_sweep_devices().iter().enumerate() {
+        let mut rng = seeded(derive_seed(seed, COMPARISON_STREAM + d_idx as u64));
         let comparison = noisy_grid_comparison(
             &graph,
             reduced.graph(),

@@ -193,6 +193,109 @@ pub fn run_fig8(config: &Fig8Config) -> Result<Vec<Fig8Cell>, RedQaoaError> {
     Ok(cells)
 }
 
+/// One row of the SA-knob ablation: the landscape MSE and iteration cost of
+/// the adaptive schedule at one `(stagnation_patience, boost_divisor)`
+/// setting on the Figure 8 protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaKnobSweepRow {
+    /// Patience window before the adaptive boost engages.
+    pub stagnation_patience: usize,
+    /// Non-improving steps per unit of extra cooling exponent.
+    pub boost_divisor: f64,
+    /// Mean landscape MSE across the test graphs (the Figure 8 metric).
+    pub mean_mse: f64,
+    /// Mean SA iterations per run (the cost axis of the trade-off).
+    pub mean_iterations: f64,
+}
+
+/// Sweeps [`SaOptions::stagnation_patience`] and [`SaOptions::boost_divisor`]
+/// on the Figure 8 ablation protocol.
+///
+/// For every knob combination, each test graph is annealed to the
+/// `reduction_ratio` target size with adaptive cooling and the landscape MSE
+/// of the selected subgraph against the original is computed exactly like
+/// [`run_fig8`] computes it for the `SA_Adap` column. The returned grid is
+/// what `fig08_pooling_comparison --sweep-sa-knobs` prints; the chosen
+/// defaults and their rationale live on
+/// [`SaOptions::default`](red_qaoa::annealing::SaOptions).
+///
+/// # Errors
+///
+/// Returns [`RedQaoaError`] if no graph of a combination can be evaluated.
+pub fn run_sa_knob_sweep(
+    config: &Fig8Config,
+    reduction_ratio: f64,
+    patiences: &[usize],
+    divisors: &[f64],
+) -> Result<Vec<SaKnobSweepRow>, RedQaoaError> {
+    let keep = 1.0 - reduction_ratio;
+    // The test graphs, parameter sets, and original-graph landscapes are
+    // knob-independent (pure functions of g_idx and the seed) and the
+    // original landscape is the dominant cost — compute them once, not once
+    // per grid cell.
+    struct GraphCase {
+        graph: Graph,
+        k: usize,
+        set: Vec<qaoa::params::QaoaParams>,
+        original_values: Vec<f64>,
+    }
+    let mut cases = Vec::with_capacity(config.graph_count);
+    for g_idx in 0..config.graph_count {
+        let mut rng = seeded(derive_seed(config.seed, g_idx as u64));
+        let graph = connected_gnp(config.nodes, config.edge_probability, &mut rng)?;
+        let k = ((graph.node_count() as f64 * keep).ceil() as usize).clamp(2, graph.node_count());
+        let evaluator = StatevectorEvaluator::new(&graph, config.layers)?;
+        let mut set_rng = seeded(derive_seed(config.seed, 2000 + g_idx as u64));
+        let set = random_parameter_set(config.layers, config.parameter_sets, &mut set_rng);
+        let original_values = evaluate_parameter_set(&set, &evaluator);
+        cases.push(GraphCase {
+            graph,
+            k,
+            set,
+            original_values,
+        });
+    }
+    let mut rows = Vec::new();
+    for &patience in patiences {
+        for &divisor in divisors {
+            let mut mses = Vec::new();
+            let mut iterations = Vec::new();
+            for (g_idx, case) in cases.iter().enumerate() {
+                let options = SaOptions {
+                    stagnation_patience: patience,
+                    boost_divisor: divisor,
+                    ..Default::default()
+                };
+                let mut sa_rng = seeded(derive_seed(config.seed, 1000 + g_idx as u64));
+                let outcome = anneal_subgraph(&case.graph, case.k, &options, &mut sa_rng)?;
+                if outcome.subgraph.graph.edge_count() == 0 {
+                    continue;
+                }
+                let reduced_evaluator =
+                    match StatevectorEvaluator::new(&outcome.subgraph.graph, config.layers) {
+                        Ok(e) => e,
+                        Err(_) => continue,
+                    };
+                let b = evaluate_parameter_set(&case.set, &reduced_evaluator);
+                mses.push(sample_mse(&case.original_values, &b)?);
+                iterations.push(outcome.iterations as f64);
+            }
+            if mses.is_empty() {
+                return Err(RedQaoaError::InvalidParameter(
+                    "no graph of the SA-knob sweep cell could be evaluated",
+                ));
+            }
+            rows.push(SaKnobSweepRow {
+                stagnation_patience: patience,
+                boost_divisor: divisor,
+                mean_mse: mses.iter().sum::<f64>() / mses.len() as f64,
+                mean_iterations: iterations.iter().sum::<f64>() / iterations.len() as f64,
+            });
+        }
+    }
+    Ok(rows)
+}
+
 /// Configuration of the Figure 19 experiment.
 #[derive(Debug, Clone)]
 pub struct Fig19Config {
@@ -414,6 +517,33 @@ mod tests {
             red.box_plot.median,
             worst
         );
+    }
+
+    #[test]
+    fn sa_knob_sweep_reports_every_combination() {
+        let config = Fig8Config {
+            graph_count: 2,
+            nodes: 8,
+            layers: 1,
+            parameter_sets: 32,
+            ..Default::default()
+        };
+        let rows = run_sa_knob_sweep(&config, 0.3, &[5, 30], &[2.0, 5.0]).unwrap();
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert!(row.mean_mse >= 0.0 && row.mean_mse < 0.2, "{row:?}");
+            assert!(row.mean_iterations > 0.0);
+        }
+        // A tighter patience must not run longer than a looser one at the
+        // same divisor: the boost engages earlier, so cooling finishes
+        // sooner (or at worst identically, if no plateau ever formed).
+        let iters_of = |patience: usize, divisor: f64| {
+            rows.iter()
+                .find(|r| r.stagnation_patience == patience && r.boost_divisor == divisor)
+                .map(|r| r.mean_iterations)
+                .unwrap()
+        };
+        assert!(iters_of(5, 2.0) <= iters_of(30, 2.0) + 1e-9);
     }
 
     #[test]

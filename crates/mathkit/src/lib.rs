@@ -4,7 +4,7 @@
 //! provides the building blocks that the Python reference implementation
 //! obtained from NumPy/SciPy:
 //!
-//! * [`Complex64`](complex::Complex64) — complex arithmetic for the quantum
+//! * [`complex::Complex64`] — complex arithmetic for the quantum
 //!   simulators in the `qsim` crate.
 //! * [`stats`] — means, variances, the mean-squared-error metric of the
 //!   paper (Equation 12), min–max normalization, and box-plot summaries.

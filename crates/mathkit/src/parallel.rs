@@ -123,9 +123,11 @@ fn in_region<R>(f: impl FnOnce() -> R) -> R {
 ///
 /// `make_scratch` is called once per worker thread; the scratch value is
 /// reused across that worker's indices so hot loops can recycle allocations.
-/// See the module docs for the determinism contract: given an `f` that is a
-/// pure function of its index, the result is bitwise-identical for every
-/// thread count.
+/// See the module docs for the determinism contract — and
+/// `docs/determinism.md` at the repository root for the full write-up
+/// (substream derivation, `RED_QAOA_THREADS`, nested-region serialization):
+/// given an `f` that is a pure function of its index, the result is
+/// bitwise-identical for every thread count.
 ///
 /// The range is split into `threads` contiguous chunks (one per worker); the
 /// calling thread processes the first chunk itself. A panic in any worker is

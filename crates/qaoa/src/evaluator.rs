@@ -65,6 +65,27 @@ use rand::rngs::SmallRng;
 /// See the [module docs](self) for the scratch/index contract. Implementors
 /// used in parallel scans must additionally be `Sync` and must make `energy`
 /// a pure function of `(index, params)` for a given evaluator value.
+///
+/// # Example
+///
+/// ```
+/// use graphlib::generators::cycle;
+/// use qaoa::evaluator::{EnergyEvaluator, StatevectorEvaluator};
+/// use qaoa::params::QaoaParams;
+///
+/// let graph = cycle(6).unwrap();
+/// let evaluator = StatevectorEvaluator::new(&graph, 1).unwrap();
+/// let params = QaoaParams::new(vec![0.4], vec![0.3]).unwrap();
+/// // One scratch per worker; deterministic backends ignore the index.
+/// let mut scratch = evaluator.scratch();
+/// let energy = evaluator.energy(&mut scratch, 0, &params);
+/// assert!(energy.is_finite());
+/// // Same point, same bits — evaluation is a pure function of the inputs.
+/// assert_eq!(
+///     energy.to_bits(),
+///     evaluator.energy(&mut scratch, 0, &params).to_bits()
+/// );
+/// ```
 pub trait EnergyEvaluator {
     /// Reusable per-worker evaluation buffers (workspaces, RNG state).
     type Scratch;

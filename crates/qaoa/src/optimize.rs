@@ -114,8 +114,9 @@ fn seed_start<R: Rng, E: EnergyEvaluator>(
 }
 
 /// Maximizes a QAOA energy backend with Nelder–Mead restarts. The first
-/// restart starts from a coarse global scan of the landscape (see
-/// [`seed_start`]); the remaining restarts start from random parameters.
+/// restart starts from a coarse global scan of the landscape (an internal
+/// grid-seeded warm start); the remaining restarts start from random
+/// parameters.
 ///
 /// Evaluation flows through the [`EnergyEvaluator`] with a single scratch
 /// and a monotonically increasing evaluation index, so per-point stochastic

@@ -2,7 +2,13 @@
 //! scan must be **bitwise-identical** to the serial path for any worker
 //! count (`RED_QAOA_THREADS ∈ {1, 2, 4}` is exercised here through the
 //! scoped `mathkit::parallel::with_threads` override, which takes priority
-//! over the environment variable).
+//! over the environment variable). The contract itself is documented in
+//! `docs/determinism.md`.
+//!
+//! Coverage spans the primitives (landscape grids, sample MSEs, noisy
+//! grids, cold and warm `reduce_pool`), the noisy pipeline, and the four
+//! experiment modules migrated onto `reduce_pool` in PR 4 (`dataset_eval`,
+//! `noisy_mse`, `convergence`/Figure 20, `landscapes`).
 
 use graphlib::generators::connected_gnp;
 use mathkit::parallel::with_threads;
@@ -13,7 +19,7 @@ use qaoa::landscape::Landscape;
 use qsim::trajectory::TrajectoryOptions;
 use red_qaoa::mse::{ideal_sample_mse, noisy_grid_comparison};
 use red_qaoa::pipeline::{run_noisy, PipelineOptions};
-use red_qaoa::reduction::{reduce_pool, ReductionOptions};
+use red_qaoa::reduction::{reduce_pool, ReductionOptions, WarmStart};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 
@@ -122,6 +128,34 @@ proptest! {
         }
     }
 
+    /// Warm-started pool reduction: the deterministic seed resize and the
+    /// single warm SA run per candidate size keep `WarmStart::On` exactly as
+    /// thread-count invariant as the cold fan-out (graphs above the Auto
+    /// cutoff so the warm path actually runs).
+    #[test]
+    fn warm_started_reduce_pool_is_thread_count_invariant(seed in 0u64..200) {
+        let graphs: Vec<_> = (0..4)
+            .map(|i| {
+                let nodes = 18 + 2 * (i % 2);
+                connected_gnp(nodes, 0.35, &mut seeded(derive_seed(seed, i as u64))).unwrap()
+            })
+            .collect();
+        let options = ReductionOptions {
+            warm_start: WarmStart::On,
+            ..Default::default()
+        };
+        let reference = with_threads(1, || reduce_pool(&graphs, &options, seed));
+        for threads in THREAD_COUNTS {
+            let pool = with_threads(threads, || reduce_pool(&graphs, &options, seed));
+            for (a, b) in reference.iter().zip(&pool) {
+                let a = a.as_ref().expect("connected graphs reduce");
+                let b = b.as_ref().expect("connected graphs reduce");
+                prop_assert_eq!(&a.subgraph.nodes, &b.subgraph.nodes);
+                prop_assert_eq!(a.and_ratio.to_bits(), b.and_ratio.to_bits());
+            }
+        }
+    }
+
     /// A noisy landscape scan evaluated point-by-point with a fresh scratch
     /// per point equals the scan through `Landscape::evaluate` — the
     /// per-point substream really is a pure function of the index.
@@ -185,5 +219,139 @@ fn noisy_pipeline_is_thread_count_invariant() {
             "threads {threads}"
         );
         assert_eq!(reference.reduction.graph(), outcome.reduction.graph());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The four experiment modules migrated onto `reduce_pool` (PR 4):
+// dataset_eval, noisy_mse, convergence (Figure 20), and landscapes. Each
+// must produce bitwise-identical outputs for every worker count. These run
+// scaled-down configurations once per thread count (plain tests rather than
+// proptests: one experiment run is orders of magnitude heavier than the
+// primitives above).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dataset_eval_is_thread_count_invariant() {
+    let config = experiments::dataset_eval::DatasetEvalConfig {
+        graphs_per_dataset: 3,
+        layers: vec![1],
+        parameter_sets: 12,
+        ..Default::default()
+    };
+    let reference = with_threads(1, || {
+        experiments::dataset_eval::run_small_datasets(&config).unwrap()
+    });
+    for threads in [2usize, 4] {
+        let rows = with_threads(threads, || {
+            experiments::dataset_eval::run_small_datasets(&config).unwrap()
+        });
+        assert_eq!(reference.len(), rows.len());
+        for (a, b) in reference.iter().zip(&rows) {
+            assert_eq!(a.dataset, b.dataset, "threads {threads}");
+            assert_eq!(a.graphs, b.graphs, "threads {threads}");
+            assert_eq!(
+                a.node_reduction.to_bits(),
+                b.node_reduction.to_bits(),
+                "threads {threads}"
+            );
+            assert_eq!(
+                a.edge_reduction.to_bits(),
+                b.edge_reduction.to_bits(),
+                "threads {threads}"
+            );
+            assert_eq!(bits(&a.mse_per_layer), bits(&b.mse_per_layer));
+        }
+    }
+}
+
+#[test]
+fn noisy_mse_size_sweep_is_thread_count_invariant() {
+    let config = experiments::noisy_mse::NoisyMseConfig {
+        node_counts: vec![7, 8],
+        width: 3,
+        trajectories: 4,
+        ..Default::default()
+    };
+    let reference = with_threads(1, || experiments::noisy_mse::run_fig10(&config).unwrap());
+    for threads in [2usize, 4] {
+        let rows = with_threads(threads, || {
+            experiments::noisy_mse::run_fig10(&config).unwrap()
+        });
+        assert_eq!(reference.len(), rows.len());
+        for (a, b) in reference.iter().zip(&rows) {
+            assert_eq!(a.nodes, b.nodes, "threads {threads}");
+            assert_eq!(a.reduced_nodes, b.reduced_nodes, "threads {threads}");
+            assert_eq!(
+                a.baseline_mse.to_bits(),
+                b.baseline_mse.to_bits(),
+                "threads {threads}"
+            );
+            assert_eq!(
+                a.red_qaoa_mse.to_bits(),
+                b.red_qaoa_mse.to_bits(),
+                "threads {threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig20_convergence_is_thread_count_invariant() {
+    let config = experiments::convergence::Fig20Config {
+        nodes: 7,
+        restarts: 1,
+        iterations: 8,
+        trajectories: 4,
+        ..Default::default()
+    };
+    let reference = with_threads(1, || experiments::convergence::run_fig20(&config).unwrap());
+    for threads in [2usize, 4] {
+        let curves = with_threads(threads, || {
+            experiments::convergence::run_fig20(&config).unwrap()
+        });
+        assert_eq!(
+            reference.reduced_nodes, curves.reduced_nodes,
+            "threads {threads}"
+        );
+        assert_eq!(bits(&reference.baseline), bits(&curves.baseline));
+        assert_eq!(bits(&reference.red_qaoa), bits(&curves.red_qaoa));
+    }
+}
+
+#[test]
+fn device_landscapes_are_thread_count_invariant() {
+    let config = experiments::landscapes::LandscapeConfig {
+        nodes: 8,
+        width: 3,
+        trajectories: 4,
+        ..Default::default()
+    };
+    let device = qsim::devices::fake_toronto();
+    let reference = with_threads(1, || {
+        experiments::landscapes::run_device_landscapes(&config, &device).unwrap()
+    });
+    for threads in [2usize, 4] {
+        let comparison = with_threads(threads, || {
+            experiments::landscapes::run_device_landscapes(&config, &device).unwrap()
+        });
+        assert_eq!(
+            bits(&reference.noisy_baseline.values),
+            bits(&comparison.noisy_baseline.values)
+        );
+        assert_eq!(
+            bits(&reference.noisy_reduced.values),
+            bits(&comparison.noisy_reduced.values)
+        );
+        assert_eq!(
+            reference.baseline_mse.to_bits(),
+            comparison.baseline_mse.to_bits(),
+            "threads {threads}"
+        );
+        assert_eq!(
+            reference.reduced_mse.to_bits(),
+            comparison.reduced_mse.to_bits(),
+            "threads {threads}"
+        );
     }
 }
