@@ -19,9 +19,11 @@
 #      additionally check bitwise equality across thread counts.
 #   4. perf smoke             — the bench/ landscape smoke emits
 #      BENCH_landscape.json (points/sec for a 32×32 grid on a 16-node
-#      graph) and the reduction smoke emits BENCH_reduction.json (SA
+#      graph), the reduction smoke emits BENCH_reduction.json (SA
 #      moves/sec, incremental-vs-rebuild move evaluation, reduce_pool
-#      graphs/sec) so the perf trajectory is recorded run-over-run.
+#      graphs/sec), and the engine smoke emits BENCH_engine.json (batch
+#      jobs/sec cold vs warm reduction cache) so the perf trajectory is
+#      recorded run-over-run.
 #   5. bench targets resolve  — cargo bench --no-run
 #   6. figure binaries        — every fig*/table* binary answers --help
 set -euo pipefail
@@ -48,6 +50,9 @@ cargo run --quiet --release -p bench --bin landscape_smoke BENCH_landscape.json
 
 echo "==> perf smoke: reduction moves/sec + graphs/sec -> BENCH_reduction.json"
 cargo run --quiet --release -p bench --bin reduction_smoke BENCH_reduction.json
+
+echo "==> perf smoke: engine batch cold vs warm cache -> BENCH_engine.json"
+cargo run --quiet --release -p bench --bin engine_smoke BENCH_engine.json
 
 echo "==> benches compile: cargo bench --no-run"
 cargo bench --no-run --quiet

@@ -87,18 +87,6 @@ impl CoolingSchedule {
             }
         }
     }
-
-    fn validate(&self) -> Result<(), RedQaoaError> {
-        let alpha = match *self {
-            CoolingSchedule::Constant(a) | CoolingSchedule::Adaptive { base: a } => a,
-        };
-        if alpha <= 0.0 || alpha >= 1.0 {
-            return Err(RedQaoaError::InvalidParameter(
-                "cooling factor must be in (0, 1)",
-            ));
-        }
-        Ok(())
-    }
 }
 
 /// Configuration of the simulated-annealing search (the inputs of
@@ -158,6 +146,145 @@ impl Default for SaOptions {
     }
 }
 
+impl SaOptions {
+    /// Starts a validating builder seeded with [`SaOptions::default`].
+    pub fn builder() -> SaOptionsBuilder {
+        SaOptionsBuilder::default()
+    }
+
+    /// Checks every field against its documented domain.
+    ///
+    /// This is the single validation authority for SA configurations: the
+    /// [`SaOptionsBuilder`], [`crate::reduction::ReductionOptionsBuilder`],
+    /// and [`crate::engine::EngineBuilder`] all call it from their `build`
+    /// methods, and the public annealing entry points call it once per run.
+    /// The hot loop itself only `debug_assert`s it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RedQaoaError::InvalidParameter`] naming the offending field
+    /// (`cooling`, `final_temp`, `initial_temp`, `disconnection_penalty`, or
+    /// `boost_divisor`).
+    pub fn validate(&self) -> Result<(), RedQaoaError> {
+        let alpha = match self.cooling {
+            CoolingSchedule::Constant(a) | CoolingSchedule::Adaptive { base: a } => a,
+        };
+        if !(alpha > 0.0 && alpha < 1.0) {
+            return Err(RedQaoaError::invalid_parameter(
+                "cooling",
+                alpha,
+                "cooling factor must be in (0, 1)",
+            ));
+        }
+        if self.final_temp <= 0.0 || self.final_temp.is_nan() {
+            return Err(RedQaoaError::invalid_parameter(
+                "final_temp",
+                self.final_temp,
+                "must be positive",
+            ));
+        }
+        if self.initial_temp <= self.final_temp || self.initial_temp.is_nan() {
+            return Err(RedQaoaError::invalid_parameter(
+                "initial_temp",
+                self.initial_temp,
+                "must exceed final_temp",
+            ));
+        }
+        if self.disconnection_penalty < 0.0 || self.disconnection_penalty.is_nan() {
+            return Err(RedQaoaError::invalid_parameter(
+                "disconnection_penalty",
+                self.disconnection_penalty,
+                "must be non-negative",
+            ));
+        }
+        if self.boost_divisor <= 0.0 || self.boost_divisor.is_nan() {
+            return Err(RedQaoaError::invalid_parameter(
+                "boost_divisor",
+                self.boost_divisor,
+                "must be positive",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Validating builder for [`SaOptions`].
+///
+/// Setters record the value; [`SaOptionsBuilder::build`] checks every field
+/// against its documented domain and reports the offending field by name, so
+/// a bad configuration is rejected once, up front, instead of deep inside a
+/// reduction run.
+///
+/// # Example
+///
+/// ```
+/// use red_qaoa::annealing::SaOptions;
+///
+/// let sa = SaOptions::builder()
+///     .initial_temp(2.0)
+///     .final_temp(1e-4)
+///     .stagnation_patience(10)
+///     .build()
+///     .unwrap();
+/// assert_eq!(sa.stagnation_patience, 10);
+///
+/// let err = SaOptions::builder().final_temp(-1.0).build().unwrap_err();
+/// assert_eq!(err.field(), Some("final_temp"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SaOptionsBuilder {
+    options: SaOptions,
+}
+
+impl SaOptionsBuilder {
+    /// Sets the initial temperature `T0`.
+    pub fn initial_temp(mut self, initial_temp: f64) -> Self {
+        self.options.initial_temp = initial_temp;
+        self
+    }
+
+    /// Sets the stopping temperature `Tf`.
+    pub fn final_temp(mut self, final_temp: f64) -> Self {
+        self.options.final_temp = final_temp;
+        self
+    }
+
+    /// Sets the cooling schedule.
+    pub fn cooling(mut self, cooling: CoolingSchedule) -> Self {
+        self.options.cooling = cooling;
+        self
+    }
+
+    /// Sets the per-extra-component disconnection penalty.
+    pub fn disconnection_penalty(mut self, penalty: f64) -> Self {
+        self.options.disconnection_penalty = penalty;
+        self
+    }
+
+    /// Sets the adaptive-cooling stagnation patience window.
+    pub fn stagnation_patience(mut self, patience: usize) -> Self {
+        self.options.stagnation_patience = patience;
+        self
+    }
+
+    /// Sets the adaptive-cooling boost divisor.
+    pub fn boost_divisor(mut self, divisor: f64) -> Self {
+        self.options.boost_divisor = divisor;
+        self
+    }
+
+    /// Validates every field and returns the finished [`SaOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RedQaoaError::InvalidParameter`] naming the offending field;
+    /// see [`SaOptions::validate`].
+    pub fn build(self) -> Result<SaOptions, RedQaoaError> {
+        self.options.validate()?;
+        Ok(self.options)
+    }
+}
+
 /// Outcome of one SA run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SaOutcome {
@@ -184,21 +311,6 @@ fn objective_from_scratch(
     let components = graphlib::traversal::connected_components(&sub.graph).len();
     let value = (and - target_and).abs() + penalty * (components.saturating_sub(1)) as f64;
     (value, sub)
-}
-
-fn validate_options(options: &SaOptions) -> Result<(), RedQaoaError> {
-    options.cooling.validate()?;
-    if options.initial_temp <= options.final_temp || options.final_temp <= 0.0 {
-        return Err(RedQaoaError::InvalidParameter(
-            "temperatures must satisfy 0 < final < initial",
-        ));
-    }
-    if options.boost_divisor <= 0.0 || options.boost_divisor.is_nan() {
-        return Err(RedQaoaError::InvalidParameter(
-            "boost divisor must be positive",
-        ));
-    }
-    Ok(())
 }
 
 /// The Metropolis loop shared by [`anneal_subgraph`] and
@@ -311,7 +423,24 @@ pub fn anneal_subgraph<R: Rng>(
     options: &SaOptions,
     rng: &mut R,
 ) -> Result<SaOutcome, RedQaoaError> {
-    validate_options(options)?;
+    options.validate()?;
+    anneal_subgraph_prevalidated(graph, k, options, rng)
+}
+
+/// [`anneal_subgraph`] without the per-call options validation: the caller
+/// (the [`crate::reduction`] binary search, which validates once up front)
+/// vouches for the configuration, so the hot path carries no
+/// validation-driven `Err` branch — only a `debug_assert`.
+pub(crate) fn anneal_subgraph_prevalidated<R: Rng>(
+    graph: &Graph,
+    k: usize,
+    options: &SaOptions,
+    rng: &mut R,
+) -> Result<SaOutcome, RedQaoaError> {
+    debug_assert!(
+        options.validate().is_ok(),
+        "caller must pre-validate SaOptions"
+    );
     let n = graph.node_count();
     if k == 0 || k > n {
         return Err(RedQaoaError::GraphNotReducible(
@@ -363,7 +492,23 @@ pub fn anneal_subgraph_from_seed<R: Rng>(
     options: &SaOptions,
     rng: &mut R,
 ) -> Result<SaOutcome, RedQaoaError> {
-    validate_options(options)?;
+    options.validate()?;
+    anneal_subgraph_from_seed_prevalidated(graph, seed_selection, k, options, rng)
+}
+
+/// [`anneal_subgraph_from_seed`] without the per-call options validation;
+/// see [`anneal_subgraph_prevalidated`].
+pub(crate) fn anneal_subgraph_from_seed_prevalidated<R: Rng>(
+    graph: &Graph,
+    seed_selection: &[usize],
+    k: usize,
+    options: &SaOptions,
+    rng: &mut R,
+) -> Result<SaOutcome, RedQaoaError> {
+    debug_assert!(
+        options.validate().is_ok(),
+        "caller must pre-validate SaOptions"
+    );
     let n = graph.node_count();
     if k == 0 || k > n {
         return Err(RedQaoaError::GraphNotReducible(
@@ -402,19 +547,25 @@ pub fn resize_selection(
         ));
     }
     if seed.is_empty() {
-        return Err(RedQaoaError::InvalidParameter(
+        return Err(RedQaoaError::invalid_parameter(
+            "seed_selection",
+            "[]",
             "seed selection must be non-empty",
         ));
     }
     let mut in_set = vec![false; n];
     for &u in seed {
         if u >= n {
-            return Err(RedQaoaError::InvalidParameter(
+            return Err(RedQaoaError::invalid_parameter(
+                "seed_selection",
+                u,
                 "seed selection node out of range",
             ));
         }
         if in_set[u] {
-            return Err(RedQaoaError::InvalidParameter(
+            return Err(RedQaoaError::invalid_parameter(
+                "seed_selection",
+                u,
                 "seed selection contains a duplicate node",
             ));
         }

@@ -1,0 +1,1073 @@
+//! The batched, session-oriented front door of Red-QAOA.
+//!
+//! Everything below this module — [`crate::reduction`], [`crate::pipeline`],
+//! [`crate::throughput`] — is a library of **free functions**: the caller
+//! assembles options, seeds an RNG, and owns the consequences. That is the
+//! right shape for experiments, and exactly the wrong shape for the paper's
+//! end game (Figure 25's multi-programming argument): a service that fields
+//! many reduction/optimization requests, often over the *same* hot graphs,
+//! wants its configuration validated once, its thread policy decided once,
+//! and its reductions cached.
+//!
+//! [`Engine`] is that front door:
+//!
+//! * **Builder** — [`EngineBuilder`] validates the whole configuration
+//!   (thread count, warm-start policy, SA knobs, evaluator backend, optional
+//!   noise model) at [`EngineBuilder::build`], naming the offending field in
+//!   the error, so no validation-driven failure is left to job time.
+//! * **Jobs** — typed requests ([`ReduceJob`], [`PipelineJob`],
+//!   [`LandscapeJob`], [`ThroughputJob`]) submitted one-shot via
+//!   [`Engine::run`] or batched via [`Engine::run_batch`], each returning a
+//!   typed [`JobOutput`].
+//! * **Determinism** — a batch fans out through
+//!   `mathkit::parallel::parallel_map_indexed`; job `i` derives the
+//!   substream `derive_seed(batch_seed, i)`, so batch results are
+//!   bitwise-identical for every `RED_QAOA_THREADS` value
+//!   (`tests/parallel_determinism.rs`, `docs/determinism.md`).
+//! * **Cache** — reductions are content-addressed: the same (graph, options)
+//!   pair maps to the same cache key *and* the same derived reduction
+//!   substream, so a cache hit returns the bitwise-identical
+//!   [`ReducedGraph`] the miss computed, without re-annealing. Hit/miss
+//!   counters are exposed through [`Engine::cache_stats`] for the benches
+//!   (`BENCH_engine.json`).
+//!
+//! The free functions remain available as the low-level layer; see
+//! `docs/architecture.md` for the layering and migration notes.
+//!
+//! # Example
+//!
+//! ```
+//! use graphlib::generators::connected_gnp;
+//! use red_qaoa::engine::{Engine, Job, ReduceJob};
+//!
+//! // threads(1) only so the hit/miss counters below are exact; results are
+//! // identical for any worker count (counters are telemetry, not contract).
+//! let engine = Engine::builder().threads(1).build().unwrap();
+//! let graph = connected_gnp(12, 0.4, &mut mathkit::rng::seeded(7)).unwrap();
+//! let jobs = vec![
+//!     Job::Reduce(ReduceJob::new(graph.clone())),
+//!     Job::Reduce(ReduceJob::new(graph)), // same content: served from cache
+//! ];
+//! let results = engine.run_batch(&jobs, 42);
+//! assert_eq!(results[0], results[1]); // bitwise-identical, no re-annealing
+//! assert_eq!(engine.cache_stats().hits, 1);
+//! ```
+
+use crate::pipeline::{
+    run_ideal_with_reduction, run_noisy_with_reduction, NoisyPipelineOutcome, PipelineOptions,
+    PipelineOutcome,
+};
+use crate::reduction::{reduce, ReducedGraph, ReductionOptions, WarmStart};
+use crate::throughput::relative_throughput;
+use crate::RedQaoaError;
+use graphlib::Graph;
+use mathkit::parallel::{parallel_map_indexed, with_threads};
+use mathkit::rng::{derive_seed, seeded};
+use qaoa::evaluator::{
+    AnalyticP1Evaluator, AutoEvaluator, EdgeLocalEvaluator, StatevectorEvaluator,
+};
+use qaoa::landscape::Landscape;
+use qsim::noise::NoiseModel;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default seed of the engine's content-addressed reduction substreams.
+///
+/// Reductions served by an engine are a pure function of
+/// `(graph, options, reduction_seed)` — **not** of the batch seed or the job
+/// index — so a cache hit is guaranteed to return the bitwise-identical
+/// result a miss would have computed, regardless of which job computed it
+/// first or on which worker thread. Override per engine with
+/// [`EngineBuilder::reduction_seed`].
+pub const DEFAULT_REDUCTION_SEED: u64 = 0xE61E_5EED;
+
+/// Default capacity (entries) of the engine's reduction cache.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+/// Which [`qaoa::evaluator::EnergyEvaluator`] backend a [`LandscapeJob`]
+/// scans with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvaluatorBackend {
+    /// Pick per graph: exact statevector when small enough, otherwise the
+    /// analytic / edge-local backends ([`qaoa::evaluator::AutoEvaluator`]).
+    #[default]
+    Auto,
+    /// Exact global statevector simulation.
+    Statevector,
+    /// Closed-form `p = 1` evaluation.
+    AnalyticP1,
+    /// Edge-local light-cone evaluation.
+    EdgeLocal,
+}
+
+/// A graph-reduction request: distill the graph to the smallest subgraph
+/// meeting the AND-ratio threshold (the paper's Algorithm 1 + binary
+/// search), served through the engine's reduction cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReduceJob {
+    /// The graph to reduce.
+    pub graph: Graph,
+    /// Per-job options; `None` uses the engine's configured defaults.
+    pub options: Option<ReductionOptions>,
+}
+
+impl ReduceJob {
+    /// A reduction request with the engine's default options.
+    pub fn new(graph: Graph) -> Self {
+        Self {
+            graph,
+            options: None,
+        }
+    }
+
+    /// Overrides the engine's reduction options for this job only.
+    pub fn with_options(mut self, options: ReductionOptions) -> Self {
+        self.options = Some(options);
+        self
+    }
+}
+
+/// An end-to-end pipeline request: reduce (through the cache), optimize on
+/// the reduced graph, transfer back, and report against the plain-QAOA
+/// baseline. With [`PipelineJob::noisy_trajectories`] set, both
+/// optimizations run under the engine's noise model instead
+/// ([`crate::pipeline::run_noisy_with_reduction`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineJob {
+    /// The graph to run the pipeline on.
+    pub graph: Graph,
+    /// Per-job options; `None` uses the engine's configured defaults.
+    pub options: Option<PipelineOptions>,
+    /// `Some(t)` runs the *noisy* pipeline with `t` trajectories per
+    /// evaluation; requires the engine to have a noise model
+    /// ([`EngineBuilder::noise`]).
+    pub noisy_trajectories: Option<usize>,
+}
+
+impl PipelineJob {
+    /// An ideal-pipeline request with the engine's default options.
+    pub fn new(graph: Graph) -> Self {
+        Self {
+            graph,
+            options: None,
+            noisy_trajectories: None,
+        }
+    }
+
+    /// Overrides the engine's pipeline options for this job only.
+    pub fn with_options(mut self, options: PipelineOptions) -> Self {
+        self.options = Some(options);
+        self
+    }
+
+    /// Switches this job to the noisy pipeline with `trajectories`
+    /// trajectories per energy evaluation.
+    pub fn noisy(mut self, trajectories: usize) -> Self {
+        self.noisy_trajectories = Some(trajectories);
+        self
+    }
+}
+
+/// A `p = 1` energy-landscape scan on a `width × width` `(γ, β)` grid,
+/// evaluated with the engine's configured [`EvaluatorBackend`] — optionally
+/// on the graph's cached reduction instead of the graph itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LandscapeJob {
+    /// The graph whose landscape is scanned.
+    pub graph: Graph,
+    /// Grid width (the scan evaluates `width²` points).
+    pub width: usize,
+    /// Scan the cached reduction of the graph instead of the graph itself.
+    pub reduce_first: bool,
+}
+
+impl LandscapeJob {
+    /// A landscape scan of `graph` itself on a `width × width` grid.
+    pub fn new(graph: Graph, width: usize) -> Self {
+        Self {
+            graph,
+            width,
+            reduce_first: false,
+        }
+    }
+
+    /// Scans the graph's (cached) reduction instead of the graph.
+    pub fn reduced(mut self) -> Self {
+        self.reduce_first = true;
+        self
+    }
+}
+
+/// A multi-programming throughput estimate (Figure 25): how much faster
+/// batches of the graph's reduced circuit execute on a `device_qubits`-qubit
+/// device than batches of the original. The reduction comes from the cache,
+/// so evaluating one graph against several device sizes anneals once.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThroughputJob {
+    /// The graph whose circuits are batched.
+    pub graph: Graph,
+    /// Qubit count of the target device.
+    pub device_qubits: usize,
+    /// QAOA layer count of the throughput model.
+    pub layers: usize,
+}
+
+impl ThroughputJob {
+    /// A throughput estimate for `graph` on a `device_qubits`-qubit device.
+    pub fn new(graph: Graph, device_qubits: usize, layers: usize) -> Self {
+        Self {
+            graph,
+            device_qubits,
+            layers,
+        }
+    }
+}
+
+/// A typed request submitted to [`Engine::run`] / [`Engine::run_batch`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Job {
+    /// Reduce a graph (through the cache).
+    Reduce(ReduceJob),
+    /// Run the end-to-end (ideal or noisy) pipeline.
+    Pipeline(PipelineJob),
+    /// Scan a `p = 1` energy landscape.
+    Landscape(LandscapeJob),
+    /// Estimate the multi-programming throughput gain.
+    Throughput(ThroughputJob),
+}
+
+impl From<ReduceJob> for Job {
+    fn from(job: ReduceJob) -> Self {
+        Job::Reduce(job)
+    }
+}
+
+impl From<PipelineJob> for Job {
+    fn from(job: PipelineJob) -> Self {
+        Job::Pipeline(job)
+    }
+}
+
+impl From<LandscapeJob> for Job {
+    fn from(job: LandscapeJob) -> Self {
+        Job::Landscape(job)
+    }
+}
+
+impl From<ThroughputJob> for Job {
+    fn from(job: ThroughputJob) -> Self {
+        Job::Throughput(job)
+    }
+}
+
+/// The typed result of one [`Job`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutput {
+    /// Result of a [`Job::Reduce`].
+    Reduced(ReducedGraph),
+    /// Result of an ideal [`Job::Pipeline`].
+    Pipeline(PipelineOutcome),
+    /// Result of a noisy [`Job::Pipeline`].
+    NoisyPipeline(NoisyPipelineOutcome),
+    /// Result of a [`Job::Landscape`].
+    Landscape(Landscape),
+    /// Result of a [`Job::Throughput`]: the relative throughput
+    /// (reduced / original; `1.0` means no multi-programming benefit).
+    Throughput(f64),
+}
+
+impl JobOutput {
+    /// The reduction, when this is a [`JobOutput::Reduced`].
+    pub fn as_reduced(&self) -> Option<&ReducedGraph> {
+        match self {
+            JobOutput::Reduced(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The pipeline outcome, when this is a [`JobOutput::Pipeline`].
+    pub fn as_pipeline(&self) -> Option<&PipelineOutcome> {
+        match self {
+            JobOutput::Pipeline(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The noisy pipeline outcome, when this is a
+    /// [`JobOutput::NoisyPipeline`].
+    pub fn as_noisy_pipeline(&self) -> Option<&NoisyPipelineOutcome> {
+        match self {
+            JobOutput::NoisyPipeline(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The landscape, when this is a [`JobOutput::Landscape`].
+    pub fn as_landscape(&self) -> Option<&Landscape> {
+        match self {
+            JobOutput::Landscape(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The relative throughput, when this is a [`JobOutput::Throughput`].
+    pub fn as_throughput(&self) -> Option<f64> {
+        match self {
+            JobOutput::Throughput(t) => Some(*t),
+            _ => None,
+        }
+    }
+}
+
+/// Snapshot of the reduction cache's counters.
+///
+/// The *contents* of the cache are deterministic (every entry is a pure
+/// function of its key), but the hit/miss split of a parallel batch is not:
+/// two workers may race to compute the same key and both count a miss. The
+/// counters are telemetry for the benches, not part of the determinism
+/// contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Jobs served from the cache without re-annealing.
+    pub hits: u64,
+    /// Jobs that computed (and inserted) their reduction.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Configured capacity (`0` means caching is disabled).
+    pub capacity: usize,
+}
+
+/// Content-addressed cache key: the full graph (node count + sorted edge
+/// list, which `Graph::edges` yields canonically) and the bit patterns of
+/// every reduction option. Storing the full key rather than a digest makes
+/// collisions impossible; graphs at Red-QAOA scale are a few hundred edges.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    nodes: usize,
+    edges: Vec<(usize, usize)>,
+    option_bits: [u64; 12],
+}
+
+impl CacheKey {
+    fn new(graph: &Graph, options: &ReductionOptions) -> Self {
+        use crate::annealing::CoolingSchedule;
+        let (cooling_kind, cooling_alpha) = match options.sa.cooling {
+            CoolingSchedule::Constant(a) => (0u64, a.to_bits()),
+            CoolingSchedule::Adaptive { base } => (1u64, base.to_bits()),
+        };
+        let warm = match options.warm_start {
+            WarmStart::Off => 0u64,
+            WarmStart::On => 1,
+            WarmStart::Auto => 2,
+        };
+        Self {
+            nodes: graph.node_count(),
+            edges: graph.edges(),
+            option_bits: [
+                options.and_ratio_threshold.to_bits(),
+                options.sa_runs as u64,
+                options.min_size as u64,
+                options.min_size_fraction.to_bits(),
+                warm,
+                options.sa.initial_temp.to_bits(),
+                options.sa.final_temp.to_bits(),
+                cooling_kind,
+                cooling_alpha,
+                options.sa.disconnection_penalty.to_bits(),
+                options.sa.stagnation_patience as u64,
+                options.sa.boost_divisor.to_bits(),
+            ],
+        }
+    }
+
+    /// Stable FNV-1a content hash: the reduction substream for this key.
+    /// Deliberately hand-rolled (not `DefaultHasher`) so the derived
+    /// substreams — and therefore every cached reduction — are stable across
+    /// Rust releases.
+    fn content_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        let mut eat = |word: u64| {
+            for byte in word.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.nodes as u64);
+        eat(self.edges.len() as u64);
+        for &(u, v) in &self.edges {
+            eat(u as u64);
+            eat(v as u64);
+        }
+        for &word in &self.option_bits {
+            eat(word);
+        }
+        hash
+    }
+}
+
+/// FIFO-evicting reduction cache behind the engine's mutex. Entries are
+/// `Arc`ed so a hit only bumps a refcount while the lock is held; the deep
+/// clone handed to the caller happens outside it.
+#[derive(Debug, Default)]
+struct ReductionCache {
+    entries: HashMap<CacheKey, std::sync::Arc<ReducedGraph>>,
+    order: VecDeque<CacheKey>,
+}
+
+impl ReductionCache {
+    fn insert(&mut self, key: CacheKey, value: std::sync::Arc<ReducedGraph>, capacity: usize) {
+        if self.entries.insert(key.clone(), value).is_none() {
+            self.order.push_back(key);
+            while self.order.len() > capacity {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.entries.remove(&evicted);
+                }
+            }
+        }
+    }
+}
+
+/// Validating builder for [`Engine`].
+///
+/// Every knob is checked once at [`EngineBuilder::build`]; a rejected
+/// configuration names the offending field ([`RedQaoaError::field`]), so a
+/// service can refuse a bad config at startup instead of discovering it on
+/// the first request.
+///
+/// # Example
+///
+/// ```
+/// use red_qaoa::engine::Engine;
+/// use red_qaoa::reduction::WarmStart;
+///
+/// let engine = Engine::builder()
+///     .threads(1)
+///     .warm_start(WarmStart::On)
+///     .cache_capacity(256)
+///     .build()
+///     .unwrap();
+/// assert_eq!(engine.cache_stats().capacity, 256);
+///
+/// let err = Engine::builder().threads(0).build().unwrap_err();
+/// assert_eq!(err.field(), Some("threads"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    threads: Option<usize>,
+    reduction: ReductionOptions,
+    pipeline: PipelineOptions,
+    /// Whether [`EngineBuilder::pipeline`] was called: an explicitly-set
+    /// pipeline keeps its own reduction options; the default one follows
+    /// the engine's.
+    pipeline_set: bool,
+    evaluator: EvaluatorBackend,
+    noise: Option<NoiseModel>,
+    cache_capacity: usize,
+    reduction_seed: u64,
+}
+
+impl Default for EngineBuilder {
+    fn default() -> Self {
+        Self {
+            threads: None,
+            reduction: ReductionOptions::default(),
+            pipeline: PipelineOptions::default(),
+            pipeline_set: false,
+            evaluator: EvaluatorBackend::default(),
+            noise: None,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            reduction_seed: DEFAULT_REDUCTION_SEED,
+        }
+    }
+}
+
+impl EngineBuilder {
+    /// Pins the engine's worker-thread count (every `run`/`run_batch` call
+    /// executes under a scoped `with_threads` override). Unset, the engine
+    /// inherits the ambient policy (`RED_QAOA_THREADS` or the machine's
+    /// parallelism) — which is what the determinism tests rely on.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Sets the default reduction options jobs inherit.
+    pub fn reduction(mut self, reduction: ReductionOptions) -> Self {
+        self.reduction = reduction;
+        self
+    }
+
+    /// Sets the warm-start policy of the default reduction options.
+    pub fn warm_start(mut self, warm_start: WarmStart) -> Self {
+        self.reduction.warm_start = warm_start;
+        self
+    }
+
+    /// Sets the SA knobs of the default reduction options.
+    pub fn sa(mut self, sa: crate::annealing::SaOptions) -> Self {
+        self.reduction.sa = sa;
+        self
+    }
+
+    /// Sets the default pipeline options [`PipelineJob`]s inherit.
+    ///
+    /// Explicitly-set pipeline options are used exactly as given — including
+    /// their nested [`PipelineOptions::reduction`] settings, which the
+    /// pipeline's reduction step (and its cache key) will use. When this
+    /// setter is *not* called, the default pipeline options follow the
+    /// engine's reduction options instead, so `ReduceJob`s and
+    /// `PipelineJob`s share cache entries out of the box.
+    pub fn pipeline(mut self, pipeline: PipelineOptions) -> Self {
+        self.pipeline = pipeline;
+        self.pipeline_set = true;
+        self
+    }
+
+    /// Chooses the evaluator backend [`LandscapeJob`]s scan with.
+    pub fn evaluator(mut self, evaluator: EvaluatorBackend) -> Self {
+        self.evaluator = evaluator;
+        self
+    }
+
+    /// Installs the noise model noisy [`PipelineJob`]s simulate under.
+    pub fn noise(mut self, noise: NoiseModel) -> Self {
+        self.noise = Some(noise);
+        self
+    }
+
+    /// Sets the reduction cache's capacity in entries (`0` disables caching).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the seed of the content-addressed reduction substreams (see
+    /// [`DEFAULT_REDUCTION_SEED`]). Two engines with the same seed and
+    /// options produce bitwise-identical reductions.
+    pub fn reduction_seed(mut self, seed: u64) -> Self {
+        self.reduction_seed = seed;
+        self
+    }
+
+    /// Validates the whole configuration and constructs the [`Engine`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RedQaoaError::InvalidParameter`] naming the offending field
+    /// (`threads`, `layers`, `restarts`, `max_iters`, or any
+    /// reduction/SA field; see [`ReductionOptions::validate`]).
+    pub fn build(mut self) -> Result<Engine, RedQaoaError> {
+        if let Some(threads) = self.threads {
+            if threads == 0 {
+                return Err(RedQaoaError::invalid_parameter(
+                    "threads",
+                    threads,
+                    "must be at least 1",
+                ));
+            }
+        }
+        self.reduction.validate()?;
+        validate_pipeline_options(&self.pipeline)?;
+        if !self.pipeline_set {
+            // No explicit pipeline configuration: follow the engine's
+            // reduction options so PipelineJobs share cache entries with
+            // ReduceJobs. An explicitly-set pipeline keeps its own (already
+            // validated) reduction settings untouched.
+            self.pipeline.reduction = self.reduction;
+        }
+        Ok(Engine {
+            threads: self.threads,
+            reduction: self.reduction,
+            pipeline: self.pipeline,
+            evaluator: self.evaluator,
+            noise: self.noise,
+            cache_capacity: self.cache_capacity,
+            reduction_seed: self.reduction_seed,
+            cache: Mutex::new(ReductionCache::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        })
+    }
+}
+
+/// Checks a [`PipelineOptions`] value (including its nested reduction
+/// options) against the documented domains, naming the offending field.
+///
+/// Called from [`EngineBuilder::build`] for the engine's defaults and from
+/// job dispatch for per-job overrides, so an invalid pipeline configuration
+/// is always rejected before any annealing or optimization runs.
+fn validate_pipeline_options(options: &PipelineOptions) -> Result<(), RedQaoaError> {
+    options.reduction.validate()?;
+    if options.layers == 0 {
+        return Err(RedQaoaError::invalid_parameter(
+            "layers",
+            options.layers,
+            "must be at least 1",
+        ));
+    }
+    if options.optimize.restarts == 0 {
+        return Err(RedQaoaError::invalid_parameter(
+            "restarts",
+            options.optimize.restarts,
+            "must be at least 1",
+        ));
+    }
+    if options.optimize.max_iters == 0 {
+        return Err(RedQaoaError::invalid_parameter(
+            "max_iters",
+            options.optimize.max_iters,
+            "must be at least 1",
+        ));
+    }
+    Ok(())
+}
+
+/// A long-lived Red-QAOA service instance: validated configuration, owned
+/// thread policy, and a content-hash reduction cache shared by every job it
+/// runs. See the [module docs](crate::engine) for the full tour and
+/// `docs/architecture.md` for how it layers over the free functions.
+#[derive(Debug)]
+pub struct Engine {
+    threads: Option<usize>,
+    reduction: ReductionOptions,
+    pipeline: PipelineOptions,
+    evaluator: EvaluatorBackend,
+    noise: Option<NoiseModel>,
+    cache_capacity: usize,
+    reduction_seed: u64,
+    cache: Mutex<ReductionCache>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Engine {
+    /// Starts a validating [`EngineBuilder`] with default options.
+    pub fn builder() -> EngineBuilder {
+        EngineBuilder::default()
+    }
+
+    /// The engine's default reduction options (jobs without per-job options
+    /// inherit these).
+    pub fn reduction_options(&self) -> &ReductionOptions {
+        &self.reduction
+    }
+
+    /// The engine's default pipeline options.
+    pub fn pipeline_options(&self) -> &PipelineOptions {
+        &self.pipeline
+    }
+
+    /// Current hit/miss/occupancy counters of the reduction cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.cache.lock().expect("cache mutex").entries.len(),
+            capacity: self.cache_capacity,
+        }
+    }
+
+    /// Empties the reduction cache (counters are kept).
+    pub fn clear_cache(&self) {
+        let mut cache = self.cache.lock().expect("cache mutex");
+        cache.entries.clear();
+        cache.order.clear();
+    }
+
+    /// Runs one job. `Engine::run(job, seed)` is exactly
+    /// `Engine::run_batch(&[job], seed)` for a batch of one (the job runs on
+    /// the substream `derive_seed(seed, 0)`), so promoting a one-shot call
+    /// to a batch never changes its result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`RedQaoaError`] (no [`RedQaoaError::Job`]
+    /// wrapper — there is no batch index to report).
+    pub fn run(&self, job: &Job, seed: u64) -> Result<JobOutput, RedQaoaError> {
+        self.with_thread_policy(|| self.run_inner(job, derive_seed(seed, 0)))
+    }
+
+    /// Runs a batch of jobs, fanning out across the engine's worker threads.
+    ///
+    /// Job `i` runs on the RNG substream `derive_seed(seed, i)` and failures
+    /// are reported per job as [`RedQaoaError::Job`] (carrying the index)
+    /// rather than aborting the batch. Reductions are shared through the
+    /// cache: repeated (graph, options) pairs anneal once.
+    ///
+    /// **Determinism:** results are bitwise-identical for every
+    /// `RED_QAOA_THREADS` value. Each job's work is a pure function of its
+    /// substream and the engine configuration; cached reductions are a pure
+    /// function of content (see [`DEFAULT_REDUCTION_SEED`]), so even the
+    /// race for who computes a shared reduction first cannot change any
+    /// output. The full contract lives in `docs/determinism.md`.
+    pub fn run_batch(&self, jobs: &[Job], seed: u64) -> Vec<Result<JobOutput, RedQaoaError>> {
+        self.with_thread_policy(|| {
+            parallel_map_indexed(
+                jobs.len(),
+                || (),
+                |_, i| {
+                    self.run_inner(&jobs[i], derive_seed(seed, i as u64))
+                        .map_err(|e| RedQaoaError::for_job(i, e))
+                },
+            )
+        })
+    }
+
+    /// Reduces a whole slice through the engine, delegating to the
+    /// low-level [`crate::reduction::reduce_pool`] with **identical RNG
+    /// substreams** (graph `i` reduces on `derive_seed(seed, i)`).
+    ///
+    /// This is the bitwise-compatibility path: experiments pinned to the
+    /// PR 4 output streams run under the engine's thread policy without any
+    /// numeric change. It deliberately bypasses the content-hash cache —
+    /// the caller chose explicit per-index seeds, which a cache keyed on
+    /// content alone cannot honour.
+    pub fn reduce_pool(
+        &self,
+        graphs: &[Graph],
+        seed: u64,
+    ) -> Vec<Result<ReducedGraph, RedQaoaError>> {
+        self.with_thread_policy(|| crate::reduction::reduce_pool(graphs, &self.reduction, seed))
+    }
+
+    fn with_thread_policy<T>(&self, f: impl FnOnce() -> T) -> T {
+        match self.threads {
+            Some(threads) => with_threads(threads, f),
+            None => f(),
+        }
+    }
+
+    /// Reduces `graph` through the content-hash cache: a hit returns the
+    /// cached [`ReducedGraph`] without re-annealing; a miss derives the
+    /// content-addressed substream, anneals, and populates the cache.
+    fn reduce_cached(
+        &self,
+        graph: &Graph,
+        options: &ReductionOptions,
+    ) -> Result<ReducedGraph, RedQaoaError> {
+        options.validate()?;
+        // Degenerate graphs (< 2 nodes / edgeless) fall through to `reduce`,
+        // which reports them as `GraphNotReducible`; the unsatisfiable
+        // min_size check only applies to graphs that could otherwise reduce.
+        if graph.node_count() >= 2 && options.min_size > graph.node_count() {
+            return Err(RedQaoaError::invalid_parameter(
+                "min_size",
+                options.min_size,
+                "exceeds the job graph's node count (unsatisfiable)",
+            ));
+        }
+        let key = CacheKey::new(graph, options);
+        if self.cache_capacity > 0 {
+            // Hold the lock only for the lookup (an Arc refcount bump); the
+            // deep clone handed to the caller happens after it is released,
+            // so concurrent hits never serialize on the clone.
+            let cached = {
+                let cache = self.cache.lock().expect("cache mutex");
+                cache.entries.get(&key).cloned()
+            };
+            if let Some(hit) = cached {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((*hit).clone());
+            }
+        }
+        let mut rng = seeded(derive_seed(self.reduction_seed, key.content_hash()));
+        let reduced = reduce(graph, options, &mut rng)?;
+        // Failed reductions never count: hits + misses = reductions served.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if self.cache_capacity > 0 {
+            self.cache.lock().expect("cache mutex").insert(
+                key,
+                std::sync::Arc::new(reduced.clone()),
+                self.cache_capacity,
+            );
+        }
+        Ok(reduced)
+    }
+
+    fn run_inner(&self, job: &Job, job_seed: u64) -> Result<JobOutput, RedQaoaError> {
+        match job {
+            Job::Reduce(job) => {
+                let options = job.options.as_ref().unwrap_or(&self.reduction);
+                self.reduce_cached(&job.graph, options)
+                    .map(JobOutput::Reduced)
+            }
+            Job::Pipeline(job) => {
+                let options = match job.options.as_ref() {
+                    Some(options) => {
+                        // Per-job overrides never went through the builder;
+                        // reject them here (cheap field checks), before any
+                        // annealing or optimization runs.
+                        validate_pipeline_options(options)?;
+                        options
+                    }
+                    None => &self.pipeline,
+                };
+                // Resolve the noise model before reducing: a noisy job on an
+                // engine without one must fail cheaply, not after paying for
+                // the full SA binary search.
+                let noise = match job.noisy_trajectories {
+                    None => None,
+                    Some(trajectories) => match self.noise.as_ref() {
+                        Some(noise) => Some(noise),
+                        None => {
+                            return Err(RedQaoaError::invalid_parameter(
+                                "noisy_trajectories",
+                                trajectories,
+                                "engine has no noise model (set EngineBuilder::noise)",
+                            ));
+                        }
+                    },
+                };
+                let reduction = self.reduce_cached(&job.graph, &options.reduction)?;
+                let mut rng = seeded(job_seed);
+                match (job.noisy_trajectories, noise) {
+                    (Some(trajectories), Some(noise)) => run_noisy_with_reduction(
+                        &job.graph,
+                        reduction,
+                        options,
+                        noise,
+                        trajectories,
+                        &mut rng,
+                    )
+                    .map(JobOutput::NoisyPipeline),
+                    _ => run_ideal_with_reduction(&job.graph, reduction, options, &mut rng)
+                        .map(JobOutput::Pipeline),
+                }
+            }
+            Job::Landscape(job) => {
+                if job.width == 0 {
+                    return Err(RedQaoaError::invalid_parameter(
+                        "width",
+                        job.width,
+                        "must be at least 1",
+                    ));
+                }
+                let reduction = if job.reduce_first {
+                    Some(self.reduce_cached(&job.graph, &self.reduction)?)
+                } else {
+                    None
+                };
+                let graph = reduction.as_ref().map(|r| r.graph()).unwrap_or(&job.graph);
+                let landscape = match self.evaluator {
+                    EvaluatorBackend::Auto => {
+                        Landscape::evaluate(job.width, &AutoEvaluator::new(graph, 1)?)
+                    }
+                    EvaluatorBackend::Statevector => {
+                        Landscape::evaluate(job.width, &StatevectorEvaluator::new(graph, 1)?)
+                    }
+                    EvaluatorBackend::AnalyticP1 => {
+                        Landscape::evaluate(job.width, &AnalyticP1Evaluator::new(graph)?)
+                    }
+                    EvaluatorBackend::EdgeLocal => {
+                        Landscape::evaluate(job.width, &EdgeLocalEvaluator::new(graph, 1)?)
+                    }
+                };
+                Ok(JobOutput::Landscape(landscape))
+            }
+            Job::Throughput(job) => {
+                if job.device_qubits == 0 {
+                    return Err(RedQaoaError::invalid_parameter(
+                        "device_qubits",
+                        job.device_qubits,
+                        "must be at least 1",
+                    ));
+                }
+                if job.layers == 0 {
+                    return Err(RedQaoaError::invalid_parameter(
+                        "layers",
+                        job.layers,
+                        "must be at least 1",
+                    ));
+                }
+                let reduction = self.reduce_cached(&job.graph, &self.reduction)?;
+                Ok(JobOutput::Throughput(relative_throughput(
+                    &job.graph,
+                    reduction.graph(),
+                    job.device_qubits,
+                    job.layers,
+                )))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphlib::generators::{connected_gnp, cycle};
+    use mathkit::rng::seeded;
+
+    fn test_graph(seed: u64) -> Graph {
+        connected_gnp(10, 0.4, &mut seeded(seed)).unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_bad_fields_by_name() {
+        assert_eq!(
+            Engine::builder().threads(0).build().unwrap_err().field(),
+            Some("threads")
+        );
+        let bad_reduction = ReductionOptions {
+            and_ratio_threshold: 2.0,
+            ..Default::default()
+        };
+        assert_eq!(
+            Engine::builder()
+                .reduction(bad_reduction)
+                .build()
+                .unwrap_err()
+                .field(),
+            Some("and_ratio_threshold")
+        );
+        let bad_pipeline = PipelineOptions {
+            layers: 0,
+            ..Default::default()
+        };
+        assert_eq!(
+            Engine::builder()
+                .pipeline(bad_pipeline)
+                .build()
+                .unwrap_err()
+                .field(),
+            Some("layers")
+        );
+    }
+
+    #[test]
+    fn repeated_reduce_jobs_hit_the_cache_and_match_bitwise() {
+        let engine = Engine::builder().build().unwrap();
+        let graph = test_graph(1);
+        let first = engine
+            .run(&Job::Reduce(ReduceJob::new(graph.clone())), 10)
+            .unwrap();
+        // Different batch seed: the reduction is content-addressed, so the
+        // result must not change — and must come from the cache.
+        let second = engine
+            .run(&Job::Reduce(ReduceJob::new(graph)), 999)
+            .unwrap();
+        assert_eq!(first, second);
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn distinct_options_are_distinct_cache_entries() {
+        let engine = Engine::builder().build().unwrap();
+        let graph = test_graph(2);
+        let strict = ReductionOptions::builder()
+            .and_ratio_threshold(0.9)
+            .build()
+            .unwrap();
+        let job_default = Job::Reduce(ReduceJob::new(graph.clone()));
+        let job_strict = Job::Reduce(ReduceJob::new(graph).with_options(strict));
+        engine.run(&job_default, 1).unwrap();
+        engine.run(&job_strict, 1).unwrap();
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 2, 2));
+    }
+
+    #[test]
+    fn cache_capacity_zero_disables_caching() {
+        let engine = Engine::builder().cache_capacity(0).build().unwrap();
+        let graph = test_graph(3);
+        let a = engine
+            .run(&Job::Reduce(ReduceJob::new(graph.clone())), 1)
+            .unwrap();
+        let b = engine.run(&Job::Reduce(ReduceJob::new(graph)), 1).unwrap();
+        // Still identical (content-addressed substreams), just recomputed.
+        assert_eq!(a, b);
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 2, 0));
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_the_cache() {
+        let engine = Engine::builder().cache_capacity(2).build().unwrap();
+        for seed in 0..4 {
+            engine
+                .run(&Job::Reduce(ReduceJob::new(test_graph(seed))), 1)
+                .unwrap();
+        }
+        let stats = engine.cache_stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.misses, 4);
+    }
+
+    #[test]
+    fn mixed_batch_produces_typed_outputs_and_indexed_errors() {
+        // One worker pins the hit/miss split: with more, two jobs can race
+        // to compute the same key and both count a miss (results would still
+        // be identical — the counters are telemetry, not contract).
+        let engine = Engine::builder().threads(1).build().unwrap();
+        let graph = test_graph(4);
+        let jobs = vec![
+            Job::Reduce(ReduceJob::new(graph.clone())),
+            Job::Throughput(ThroughputJob::new(graph.clone(), 27, 1)),
+            Job::Landscape(LandscapeJob::new(graph.clone(), 3)),
+            Job::Reduce(ReduceJob::new(Graph::new(0))), // must fail with its index
+            Job::Landscape(LandscapeJob::new(graph, 3).reduced()),
+        ];
+        let results = engine.run_batch(&jobs, 7);
+        assert!(results[0].as_ref().unwrap().as_reduced().is_some());
+        let throughput = results[1].as_ref().unwrap().as_throughput().unwrap();
+        assert!(throughput >= 1.0);
+        assert!(results[2].as_ref().unwrap().as_landscape().is_some());
+        match results[3].as_ref().unwrap_err() {
+            RedQaoaError::Job { index, source } => {
+                assert_eq!(*index, 3);
+                assert!(matches!(**source, RedQaoaError::GraphNotReducible(_)));
+            }
+            other => panic!("expected a Job error, got {other}"),
+        }
+        assert!(results[4].as_ref().unwrap().as_landscape().is_some());
+        // Reduce, throughput, and the reduced landscape share one annealing.
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+    }
+
+    #[test]
+    fn unsatisfiable_min_size_is_rejected_with_context() {
+        let engine = Engine::builder().build().unwrap();
+        let options = ReductionOptions {
+            min_size: 64,
+            ..Default::default()
+        };
+        let job = Job::Reduce(ReduceJob::new(cycle(8).unwrap()).with_options(options));
+        let err = engine.run(&job, 1).unwrap_err();
+        assert_eq!(err.field(), Some("min_size"));
+        assert!(err.to_string().contains("64"), "{err}");
+    }
+
+    #[test]
+    fn noisy_pipeline_requires_a_noise_model() {
+        let engine = Engine::builder().build().unwrap();
+        let job = Job::Pipeline(PipelineJob::new(test_graph(5)).noisy(4));
+        let err = engine.run(&job, 1).unwrap_err();
+        assert_eq!(err.field(), Some("noisy_trajectories"));
+        // The misconfiguration must fail before the reduction is paid for.
+        assert_eq!(engine.cache_stats().misses, 0);
+    }
+
+    #[test]
+    fn run_equals_batch_of_one() {
+        let engine = Engine::builder().build().unwrap();
+        let job = Job::Reduce(ReduceJob::new(test_graph(6)));
+        let solo = engine.run(&job, 77).unwrap();
+        let batch = engine.run_batch(std::slice::from_ref(&job), 77);
+        assert_eq!(Some(&solo), batch[0].as_ref().ok());
+    }
+
+    #[test]
+    fn engine_reduce_pool_matches_the_free_function_bitwise() {
+        let engine = Engine::builder().build().unwrap();
+        let graphs: Vec<Graph> = (0..3).map(test_graph).collect();
+        let via_engine = engine.reduce_pool(&graphs, 42);
+        let via_free = crate::reduction::reduce_pool(&graphs, engine.reduction_options(), 42);
+        assert_eq!(via_engine, via_free);
+    }
+}

@@ -12,6 +12,10 @@
 //!
 //! Module map:
 //!
+//! * [`engine`] — the batched, session-oriented front door: a validated
+//!   [`engine::Engine`] owning thread policy and a content-hash reduction
+//!   cache, running typed jobs one-shot or in deterministic batches. The
+//!   modules below are the low-level layer it is built from.
 //! * [`annealing`] — Algorithm 1: simulated-annealing subgraph search with
 //!   constant and adaptive cooling (exposed stagnation knobs), cold and
 //!   warm-seeded entry points.
@@ -46,6 +50,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod annealing;
+pub mod engine;
 pub mod mse;
 pub mod pipeline;
 pub mod reduction;
@@ -54,23 +59,87 @@ pub mod throughput;
 pub mod transfer;
 
 /// Errors produced by the Red-QAOA engine.
+///
+/// Configuration errors carry the name of the offending field and the value
+/// that was rejected, so a failed [`engine::EngineBuilder::build`] or options
+/// builder call can be traced to one concrete input without re-running
+/// anything. Batched jobs ([`engine::Engine::run_batch`]) wrap per-job
+/// failures in [`RedQaoaError::Job`] so the caller knows *which* job failed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RedQaoaError {
     /// The input graph cannot be reduced (too small, edgeless, or empty).
     GraphNotReducible(&'static str),
-    /// A configuration parameter was outside its documented domain.
-    InvalidParameter(&'static str),
+    /// A configuration field was outside its documented domain.
+    InvalidParameter {
+        /// Name of the offending configuration field.
+        field: &'static str,
+        /// The rejected value, rendered for the error message.
+        value: String,
+        /// The documented domain the value violated.
+        reason: &'static str,
+    },
+    /// A dataset, batch, or fit had no usable input left after filtering.
+    EmptyInput(&'static str),
+    /// A batched job failed; carries the job's index within the batch.
+    Job {
+        /// Index of the failed job in the submitted batch.
+        index: usize,
+        /// The underlying failure.
+        source: Box<RedQaoaError>,
+    },
     /// An error bubbled up from the graph substrate.
     Graph(graphlib::GraphError),
     /// An error bubbled up from the QAOA library.
     Qaoa(qaoa::QaoaError),
 }
 
+impl RedQaoaError {
+    /// Builds an [`RedQaoaError::InvalidParameter`] for `field`, rendering
+    /// the offending `value` into the message.
+    pub fn invalid_parameter(
+        field: &'static str,
+        value: impl std::fmt::Display,
+        reason: &'static str,
+    ) -> Self {
+        RedQaoaError::InvalidParameter {
+            field,
+            value: value.to_string(),
+            reason,
+        }
+    }
+
+    /// Wraps an error with the index of the batched job that produced it.
+    pub fn for_job(index: usize, source: RedQaoaError) -> Self {
+        RedQaoaError::Job {
+            index,
+            source: Box::new(source),
+        }
+    }
+
+    /// The name of the offending configuration field, when the error is a
+    /// validation failure (possibly wrapped in a [`RedQaoaError::Job`]).
+    pub fn field(&self) -> Option<&'static str> {
+        match self {
+            RedQaoaError::InvalidParameter { field, .. } => Some(field),
+            RedQaoaError::Job { source, .. } => source.field(),
+            _ => None,
+        }
+    }
+}
+
 impl std::fmt::Display for RedQaoaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RedQaoaError::GraphNotReducible(what) => write!(f, "graph not reducible: {what}"),
-            RedQaoaError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+            RedQaoaError::InvalidParameter {
+                field,
+                value,
+                reason,
+            } => {
+                write!(f, "invalid parameter `{field}` = {value}: {reason}")
+            }
+            RedQaoaError::EmptyInput(what) => write!(f, "empty input: {what}"),
+            RedQaoaError::Job { index, source } => write!(f, "job {index}: {source}"),
             RedQaoaError::Graph(e) => write!(f, "graph error: {e}"),
             RedQaoaError::Qaoa(e) => write!(f, "qaoa error: {e}"),
         }
@@ -80,6 +149,7 @@ impl std::fmt::Display for RedQaoaError {
 impl std::error::Error for RedQaoaError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            RedQaoaError::Job { source, .. } => Some(source.as_ref()),
             RedQaoaError::Graph(e) => Some(e),
             RedQaoaError::Qaoa(e) => Some(e),
             _ => None,
@@ -110,6 +180,26 @@ mod tests {
         let e: RedQaoaError = qaoa::QaoaError::DegenerateGraph.into();
         assert!(e.to_string().contains("qaoa error"));
         assert!(!RedQaoaError::GraphNotReducible("x").to_string().is_empty());
-        assert!(!RedQaoaError::InvalidParameter("y").to_string().is_empty());
+        assert!(!RedQaoaError::EmptyInput("y").to_string().is_empty());
+    }
+
+    #[test]
+    fn invalid_parameter_names_field_and_value() {
+        let e = RedQaoaError::invalid_parameter("and_ratio_threshold", 1.5, "must be in (0, 1]");
+        assert_eq!(e.field(), Some("and_ratio_threshold"));
+        let message = e.to_string();
+        assert!(message.contains("and_ratio_threshold"), "{message}");
+        assert!(message.contains("1.5"), "{message}");
+        assert!(message.contains("(0, 1]"), "{message}");
+    }
+
+    #[test]
+    fn job_errors_carry_the_index_and_inner_error() {
+        let inner = RedQaoaError::invalid_parameter("min_size", 0, "must be at least 2");
+        let e = RedQaoaError::for_job(3, inner.clone());
+        assert_eq!(e.field(), Some("min_size"));
+        assert!(e.to_string().starts_with("job 3:"), "{e}");
+        use std::error::Error;
+        assert_eq!(e.source().map(|s| s.to_string()), Some(inner.to_string()));
     }
 }

@@ -40,8 +40,10 @@ pub fn ideal_sample_mse<R: Rng>(
     rng: &mut R,
 ) -> Result<f64, RedQaoaError> {
     if num_points == 0 {
-        return Err(RedQaoaError::InvalidParameter(
-            "num_points must be positive",
+        return Err(RedQaoaError::invalid_parameter(
+            "num_points",
+            num_points,
+            "must be positive",
         ));
     }
     let eval_original = AutoEvaluator::new(original, layers)?;
@@ -84,7 +86,11 @@ pub fn noisy_grid_comparison<R: Rng>(
     rng: &mut R,
 ) -> Result<NoisyComparison, RedQaoaError> {
     if width == 0 {
-        return Err(RedQaoaError::InvalidParameter("width must be positive"));
+        return Err(RedQaoaError::invalid_parameter(
+            "width",
+            width,
+            "must be positive",
+        ));
     }
     if original.node_count() > MAX_EXACT_NODES || reduced.node_count() > MAX_EXACT_NODES {
         return Err(RedQaoaError::Qaoa(qaoa::QaoaError::GraphTooLarge {
@@ -153,11 +159,17 @@ pub fn ideal_mse_on_set(
     set: &[QaoaParams],
 ) -> Result<f64, RedQaoaError> {
     if set.is_empty() {
-        return Err(RedQaoaError::InvalidParameter("parameter set is empty"));
+        return Err(RedQaoaError::invalid_parameter(
+            "set",
+            "[]",
+            "parameter set is empty",
+        ));
     }
     let layers = set[0].layers();
     if set.iter().any(|p| p.layers() != layers) {
-        return Err(RedQaoaError::InvalidParameter(
+        return Err(RedQaoaError::invalid_parameter(
+            "set",
+            set.len(),
             "parameter set mixes layer counts",
         ));
     }

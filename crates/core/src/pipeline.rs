@@ -9,6 +9,13 @@
 //!
 //! The pipeline also exposes the plain-QAOA baseline (optimize directly on
 //! `G` with the same budget) so experiments can report relative improvements.
+//!
+//! The free functions here are the **low-level layer**: they take explicit
+//! options and an explicit RNG and leave caching, batching, and thread
+//! policy to the caller. Long-lived services should submit
+//! [`crate::engine::PipelineJob`]s to a [`crate::engine::Engine`] instead,
+//! which routes the reduction step through its content-hash cache and calls
+//! [`run_ideal_with_reduction`] / [`run_noisy_with_reduction`] underneath.
 
 use crate::reduction::{reduce, ReducedGraph, ReductionOptions};
 use crate::RedQaoaError;
@@ -238,6 +245,29 @@ pub fn run_noisy<R: Rng>(
     rng: &mut R,
 ) -> Result<NoisyPipelineOutcome, RedQaoaError> {
     let reduction = reduce(graph, &options.reduction, rng)?;
+    run_noisy_with_reduction(graph, reduction, options, noise, trajectories, rng)
+}
+
+/// Runs the noisy pipeline's optimization steps on a reduction computed
+/// elsewhere — the noisy counterpart of [`run_ideal_with_reduction`], used by
+/// [`crate::engine::Engine`] so cached reductions skip straight to the
+/// optimization.
+///
+/// `rng` drives exactly the same stream [`run_noisy`] would after its
+/// internal `reduce` call, so `run_noisy(g, o, n, t, rng)` and
+/// `reduce(g, &o.reduction, rng)` followed by this function are identical.
+///
+/// # Errors
+///
+/// Returns [`RedQaoaError`] if either graph is too large to simulate.
+pub fn run_noisy_with_reduction<R: Rng>(
+    graph: &graphlib::Graph,
+    reduction: ReducedGraph,
+    options: &PipelineOptions,
+    noise: &NoiseModel,
+    trajectories: usize,
+    rng: &mut R,
+) -> Result<NoisyPipelineOutcome, RedQaoaError> {
     let reduced_evaluator = StatevectorEvaluator::new(reduction.graph(), options.layers)?;
     let original_evaluator = StatevectorEvaluator::new(graph, options.layers)?;
     let traj = TrajectoryOptions {

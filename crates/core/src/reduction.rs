@@ -23,7 +23,9 @@
 //! fresh random seed — the previous size already paid for that exploration.
 //! [`WarmStart::Off`] restores (bit for bit) the cold-start behaviour.
 
-use crate::annealing::{anneal_subgraph, anneal_subgraph_from_seed, SaOptions};
+use crate::annealing::{
+    anneal_subgraph_from_seed_prevalidated, anneal_subgraph_prevalidated, SaOptions,
+};
 use crate::RedQaoaError;
 use graphlib::metrics::{and_ratio, average_node_degree};
 use graphlib::subgraph::Subgraph;
@@ -119,6 +121,134 @@ impl Default for ReductionOptions {
     }
 }
 
+impl ReductionOptions {
+    /// Starts a validating builder seeded with [`ReductionOptions::default`].
+    pub fn builder() -> ReductionOptionsBuilder {
+        ReductionOptionsBuilder::default()
+    }
+
+    /// Checks every field (including the nested [`SaOptions`]) against its
+    /// documented domain.
+    ///
+    /// [`reduce`] calls this once at its top; the binary search and the SA
+    /// runs inside it only `debug_assert` it, so configurations built through
+    /// [`ReductionOptionsBuilder`] or [`crate::engine::EngineBuilder`] are
+    /// never re-validated on the hot path.
+    ///
+    /// `min_size` and `sa_runs` are deliberately *not* range-checked here:
+    /// the binary search has always clamped `min_size` into `[2, n]` and
+    /// promoted `sa_runs` to at least one run, and the free [`reduce`] keeps
+    /// that behaviour unchanged (it is the documented low-level layer). The
+    /// engine layer is stricter where a value is genuinely unsatisfiable —
+    /// see `min_size` handling in [`crate::engine::Engine`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RedQaoaError::InvalidParameter`] naming the offending field
+    /// (`and_ratio_threshold`, `min_size_fraction`, or one of the
+    /// [`SaOptions`] fields).
+    pub fn validate(&self) -> Result<(), RedQaoaError> {
+        if !(self.and_ratio_threshold > 0.0 && self.and_ratio_threshold <= 1.0) {
+            return Err(RedQaoaError::invalid_parameter(
+                "and_ratio_threshold",
+                self.and_ratio_threshold,
+                "must be in (0, 1]",
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.min_size_fraction) {
+            return Err(RedQaoaError::invalid_parameter(
+                "min_size_fraction",
+                self.min_size_fraction,
+                "must be in [0, 1]",
+            ));
+        }
+        self.sa.validate()
+    }
+}
+
+/// Validating builder for [`ReductionOptions`].
+///
+/// Like [`crate::annealing::SaOptionsBuilder`], setters record values and
+/// [`ReductionOptionsBuilder::build`] rejects anything outside the documented
+/// domains with an error naming the offending field — so a bad threshold or
+/// fraction surfaces at configuration time, not from inside a reduction.
+///
+/// # Example
+///
+/// ```
+/// use red_qaoa::reduction::{ReductionOptions, WarmStart};
+///
+/// let options = ReductionOptions::builder()
+///     .and_ratio_threshold(0.8)
+///     .warm_start(WarmStart::Off)
+///     .build()
+///     .unwrap();
+/// assert_eq!(options.warm_start, WarmStart::Off);
+///
+/// let err = ReductionOptions::builder()
+///     .and_ratio_threshold(1.5)
+///     .build()
+///     .unwrap_err();
+/// assert_eq!(err.field(), Some("and_ratio_threshold"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ReductionOptionsBuilder {
+    options: ReductionOptions,
+}
+
+impl ReductionOptionsBuilder {
+    /// Sets the minimum acceptable AND ratio.
+    pub fn and_ratio_threshold(mut self, threshold: f64) -> Self {
+        self.options.and_ratio_threshold = threshold;
+        self
+    }
+
+    /// Sets the SA configuration used at every candidate size.
+    pub fn sa(mut self, sa: SaOptions) -> Self {
+        self.options.sa = sa;
+        self
+    }
+
+    /// Sets the number of independent SA runs per cold candidate size
+    /// (`0` is promoted to one run by the search, as it always has been).
+    pub fn sa_runs(mut self, sa_runs: usize) -> Self {
+        self.options.sa_runs = sa_runs;
+        self
+    }
+
+    /// Sets the smallest subgraph size the search will consider (clamped
+    /// into `[2, n]` by the search itself; the engine layer additionally
+    /// rejects values larger than the job graph as unsatisfiable).
+    pub fn min_size(mut self, min_size: usize) -> Self {
+        self.options.min_size = min_size;
+        self
+    }
+
+    /// Sets the smallest subgraph size as a fraction of the original node
+    /// count.
+    pub fn min_size_fraction(mut self, fraction: f64) -> Self {
+        self.options.min_size_fraction = fraction;
+        self
+    }
+
+    /// Sets the warm-start policy of the binary search.
+    pub fn warm_start(mut self, warm_start: WarmStart) -> Self {
+        self.options.warm_start = warm_start;
+        self
+    }
+
+    /// Validates every field and returns the finished [`ReductionOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RedQaoaError::InvalidParameter`] naming the offending field;
+    /// see [`ReductionOptions::validate`].
+    pub fn build(self) -> Result<ReductionOptions, RedQaoaError> {
+        self.options.validate()?;
+        Ok(self.options)
+    }
+}
+
 /// The result of reducing a graph.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReducedGraph {
@@ -146,6 +276,10 @@ fn best_subgraph_of_size<R: Rng>(
     warm_seed: Option<&[usize]>,
     rng: &mut R,
 ) -> Result<Subgraph, RedQaoaError> {
+    debug_assert!(
+        options.validate().is_ok(),
+        "reduce validates options before the binary search"
+    );
     let runs_seed: u64 = rng.gen();
     if let Some(seed_selection) = warm_seed {
         // Warm path: one SA run seeded from the previous candidate size's
@@ -160,7 +294,8 @@ fn best_subgraph_of_size<R: Rng>(
             ..options.sa
         };
         let mut run_rng = seeded(derive_seed(runs_seed, 0));
-        let outcome = anneal_subgraph_from_seed(graph, seed_selection, k, &sa, &mut run_rng)?;
+        let outcome =
+            anneal_subgraph_from_seed_prevalidated(graph, seed_selection, k, &sa, &mut run_rng)?;
         return Ok(outcome.subgraph);
     }
     // Cold path: independent restarts fan out with one derived substream per
@@ -172,7 +307,7 @@ fn best_subgraph_of_size<R: Rng>(
         || (),
         |_, run| {
             let mut run_rng = seeded(derive_seed(runs_seed, run as u64));
-            anneal_subgraph(graph, k, &options.sa, &mut run_rng)
+            anneal_subgraph_prevalidated(graph, k, &options.sa, &mut run_rng)
         },
     );
     let mut best: Option<(f64, Subgraph)> = None;
@@ -222,23 +357,17 @@ fn best_subgraph_of_size<R: Rng>(
 /// # Errors
 ///
 /// Returns [`RedQaoaError::GraphNotReducible`] for graphs with fewer than 2
-/// nodes or no edges, and [`RedQaoaError::InvalidParameter`] for a threshold
-/// outside `(0, 1]`.
+/// nodes or no edges, and [`RedQaoaError::InvalidParameter`] (naming the
+/// offending field) for options outside their documented domains. The
+/// validation happens exactly once here — the binary search and SA runs
+/// below only `debug_assert` it, so there is no validation-driven `Err` path
+/// left inside the hot loop.
 pub fn reduce<R: Rng>(
     graph: &Graph,
     options: &ReductionOptions,
     rng: &mut R,
 ) -> Result<ReducedGraph, RedQaoaError> {
-    if !(options.and_ratio_threshold > 0.0 && options.and_ratio_threshold <= 1.0) {
-        return Err(RedQaoaError::InvalidParameter(
-            "AND ratio threshold must be in (0, 1]",
-        ));
-    }
-    if !(0.0..=1.0).contains(&options.min_size_fraction) {
-        return Err(RedQaoaError::InvalidParameter(
-            "min_size_fraction must be in [0, 1]",
-        ));
-    }
+    options.validate()?;
     let n = graph.node_count();
     if n < 2 || graph.edge_count() == 0 {
         return Err(RedQaoaError::GraphNotReducible(
@@ -342,33 +471,62 @@ pub fn reduce_pool(
     )
 }
 
+/// Mean node/edge reduction ratios over a graph slice, with the graphs that
+/// failed to reduce counted instead of silently dropped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanReductionRatios {
+    /// Mean node-reduction ratio over the graphs that reduced.
+    pub node_reduction: f64,
+    /// Mean edge-reduction ratio over the graphs that reduced.
+    pub edge_reduction: f64,
+    /// Number of graphs that reduced and contribute to the means.
+    pub reduced: usize,
+    /// Number of graphs that failed to reduce (too small / edgeless) and are
+    /// therefore **excluded** from the means.
+    pub skipped: usize,
+}
+
 /// Reduces every graph of a slice and reports the mean node and edge
 /// reduction ratios (the quantities of Figures 13 and 15).
 ///
-/// Graphs that fail to reduce (too small / edgeless) are skipped. The work
-/// runs through [`reduce_pool`] (one derived substream per graph), so the
-/// means are thread-count invariant.
+/// Graphs that fail to reduce (too small / edgeless) do not contribute to
+/// the means, but they are never silently dropped: the returned
+/// [`MeanReductionRatios::skipped`] count says exactly how many were
+/// excluded, so callers can log or abort on partial coverage. The work runs
+/// through [`reduce_pool`] (one derived substream per graph), so the means
+/// are thread-count invariant.
 pub fn mean_reduction_ratios<R: Rng>(
     graphs: &[Graph],
     options: &ReductionOptions,
     rng: &mut R,
-) -> (f64, f64) {
+) -> MeanReductionRatios {
     let pool_seed: u64 = rng.gen();
     let mut node_sum = 0.0;
     let mut edge_sum = 0.0;
-    let mut count = 0usize;
-    for reduced in reduce_pool(graphs, options, pool_seed)
-        .into_iter()
-        .flatten()
-    {
-        node_sum += reduced.node_reduction;
-        edge_sum += reduced.edge_reduction;
-        count += 1;
+    let mut reduced_count = 0usize;
+    let mut skipped = 0usize;
+    for result in reduce_pool(graphs, options, pool_seed) {
+        match result {
+            Ok(reduced) => {
+                node_sum += reduced.node_reduction;
+                edge_sum += reduced.edge_reduction;
+                reduced_count += 1;
+            }
+            Err(_) => skipped += 1,
+        }
     }
-    if count == 0 {
-        (0.0, 0.0)
-    } else {
-        (node_sum / count as f64, edge_sum / count as f64)
+    let mean = |sum: f64| {
+        if reduced_count == 0 {
+            0.0
+        } else {
+            sum / reduced_count as f64
+        }
+    };
+    MeanReductionRatios {
+        node_reduction: mean(node_sum),
+        edge_reduction: mean(edge_sum),
+        reduced: reduced_count,
+        skipped,
     }
 }
 
@@ -466,13 +624,29 @@ mod tests {
         let graphs: Vec<Graph> = (0..4)
             .map(|_| connected_gnp(10, 0.4, &mut rng).unwrap())
             .collect();
-        let (node_red, edge_red) =
-            mean_reduction_ratios(&graphs, &ReductionOptions::default(), &mut rng);
-        assert!((0.0..1.0).contains(&node_red));
-        assert!((0.0..1.0).contains(&edge_red));
+        let means = mean_reduction_ratios(&graphs, &ReductionOptions::default(), &mut rng);
+        assert_eq!(means.reduced, 4);
+        assert_eq!(means.skipped, 0);
+        assert!((0.0..1.0).contains(&means.node_reduction));
+        assert!((0.0..1.0).contains(&means.edge_reduction));
         // Edge reduction should be at least as large as node reduction on
         // average (removing nodes removes their incident edges).
-        assert!(edge_red + 1e-9 >= node_red);
+        assert!(means.edge_reduction + 1e-9 >= means.node_reduction);
+    }
+
+    #[test]
+    fn mean_ratios_count_unreducible_graphs_instead_of_dropping_them() {
+        let mut rng = seeded(17);
+        let mut graphs: Vec<Graph> = (0..3)
+            .map(|_| connected_gnp(10, 0.4, &mut rng).unwrap())
+            .collect();
+        graphs.push(Graph::new(4)); // edgeless: must be counted as skipped
+        let means = mean_reduction_ratios(&graphs, &ReductionOptions::default(), &mut rng);
+        assert_eq!(means.reduced, 3);
+        assert_eq!(means.skipped, 1);
+        let empty = mean_reduction_ratios(&[], &ReductionOptions::default(), &mut rng);
+        assert_eq!((empty.reduced, empty.skipped), (0, 0));
+        assert_eq!(empty.node_reduction, 0.0);
     }
 
     #[test]

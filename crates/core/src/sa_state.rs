@@ -96,7 +96,9 @@ impl<'g> SaState<'g> {
     ) -> Result<Self, RedQaoaError> {
         let n = graph.node_count();
         if nodes.is_empty() {
-            return Err(RedQaoaError::InvalidParameter(
+            return Err(RedQaoaError::invalid_parameter(
+                "nodes",
+                "[]",
                 "SA selection must be non-empty",
             ));
         }
@@ -105,12 +107,16 @@ impl<'g> SaState<'g> {
         let mut selection = Vec::with_capacity(nodes.len());
         for &u in nodes {
             if u >= n {
-                return Err(RedQaoaError::InvalidParameter(
+                return Err(RedQaoaError::invalid_parameter(
+                    "nodes",
+                    u,
                     "SA selection node out of range",
                 ));
             }
             if in_set[u] {
-                return Err(RedQaoaError::InvalidParameter(
+                return Err(RedQaoaError::invalid_parameter(
+                    "nodes",
+                    u,
                     "SA selection contains a duplicate node",
                 ));
             }

@@ -59,6 +59,12 @@ pub fn relative_throughput(
 /// `mathkit::parallel` with one RNG substream per graph (drawn from `rng`),
 /// so the result is deterministic for a given `rng` state and identical for
 /// every thread count.
+///
+/// This is the low-level, rng-explicit entry point. Services that evaluate
+/// the same dataset against several device sizes should submit
+/// [`crate::engine::ThroughputJob`]s to a [`crate::engine::Engine`] instead:
+/// the engine reduces each graph once through its cache and reuses the
+/// cached `ReducedGraph` for every device.
 pub fn dataset_relative_throughput<R: Rng>(
     graphs: &[Graph],
     device_qubits: usize,
@@ -81,7 +87,7 @@ pub fn dataset_relative_throughput<R: Rng>(
     );
     let reduced: Vec<f64> = per_graph.into_iter().flatten().collect();
     if reduced.is_empty() {
-        return Err(RedQaoaError::GraphNotReducible(
+        return Err(RedQaoaError::EmptyInput(
             "no graph in the dataset could be reduced",
         ));
     }

@@ -28,7 +28,9 @@ pub fn regular_surrogate<R: Rng>(
     rng: &mut R,
 ) -> Result<Graph, RedQaoaError> {
     if nodes < 2 {
-        return Err(RedQaoaError::InvalidParameter(
+        return Err(RedQaoaError::invalid_parameter(
+            "nodes",
+            nodes,
             "surrogate needs at least two nodes",
         ));
     }

@@ -112,9 +112,8 @@ pub fn run_fig5(config: &Fig5Config) -> Result<Fig5Result, RedQaoaError> {
     let xs: Vec<f64> = points.iter().map(|p| p.and_ratio).collect();
     let ys: Vec<f64> = points.iter().map(|p| p.mse).collect();
     let degree = config.fit_degree.min(points.len().saturating_sub(1)).max(1);
-    let fit = polyfit(&xs, &ys, degree).map_err(|_| {
-        RedQaoaError::InvalidParameter("polynomial fit failed (too few scatter points)")
-    })?;
+    let fit = polyfit(&xs, &ys, degree)
+        .map_err(|_| RedQaoaError::EmptyInput("polynomial fit failed (too few scatter points)"))?;
     let inverted: Vec<f64> = xs.iter().map(|x| 1.0 - x).collect();
     let correlation = mathkit::stats::pearson(&inverted, &ys).unwrap_or(0.0);
     Ok(Fig5Result {

@@ -2,16 +2,32 @@
 //!
 //! Every `fig*` / `table*` binary reproduces one figure of the paper with a
 //! fixed, deterministic default configuration, so the only supported flags
-//! are informational. Unrecognized arguments are warned about and ignored
-//! rather than causing a panic, so stray arguments never abort a run.
+//! are informational plus the shared `--json` output switch. Unrecognized
+//! arguments are warned about and ignored rather than causing a panic, so
+//! stray arguments never abort a run.
+
+/// Flags shared by every experiment binary, parsed by
+/// [`handle_default_args`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CliArgs {
+    /// `--json` was passed: the binary should emit machine-readable JSON
+    /// rows instead of (or alongside) its TSV tables. `fig18_runtime` is the
+    /// exemplar wiring; binaries that have not wired JSON output yet simply
+    /// ignore the flag (it still parses everywhere, so scripting a sweep
+    /// over all binaries never aborts).
+    pub json: bool,
+}
 
 /// Handles the standard arguments shared by all experiment binaries.
 ///
 /// * `--help` / `-h` — print usage and exit successfully.
+/// * `--json` — request machine-readable JSON rows (returned in
+///   [`CliArgs::json`]; see [`json_row`] for the emission helper).
 /// * anything else — warn on stderr and continue with the defaults.
 ///
-/// Call this first in every binary's `main`.
-pub fn handle_default_args(about: &str) {
+/// Call this first in every binary's `main` and keep the returned
+/// [`CliArgs`] if the binary supports JSON output.
+pub fn handle_default_args(about: &str) -> CliArgs {
     let mut args = std::env::args();
     let name = args
         .next()
@@ -22,24 +38,45 @@ pub fn handle_default_args(about: &str) {
                 .unwrap_or(p.clone())
         })
         .unwrap_or_else(|| "experiment".to_string());
+    let mut parsed = CliArgs::default();
     for arg in args {
         match arg.as_str() {
             "--help" | "-h" => {
                 println!("{name}: {about}");
                 println!();
-                println!("Usage: {name} [--help]");
+                println!("Usage: {name} [--help] [--json]");
                 println!();
                 println!(
                     "Runs the experiment with its deterministic default configuration \
-                     and prints tab-separated rows to stdout."
+                     and prints tab-separated rows to stdout. With --json, binaries \
+                     that support it emit machine-readable JSON rows instead."
                 );
                 std::process::exit(0);
+            }
+            "--json" => {
+                parsed.json = true;
             }
             other => {
                 eprintln!("warning: unrecognized argument '{other}' ignored");
             }
         }
     }
+    parsed
+}
+
+/// Formats one machine-readable row: a JSON object with the experiment name
+/// and the given key/value pairs (values are emitted verbatim, so callers
+/// pass pre-formatted numbers or quoted strings).
+pub fn json_row(experiment: &str, fields: &[(&str, String)]) -> String {
+    let mut out = format!("{{\"experiment\": \"{experiment}\"");
+    for (key, value) in fields {
+        out.push_str(", \"");
+        out.push_str(key);
+        out.push_str("\": ");
+        out.push_str(value);
+    }
+    out.push('}');
+    out
 }
 
 #[cfg(test)]
@@ -50,8 +87,21 @@ mod tests {
     // This test only pins the no-argument fast path.
     #[test]
     fn no_arguments_is_a_no_op() {
-        // The test harness's own argv never contains --help, and extra
-        // harness arguments must not abort.
-        super::handle_default_args("test about");
+        // The test harness's own argv never contains --help or --json, and
+        // extra harness arguments must not abort.
+        let args = super::handle_default_args("test about");
+        assert!(!args.json);
+    }
+
+    #[test]
+    fn json_rows_are_valid_objects() {
+        let row = super::json_row(
+            "fig18",
+            &[("nodes", "10".to_string()), ("label", "\"x\"".to_string())],
+        );
+        assert_eq!(
+            row,
+            "{\"experiment\": \"fig18\", \"nodes\": 10, \"label\": \"x\"}"
+        );
     }
 }

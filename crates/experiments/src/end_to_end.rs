@@ -8,9 +8,10 @@
 //! best-of and average-of restarts — is unchanged.
 
 use datasets::generators::random_graphs_with_degree;
-use mathkit::rng::{derive_seed, seeded};
-use red_qaoa::pipeline::{run_ideal_with_reduction, PipelineOptions};
-use red_qaoa::reduction::{reduce_pool, ReductionOptions};
+use mathkit::rng::derive_seed;
+use red_qaoa::engine::{Job, PipelineJob};
+use red_qaoa::pipeline::PipelineOptions;
+use red_qaoa::reduction::ReductionOptions;
 use red_qaoa::RedQaoaError;
 
 /// Configuration of the Figure 17 experiment.
@@ -74,38 +75,41 @@ pub fn run_fig17(config: &Fig17Config) -> Result<Vec<Fig17Row>, RedQaoaError> {
         config.average_degree,
         config.seed,
     );
+    // The shared engine serves every layer count: the reduction step of each
+    // graph's pipeline is content-addressed, so the p = 2 row reuses the
+    // reductions the p = 1 row already annealed (the old reduce_pool-per-row
+    // structure re-annealed every graph for every layer count).
+    let engine = crate::shared_engine();
     let mut rows = Vec::new();
     for (l_idx, &layers) in config.layers.iter().enumerate() {
         let restarts = *config.restarts.get(l_idx).unwrap_or(&3);
-        // All reductions of a row come from one deterministic parallel pool;
-        // the per-graph pipelines then run off their precomputed surrogates.
-        let reductions = reduce_pool(
-            &graphs,
-            &ReductionOptions::default(),
-            derive_seed(config.seed, 77_000 + l_idx as u64),
-        );
+        let options = PipelineOptions {
+            layers,
+            reduction: ReductionOptions::default(),
+            optimize: qaoa::optimize::OptimizeOptions {
+                restarts,
+                max_iters: config.iterations,
+            },
+            refine_iters: config.iterations / 2,
+        };
+        // One batch per layer count; graph `g` optimizes on the substream
+        // derived from (batch seed, g), mirroring the old per-graph streams.
+        let jobs: Vec<Job> = graphs
+            .iter()
+            .map(|graph| {
+                Job::Pipeline(PipelineJob::new(graph.clone()).with_options(options.clone()))
+            })
+            .collect();
+        let results = engine.run_batch(&jobs, derive_seed(config.seed, 77_000 + l_idx as u64));
         let mut best_ratios = Vec::new();
         let mut average_ratios = Vec::new();
         let mut node_reductions = Vec::new();
         let mut edge_reductions = Vec::new();
-        for (g_idx, graph) in graphs.iter().enumerate() {
-            let Ok(reduction) = reductions[g_idx].clone() else {
+        for result in results {
+            let Ok(output) = result else {
                 continue;
             };
-            let mut rng = seeded(derive_seed(config.seed, (l_idx * 1000 + g_idx) as u64));
-            let options = PipelineOptions {
-                layers,
-                reduction: ReductionOptions::default(),
-                optimize: qaoa::optimize::OptimizeOptions {
-                    restarts,
-                    max_iters: config.iterations,
-                },
-                refine_iters: config.iterations / 2,
-            };
-            let outcome = match run_ideal_with_reduction(graph, reduction, &options, &mut rng) {
-                Ok(o) => o,
-                Err(_) => continue,
-            };
+            let outcome = output.as_pipeline().expect("pipeline jobs").clone();
             best_ratios.push(outcome.relative_best().min(1.2));
             if outcome.baseline_average.abs() > f64::EPSILON {
                 average_ratios.push(outcome.red_qaoa_average / outcome.baseline_average);
@@ -114,7 +118,7 @@ pub fn run_fig17(config: &Fig17Config) -> Result<Vec<Fig17Row>, RedQaoaError> {
             edge_reductions.push(outcome.reduction.edge_reduction);
         }
         if best_ratios.is_empty() {
-            return Err(RedQaoaError::InvalidParameter(
+            return Err(RedQaoaError::EmptyInput(
                 "no graph could be evaluated for a layer count",
             ));
         }

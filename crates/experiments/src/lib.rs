@@ -45,6 +45,26 @@ pub mod transfer_cmp;
 /// harness is reproducible end to end.
 pub const DEFAULT_SEED: u64 = 0xA5F0_2024;
 
+/// The process-wide [`red_qaoa::engine::Engine`] the experiment modules
+/// submit their reduction work to.
+///
+/// One long-lived engine per process is the session-oriented usage the
+/// engine is designed for: modules that need the PR 4 output streams call
+/// [`red_qaoa::engine::Engine::reduce_pool`] (bitwise-identical delegation
+/// to the low-level pool), while the job-based experiments (`runtime`,
+/// `end_to_end`, `throughput_cmp`) share its reduction cache. The engine is
+/// built with default options and no pinned thread count, so the ambient
+/// thread policy (`RED_QAOA_THREADS` / `with_threads`) stays in charge —
+/// which is what the thread-count-invariance tests rely on.
+pub fn shared_engine() -> &'static red_qaoa::engine::Engine {
+    static ENGINE: std::sync::OnceLock<red_qaoa::engine::Engine> = std::sync::OnceLock::new();
+    ENGINE.get_or_init(|| {
+        red_qaoa::engine::Engine::builder()
+            .build()
+            .expect("default engine configuration is valid")
+    })
+}
+
 /// Prints a TSV header followed by data rows (the common output format of
 /// the experiment binaries).
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {

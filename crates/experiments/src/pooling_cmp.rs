@@ -73,15 +73,25 @@ impl Method {
         match self {
             Method::Asa => Ok(AsaPooling::new()
                 .pool(graph, keep_ratio)
-                .map_err(|_| RedQaoaError::InvalidParameter("ASA pooling failed"))?
+                .map_err(|_| {
+                    RedQaoaError::invalid_parameter("keep_ratio", keep_ratio, "ASA pooling failed")
+                })?
                 .graph),
             Method::Sag => Ok(SagPooling::new()
                 .pool(graph, keep_ratio)
-                .map_err(|_| RedQaoaError::InvalidParameter("SAG pooling failed"))?
+                .map_err(|_| {
+                    RedQaoaError::invalid_parameter("keep_ratio", keep_ratio, "SAG pooling failed")
+                })?
                 .graph),
             Method::TopK => Ok(TopKPooling::new()
                 .pool(graph, keep_ratio)
-                .map_err(|_| RedQaoaError::InvalidParameter("Top-K pooling failed"))?
+                .map_err(|_| {
+                    RedQaoaError::invalid_parameter(
+                        "keep_ratio",
+                        keep_ratio,
+                        "Top-K pooling failed",
+                    )
+                })?
                 .graph),
             Method::SaConstant => {
                 let options = SaOptions {
@@ -186,7 +196,7 @@ pub fn run_fig8(config: &Fig8Config) -> Result<Vec<Fig8Cell>, RedQaoaError> {
         }
     }
     if cells.is_empty() {
-        return Err(RedQaoaError::InvalidParameter(
+        return Err(RedQaoaError::EmptyInput(
             "no Figure 8 cell could be evaluated",
         ));
     }
@@ -281,7 +291,7 @@ pub fn run_sa_knob_sweep(
                 iterations.push(outcome.iterations as f64);
             }
             if mses.is_empty() {
-                return Err(RedQaoaError::InvalidParameter(
+                return Err(RedQaoaError::EmptyInput(
                     "no graph of the SA-knob sweep cell could be evaluated",
                 ));
             }
@@ -433,7 +443,7 @@ pub fn run_fig19(config: &Fig19Config) -> Result<Vec<Fig19Row>, RedQaoaError> {
             continue;
         }
         let box_plot = BoxPlot::from_samples(&improvements[m_idx])
-            .map_err(|_| RedQaoaError::InvalidParameter("empty improvement sample"))?;
+            .map_err(|_| RedQaoaError::EmptyInput("empty improvement sample"))?;
         rows.push(Fig19Row {
             method: *method,
             improvements: improvements[m_idx].clone(),
@@ -441,7 +451,7 @@ pub fn run_fig19(config: &Fig19Config) -> Result<Vec<Fig19Row>, RedQaoaError> {
         });
     }
     if rows.is_empty() {
-        return Err(RedQaoaError::InvalidParameter(
+        return Err(RedQaoaError::EmptyInput(
             "no Figure 19 row could be evaluated",
         ));
     }

@@ -5,13 +5,17 @@
 //! and the overhead is compared against a per-circuit execution-time model
 //! extrapolated from published device benchmarks (the paper cites ~4.2 s for
 //! a 1-layer QAOA circuit on ibm_sherbrooke at 10 nodes).
+//!
+//! The timed work runs as [`red_qaoa::engine::ReduceJob`] batches through a
+//! single-worker [`red_qaoa::engine::Engine`], and `fig18_runtime` is the
+//! exemplar binary for the shared `--json` flag
+//! ([`crate::cli::handle_default_args`]).
 
 use graphlib::generators::connected_gnp;
 use graphlib::Graph;
-use mathkit::parallel::with_threads;
 use mathkit::polyfit::{fit_n_log_n, r_squared};
 use mathkit::rng::{derive_seed, seeded};
-use red_qaoa::reduction::{reduce_pool, ReductionOptions};
+use red_qaoa::engine::{Engine, Job, ReduceJob};
 use red_qaoa::RedQaoaError;
 use std::time::Instant;
 
@@ -80,30 +84,27 @@ pub fn circuit_execution_model(nodes: usize) -> f64 {
 ///
 /// Returns [`RedQaoaError`] if timing produced too few points to fit.
 pub fn run_fig18(config: &Fig18Config) -> Result<Fig18Result, RedQaoaError> {
+    // One engine for the whole sweep. The timed batches are pinned to one
+    // worker so the reported per-graph preprocessing *cost* does not shrink
+    // with RED_QAOA_THREADS — this figure measures the paper's per-graph
+    // overhead claim, not pool throughput (reduction_smoke records that).
+    // Every timed graph is distinct, so the engine's reduction cache never
+    // short-circuits a measurement.
+    let engine = Engine::builder().threads(1).build()?;
     let mut points = Vec::new();
     for (i, &n) in config.node_counts.iter().enumerate() {
         let p = (config.average_degree / (n.saturating_sub(1)).max(1) as f64).min(1.0);
         let reps = config.repetitions.max(1);
-        let graphs: Vec<Graph> = (0..reps)
+        let jobs: Vec<Job> = (0..reps)
             .map(|rep| {
                 let mut rng = seeded(derive_seed(config.seed, (i * 100 + rep) as u64));
-                connected_gnp(n, p, &mut rng)
+                connected_gnp(n, p, &mut rng).map(|graph: Graph| Job::Reduce(ReduceJob::new(graph)))
             })
             .collect::<Result<_, _>>()?;
-        // The repetitions at one size reduce as a pool (deterministic
-        // per-graph substreams); the per-graph time is the batch mean. The
-        // timed region is pinned to one worker so the reported per-graph
-        // preprocessing *cost* does not shrink with RED_QAOA_THREADS — this
-        // figure measures the paper's per-graph overhead claim, not pool
-        // throughput (reduction_smoke records that).
+        // The repetitions at one size run as one engine batch; the per-graph
+        // time is the batch mean.
         let start = Instant::now();
-        let results = with_threads(1, || {
-            reduce_pool(
-                &graphs,
-                &ReductionOptions::default(),
-                derive_seed(config.seed, 50_000 + i as u64),
-            )
-        });
+        let results = engine.run_batch(&jobs, derive_seed(config.seed, 50_000 + i as u64));
         let elapsed = start.elapsed().as_secs_f64();
         for result in results {
             result?;
@@ -116,8 +117,9 @@ pub fn run_fig18(config: &Fig18Config) -> Result<Fig18Result, RedQaoaError> {
     }
     let xs: Vec<f64> = points.iter().map(|p| p.nodes as f64).collect();
     let ys: Vec<f64> = points.iter().map(|p| p.preprocessing_seconds).collect();
-    let (fit_a, fit_b) =
-        fit_n_log_n(&xs, &ys).map_err(|_| RedQaoaError::InvalidParameter("n log n fit failed"))?;
+    let (fit_a, fit_b) = fit_n_log_n(&xs, &ys).map_err(|_| {
+        RedQaoaError::EmptyInput("n log n fit needs at least two timed graph sizes")
+    })?;
     let predicted: Vec<f64> = xs
         .iter()
         .map(|&x| fit_a * x * x.ln().max(0.0) + fit_b)

@@ -128,7 +128,7 @@ fn build_panel(
 
     let at_least = all_mses.iter().filter(|&&m| m >= sa_mse).count();
     let histogram = Histogram::new(&all_mses, config.bins)
-        .map_err(|_| RedQaoaError::InvalidParameter("histogram construction failed"))?;
+        .map_err(|_| RedQaoaError::EmptyInput("histogram construction failed (no MSE samples)"))?;
     Ok(Some(Fig9Panel {
         size,
         reduction_ratio: 1.0 - size as f64 / config.nodes as f64,

@@ -118,7 +118,7 @@ pub fn run_fig21(config: &Fig21Config) -> Result<Vec<Fig21Row>, RedQaoaError> {
         });
     }
     if rows.is_empty() {
-        return Err(RedQaoaError::InvalidParameter(
+        return Err(RedQaoaError::EmptyInput(
             "no Figure 21 family could be evaluated",
         ));
     }

@@ -16,3 +16,8 @@ pub use pooling;
 pub use qaoa;
 pub use qsim;
 pub use red_qaoa;
+
+/// The batched, session-oriented service API (re-exported from
+/// [`red_qaoa::engine`] so examples and downstream users can reach the
+/// front door directly).
+pub use red_qaoa::engine;

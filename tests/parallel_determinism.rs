@@ -6,9 +6,11 @@
 //! `docs/determinism.md`.
 //!
 //! Coverage spans the primitives (landscape grids, sample MSEs, noisy
-//! grids, cold and warm `reduce_pool`), the noisy pipeline, and the four
-//! experiment modules migrated onto `reduce_pool` in PR 4 (`dataset_eval`,
-//! `noisy_mse`, `convergence`/Figure 20, `landscapes`).
+//! grids, cold and warm `reduce_pool`), the noisy pipeline, the
+//! `red_qaoa::engine` batch front door (PR 5: mixed job batches and the
+//! content-hash reduction cache), and the four experiment modules migrated
+//! onto `reduce_pool` in PR 4 (`dataset_eval`, `noisy_mse`,
+//! `convergence`/Figure 20, `landscapes`).
 
 use graphlib::generators::connected_gnp;
 use mathkit::parallel::with_threads;
@@ -17,6 +19,9 @@ use proptest::prelude::*;
 use qaoa::evaluator::{NoisyTrajectoryEvaluator, StatevectorEvaluator};
 use qaoa::landscape::Landscape;
 use qsim::trajectory::TrajectoryOptions;
+use red_qaoa::engine::{
+    Engine, Job, JobOutput, LandscapeJob, PipelineJob, ReduceJob, ThroughputJob,
+};
 use red_qaoa::mse::{ideal_sample_mse, noisy_grid_comparison};
 use red_qaoa::pipeline::{run_noisy, PipelineOptions};
 use red_qaoa::reduction::{reduce_pool, ReductionOptions, WarmStart};
@@ -219,6 +224,85 @@ fn noisy_pipeline_is_thread_count_invariant() {
             "threads {threads}"
         );
         assert_eq!(reference.reduction.graph(), outcome.reduction.graph());
+    }
+}
+
+/// `Engine::run_batch` (PR 5): a mixed batch — including a duplicated
+/// reduce job that exercises the content-hash cache — produces
+/// bitwise-identical outputs for every worker count. The cache is the subtle
+/// part: job completion *order* differs across thread counts, so a cached
+/// reduction must be a pure function of content, never of which job computed
+/// it first. A fresh engine per run keeps the comparison honest.
+#[test]
+fn engine_run_batch_is_thread_count_invariant() {
+    let graphs: Vec<_> = (0..3)
+        .map(|i| connected_gnp(9 + i, 0.45, &mut seeded(derive_seed(33, i as u64))).unwrap())
+        .collect();
+    let pipeline_options = PipelineOptions {
+        layers: 1,
+        reduction: ReductionOptions::default(),
+        optimize: qaoa::optimize::OptimizeOptions {
+            restarts: 1,
+            max_iters: 10,
+        },
+        refine_iters: 5,
+    };
+    let jobs = vec![
+        Job::Reduce(ReduceJob::new(graphs[0].clone())),
+        Job::Throughput(ThroughputJob::new(graphs[1].clone(), 27, 1)),
+        Job::Landscape(LandscapeJob::new(graphs[2].clone(), 4)),
+        Job::Reduce(ReduceJob::new(graphs[0].clone())), // duplicate: cache path
+        Job::Pipeline(PipelineJob::new(graphs[0].clone()).with_options(pipeline_options)),
+        Job::Landscape(LandscapeJob::new(graphs[2].clone(), 4).reduced()),
+    ];
+    let run = |threads: usize| {
+        with_threads(threads, || {
+            let engine = Engine::builder().build().unwrap();
+            engine.run_batch(&jobs, 99)
+        })
+    };
+    let reference = run(1);
+    for threads in THREAD_COUNTS {
+        let batch = run(threads);
+        assert_eq!(reference.len(), batch.len());
+        for (job_index, (a, b)) in reference.iter().zip(&batch).enumerate() {
+            let a = a.as_ref().expect("reference job succeeds");
+            let b = b.as_ref().expect("batch job succeeds");
+            // PartialEq first (catches structural drift), then bitwise spot
+            // checks on the floating-point payloads.
+            assert_eq!(a, b, "job {job_index} diverged at {threads} threads");
+            match (a, b) {
+                (JobOutput::Reduced(x), JobOutput::Reduced(y)) => {
+                    assert_eq!(x.and_ratio.to_bits(), y.and_ratio.to_bits());
+                }
+                (JobOutput::Landscape(x), JobOutput::Landscape(y)) => {
+                    assert_eq!(bits(&x.values), bits(&y.values));
+                }
+                (JobOutput::Throughput(x), JobOutput::Throughput(y)) => {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+                (JobOutput::Pipeline(x), JobOutput::Pipeline(y)) => {
+                    assert_eq!(x.final_value.to_bits(), y.final_value.to_bits());
+                    assert_eq!(x.baseline_value.to_bits(), y.baseline_value.to_bits());
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// The engine's `reduce_pool` delegation really is the low-level pool:
+/// identical substreams, identical bits, for every worker count.
+#[test]
+fn engine_reduce_pool_delegation_is_thread_count_invariant() {
+    let graphs: Vec<_> = (0..4)
+        .map(|i| connected_gnp(10, 0.4, &mut seeded(derive_seed(44, i as u64))).unwrap())
+        .collect();
+    let reference = with_threads(1, || reduce_pool(&graphs, &ReductionOptions::default(), 7));
+    for threads in THREAD_COUNTS {
+        let engine = Engine::builder().build().unwrap();
+        let pool = with_threads(threads, || engine.reduce_pool(&graphs, 7));
+        assert_eq!(reference, pool, "threads {threads}");
     }
 }
 
