@@ -21,9 +21,12 @@
 #      BENCH_landscape.json (points/sec for a 32×32 grid on a 16-node
 #      graph), the reduction smoke emits BENCH_reduction.json (SA
 #      moves/sec, incremental-vs-rebuild move evaluation, reduce_pool
-#      graphs/sec), and the engine smoke emits BENCH_engine.json (batch
-#      jobs/sec cold vs warm reduction cache) so the perf trajectory is
-#      recorded run-over-run.
+#      graphs/sec), the engine smoke emits BENCH_engine.json (batch
+#      jobs/sec cold vs warm reduction cache), and the optimize smoke
+#      emits BENCH_optimize.json (end-to-end session latency, reduced-vs-
+#      baseline ratio gated at >= 0.95, full-graph-equivalent cost ratio,
+#      evaluations-to-target) so the perf trajectory is recorded
+#      run-over-run.
 #   5. bench targets resolve  — cargo bench --no-run
 #   6. figure binaries        — every fig*/table* binary answers --help
 set -euo pipefail
@@ -53,6 +56,9 @@ cargo run --quiet --release -p bench --bin reduction_smoke BENCH_reduction.json
 
 echo "==> perf smoke: engine batch cold vs warm cache -> BENCH_engine.json"
 cargo run --quiet --release -p bench --bin engine_smoke BENCH_engine.json
+
+echo "==> perf smoke: end-to-end optimization sessions -> BENCH_optimize.json"
+cargo run --quiet --release -p bench --bin optimize_smoke BENCH_optimize.json
 
 echo "==> benches compile: cargo bench --no-run"
 cargo bench --no-run --quiet

@@ -1,9 +1,13 @@
 //! Benchmarks of the end-to-end Red-QAOA pipeline (Figures 17, 19, 20): the
-//! ideal pipeline, the noisy pipeline, and the throughput model.
+//! ideal pipeline, the noisy pipeline, the throughput model, and the
+//! gradient-free optimizer flavors behind the `OptimizeDriver`.
 
 use bench::bench_graph;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qaoa::optimize::OptimizeOptions;
+use qaoa::evaluator::StatevectorEvaluator;
+use qaoa::optimize::{
+    NelderMeadOptimizer, OptimizeDriver, OptimizeOptions, OptimizerConfig, SpsaOptimizer,
+};
 use qsim::devices::fake_toronto;
 use red_qaoa::pipeline::{run_ideal, run_noisy, PipelineOptions};
 use red_qaoa::reduction::ReductionOptions;
@@ -68,10 +72,33 @@ fn bench_throughput_model(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_nelder_mead_vs_spsa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nelder_mead_vs_spsa");
+    group.sample_size(10);
+    let graph = bench_graph(10, 88);
+    let evaluator = StatevectorEvaluator::new(&graph, 1).unwrap();
+    let flavors = [
+        (
+            "nelder_mead",
+            OptimizerConfig::NelderMead(NelderMeadOptimizer::default()),
+        ),
+        ("spsa", OptimizerConfig::Spsa(SpsaOptimizer::default())),
+    ];
+    for (name, optimizer) in flavors {
+        let driver = OptimizeDriver::new(optimizer, 2, 60);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &driver, |b, driver| {
+            let mut rng = mathkit::rng::seeded(47);
+            b.iter(|| driver.maximize(&evaluator, &mut rng).unwrap())
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_ideal_pipeline,
     bench_noisy_pipeline,
-    bench_throughput_model
+    bench_throughput_model,
+    bench_nelder_mead_vs_spsa
 );
 criterion_main!(benches);

@@ -1,0 +1,185 @@
+//! CI perf smoke for the engine's end-to-end optimization sessions
+//! (`OptimizeJob`): the paper's actual workload — optimize on the reduced
+//! graph, re-score on the full graph — measured against the full-graph
+//! baseline the job runs internally.
+//!
+//! Three properties are asserted as CI tripwires:
+//!
+//! 1. **Quality**: the reduced path's best transferred value reaches at
+//!    least 0.95× the baseline's best (the paper reports ≈ 1.0; the bound
+//!    leaves slack for the scaled-down protocol),
+//! 2. **Cost**: under the exact-simulation cost model (one evaluation on a
+//!    k-node graph costs 2^k), the reduced path's full-graph-equivalent
+//!    evaluation cost is strictly below the baseline's,
+//! 3. **Early stopping**: an [`qaoa::optimize::OptimizeDriver`] with a
+//!    target value stops with no more evaluations than the uncapped
+//!    session.
+//!
+//! Results are written to `BENCH_optimize.json`: per-session latency, the
+//! reduced-vs-baseline ratio, the cost ratio, and evaluations-to-target.
+//!
+//! Usage: `optimize_smoke [output.json]` (default `BENCH_optimize.json`).
+
+use bench::bench_graph;
+use qaoa::evaluator::StatevectorEvaluator;
+use qaoa::optimize::{NelderMeadOptimizer, OptimizeDriver};
+use red_qaoa::engine::{Engine, Job, OptimizeJob};
+use std::time::Instant;
+
+/// Distinct graphs in the session pool.
+const GRAPHS: usize = 6;
+/// Nodes per pooled graph (brute-forceable: every session gets a ground
+/// truth and exact approximation ratios).
+const NODES: usize = 12;
+/// Restarts per session (both the reduced and the baseline side).
+const RESTARTS: usize = 3;
+/// Iteration budget per restart.
+const MAX_ITERS: usize = 80;
+/// Quality gate: reduced best must reach this fraction of the baseline best.
+const MIN_RELATIVE_BEST: f64 = 0.95;
+/// Early-stop experiment: stop once this fraction of the session's own
+/// baseline best is reached.
+const TARGET_FRACTION: f64 = 0.95;
+const SMOKE_SEED: u64 = 0xE61E_2027;
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_optimize.json".to_string());
+
+    // One worker keeps the latency numbers comparable run to run on the
+    // 1-core CI container; results are thread-count invariant regardless.
+    let engine = Engine::builder()
+        .threads(1)
+        .build()
+        .expect("default engine config");
+    let graphs: Vec<graphlib::Graph> = (0..GRAPHS)
+        .map(|i| bench_graph(NODES, 5000 + i as u64))
+        .collect();
+    let jobs: Vec<Job> = graphs
+        .iter()
+        .map(|graph| {
+            Job::Optimize(
+                OptimizeJob::new(graph.clone())
+                    .with_restarts(RESTARTS)
+                    .with_max_iters(MAX_ITERS),
+            )
+        })
+        .collect();
+
+    let start = Instant::now();
+    let results = engine.run_batch(&jobs, SMOKE_SEED);
+    let batch_secs = start.elapsed().as_secs_f64();
+    let reports: Vec<_> = results
+        .iter()
+        .map(|r| {
+            r.as_ref()
+                .expect("smoke sessions must succeed")
+                .as_optimize()
+                .expect("optimize jobs")
+        })
+        .collect();
+
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    let ratios: Vec<f64> = reports.iter().map(|r| r.relative_best()).collect();
+    let cost_ratios: Vec<f64> = reports.iter().map(|r| r.cost_ratio).collect();
+    let approx_ratios: Vec<f64> = reports
+        .iter()
+        .map(|r| r.approximation_ratio().expect("12-node ground truth"))
+        .collect();
+    let mean_ratio = mean(&ratios);
+    let min_ratio = ratios.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean_cost = mean(&cost_ratios);
+    let reduced_evals = mean(
+        &reports
+            .iter()
+            .map(|r| r.reduced_evaluations as f64)
+            .collect::<Vec<_>>(),
+    );
+    let baseline_evals = mean(
+        &reports
+            .iter()
+            .map(|r| r.baseline_evaluations as f64)
+            .collect::<Vec<_>>(),
+    );
+
+    assert!(
+        mean_ratio >= MIN_RELATIVE_BEST,
+        "reduced-graph optimization regressed: mean reduced/baseline ratio \
+         {mean_ratio:.4} < {MIN_RELATIVE_BEST} (per-graph: {ratios:?})"
+    );
+    assert!(
+        mean_cost < 1.0,
+        "the reduced path must cost fewer full-graph-equivalent evaluations \
+         than the baseline (mean cost ratio {mean_cost:.4})"
+    );
+
+    // --- Evaluations-to-target: the driver's early stopping. ----------------
+    // On the first graph, re-run the baseline session with a target of 95%
+    // of its own (known) best: the driver must stop at or before the
+    // uncapped session's evaluation count.
+    let first = reports[0];
+    let target = TARGET_FRACTION * first.transfer.native.best_value;
+    let evaluator = StatevectorEvaluator::new(&graphs[0], 1).expect("12-node statevector");
+    let capped = OptimizeDriver::new(NelderMeadOptimizer::default(), RESTARTS, MAX_ITERS)
+        .target_value(target)
+        .maximize(&evaluator, &mut mathkit::rng::seeded(SMOKE_SEED))
+        .expect("capped session");
+    let evaluations_to_target = capped.evaluations;
+    assert!(
+        capped.best_value >= target,
+        "the capped session must reach its target ({} < {target})",
+        capped.best_value
+    );
+    assert!(
+        evaluations_to_target as f64 <= baseline_evals * 1.5,
+        "early stopping must not cost more than the uncapped sessions \
+         ({evaluations_to_target} vs mean {baseline_evals:.0})"
+    );
+
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"optimize_smoke\",\n",
+            "  \"available_cores\": {},\n",
+            "  \"pool_graphs\": {},\n",
+            "  \"pool_graph_nodes\": {},\n",
+            "  \"restarts\": {},\n",
+            "  \"max_iters\": {},\n",
+            "  \"batch_ms\": {:.3},\n",
+            "  \"mean_session_ms\": {:.3},\n",
+            "  \"mean_reduced_vs_baseline_ratio\": {:.4},\n",
+            "  \"min_reduced_vs_baseline_ratio\": {:.4},\n",
+            "  \"mean_approximation_ratio\": {:.4},\n",
+            "  \"mean_cost_ratio\": {:.4},\n",
+            "  \"mean_reduced_evaluations\": {:.1},\n",
+            "  \"mean_baseline_evaluations\": {:.1},\n",
+            "  \"target_fraction\": {},\n",
+            "  \"evaluations_to_target\": {},\n",
+            "  \"quality_gate\": {}\n",
+            "}}\n"
+        ),
+        cores,
+        GRAPHS,
+        NODES,
+        RESTARTS,
+        MAX_ITERS,
+        batch_secs * 1e3,
+        batch_secs * 1e3 / GRAPHS as f64,
+        mean_ratio,
+        min_ratio,
+        mean(&approx_ratios),
+        mean_cost,
+        reduced_evals,
+        baseline_evals,
+        TARGET_FRACTION,
+        evaluations_to_target,
+        MIN_RELATIVE_BEST,
+    );
+    std::fs::write(&output, &json).expect("write benchmark record");
+    print!("{json}");
+    println!("wrote {output}");
+}

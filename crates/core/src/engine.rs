@@ -59,6 +59,7 @@ use crate::pipeline::{
 };
 use crate::reduction::{reduce, ReducedGraph, ReductionOptions, WarmStart};
 use crate::throughput::relative_throughput;
+use crate::transfer::{optimized_transfer, OptimizedTransfer};
 use crate::RedQaoaError;
 use graphlib::Graph;
 use mathkit::parallel::{parallel_map_indexed, with_threads};
@@ -67,6 +68,8 @@ use qaoa::evaluator::{
     AnalyticP1Evaluator, AutoEvaluator, EdgeLocalEvaluator, StatevectorEvaluator,
 };
 use qaoa::landscape::Landscape;
+use qaoa::maxcut::brute_force_maxcut;
+use qaoa::optimize::{approximation_ratio, paper_restarts, OptimizeDriver, OptimizerConfig};
 use qsim::noise::NoiseModel;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -224,6 +227,125 @@ impl ThroughputJob {
     }
 }
 
+/// The paper's end-to-end variational session as a first-class job
+/// (`end_to_end.py`'s `baseline_fun` vs `red_qaoa_fun` protocol): reduce the
+/// graph through the engine's cache, run a full restart session on the
+/// *reduced* graph, re-score the found parameters on the *full* graph, and
+/// run the same session directly on the full graph as the baseline.
+///
+/// Unlike [`PipelineJob`] (which adds a refinement step and reports the
+/// refined value), this job reports the raw transfer comparison — the
+/// approximation ratio of the transferred parameters, the parameter-transfer
+/// error, and the evaluation counts on each side — which is what Figure 17
+/// plots and what `BENCH_optimize.json` records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeJob {
+    /// The graph to run the session on.
+    pub graph: Graph,
+    /// Number of QAOA layers `p`.
+    pub layers: usize,
+    /// Which gradient-free optimizer drives both sessions.
+    pub optimizer: OptimizerConfig,
+    /// Restart count; `None` follows the paper's schedule
+    /// ([`paper_restarts`]: 20/50/100 by `p`).
+    pub restarts: Option<usize>,
+    /// Iteration budget per restart.
+    pub max_iters: usize,
+    /// Per-job reduction options; `None` uses the engine's defaults.
+    pub reduction: Option<ReductionOptions>,
+}
+
+impl OptimizeJob {
+    /// A `p = 1` session with the default Nelder–Mead optimizer, the
+    /// paper's restart schedule, and the engine's reduction options.
+    pub fn new(graph: Graph) -> Self {
+        Self {
+            graph,
+            layers: 1,
+            optimizer: OptimizerConfig::default(),
+            restarts: None,
+            max_iters: 80,
+            reduction: None,
+        }
+    }
+
+    /// Sets the QAOA layer count `p`.
+    pub fn with_layers(mut self, layers: usize) -> Self {
+        self.layers = layers;
+        self
+    }
+
+    /// Selects the optimizer flavor for both sessions.
+    pub fn with_optimizer(mut self, optimizer: OptimizerConfig) -> Self {
+        self.optimizer = optimizer;
+        self
+    }
+
+    /// Pins the restart count instead of the paper schedule.
+    pub fn with_restarts(mut self, restarts: usize) -> Self {
+        self.restarts = Some(restarts);
+        self
+    }
+
+    /// Sets the iteration budget per restart.
+    pub fn with_max_iters(mut self, max_iters: usize) -> Self {
+        self.max_iters = max_iters;
+        self
+    }
+
+    /// Overrides the engine's reduction options for this job only.
+    pub fn with_reduction(mut self, reduction: ReductionOptions) -> Self {
+        self.reduction = Some(reduction);
+        self
+    }
+}
+
+/// The typed result of an [`OptimizeJob`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeReport {
+    /// The (cached) reduction the session optimized on.
+    pub reduction: ReducedGraph,
+    /// The full transfer comparison: reduced-graph session, full-graph
+    /// baseline session, and the re-scored transferred values.
+    pub transfer: OptimizedTransfer,
+    /// Exact MaxCut of the full graph, when brute force is feasible.
+    pub ground_truth: Option<usize>,
+    /// Objective evaluations spent by the reduced-graph session.
+    pub reduced_evaluations: usize,
+    /// Objective evaluations spent by the full-graph baseline session.
+    pub baseline_evaluations: usize,
+    /// Full-graph-equivalent cost of the Red-QAOA path relative to the
+    /// baseline, under the exact-simulation cost model where one evaluation
+    /// on a `k`-node graph costs `2^k`:
+    /// `(reduced_evals · 2^(k−n) + rescore_evals) / baseline_evals`.
+    /// Below 1.0 means the reduced path was cheaper end to end.
+    pub cost_ratio: f64,
+}
+
+impl OptimizeReport {
+    /// Ratio of the transferred value to the baseline best (the headline
+    /// reduced-vs-baseline metric of Figure 17).
+    pub fn relative_best(&self) -> f64 {
+        self.transfer.relative_value()
+    }
+
+    /// Approximation ratio of the transferred parameters on the full graph,
+    /// when the ground truth is known.
+    pub fn approximation_ratio(&self) -> Option<f64> {
+        self.ground_truth.map(|c| {
+            approximation_ratio(self.transfer.transferred_value, c as f64).expect("positive cut")
+        })
+    }
+
+    /// Approximation ratio of the full-graph baseline session, when the
+    /// ground truth is known.
+    pub fn baseline_approximation_ratio(&self) -> Option<f64> {
+        self.ground_truth.map(|c| {
+            approximation_ratio(self.transfer.native.best_value, c as f64).expect("positive cut")
+        })
+    }
+}
+
 /// A typed request submitted to [`Engine::run`] / [`Engine::run_batch`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Job {
@@ -235,6 +357,8 @@ pub enum Job {
     Landscape(LandscapeJob),
     /// Estimate the multi-programming throughput gain.
     Throughput(ThroughputJob),
+    /// Run the end-to-end baseline-vs-reduced optimization session.
+    Optimize(OptimizeJob),
 }
 
 impl From<ReduceJob> for Job {
@@ -261,6 +385,12 @@ impl From<ThroughputJob> for Job {
     }
 }
 
+impl From<OptimizeJob> for Job {
+    fn from(job: OptimizeJob) -> Self {
+        Job::Optimize(job)
+    }
+}
+
 /// The typed result of one [`Job`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobOutput {
@@ -275,6 +405,8 @@ pub enum JobOutput {
     /// Result of a [`Job::Throughput`]: the relative throughput
     /// (reduced / original; `1.0` means no multi-programming benefit).
     Throughput(f64),
+    /// Result of a [`Job::Optimize`].
+    Optimize(OptimizeReport),
 }
 
 impl JobOutput {
@@ -318,6 +450,14 @@ impl JobOutput {
             _ => None,
         }
     }
+
+    /// The optimization report, when this is a [`JobOutput::Optimize`].
+    pub fn as_optimize(&self) -> Option<&OptimizeReport> {
+        match self {
+            JobOutput::Optimize(r) => Some(r),
+            _ => None,
+        }
+    }
 }
 
 /// Snapshot of the reduction cache's counters.
@@ -337,6 +477,11 @@ pub struct CacheStats {
     pub entries: usize,
     /// Configured capacity (`0` means caching is disabled).
     pub capacity: usize,
+    /// Cumulative estimated footprint of the cached [`ReducedGraph`]s, as
+    /// [`ReducedGraph::approx_heap_bytes`] — the quantity a size-aware
+    /// eviction policy would budget against. Exactly the sum over current
+    /// entries: inserts add, evictions and [`Engine::clear_cache`] subtract.
+    pub bytes: usize,
 }
 
 /// Content-addressed cache key: the full graph (node count + sorted edge
@@ -416,18 +561,39 @@ impl CacheKey {
 struct ReductionCache {
     entries: HashMap<CacheKey, std::sync::Arc<ReducedGraph>>,
     order: VecDeque<CacheKey>,
+    /// Sum of `approx_heap_bytes` over `entries`, maintained on every
+    /// insert/evict/clear so `CacheStats::bytes` is O(1) to read.
+    bytes: usize,
 }
 
 impl ReductionCache {
     fn insert(&mut self, key: CacheKey, value: std::sync::Arc<ReducedGraph>, capacity: usize) {
-        if self.entries.insert(key.clone(), value).is_none() {
-            self.order.push_back(key);
-            while self.order.len() > capacity {
-                if let Some(evicted) = self.order.pop_front() {
-                    self.entries.remove(&evicted);
+        let added = value.approx_heap_bytes();
+        match self.entries.insert(key.clone(), value) {
+            None => {
+                self.bytes += added;
+                self.order.push_back(key);
+                while self.order.len() > capacity {
+                    if let Some(evicted) = self.order.pop_front() {
+                        if let Some(old) = self.entries.remove(&evicted) {
+                            self.bytes -= old.approx_heap_bytes();
+                        }
+                    }
                 }
             }
+            Some(replaced) => {
+                // Same key ⇒ same content (entries are pure functions of the
+                // key), but keep the accounting honest regardless.
+                self.bytes += added;
+                self.bytes -= replaced.approx_heap_bytes();
+            }
         }
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
+        self.bytes = 0;
     }
 }
 
@@ -626,6 +792,70 @@ fn validate_pipeline_options(options: &PipelineOptions) -> Result<(), RedQaoaErr
     Ok(())
 }
 
+/// Checks an [`OptimizeJob`]'s session parameters (including the optimizer's
+/// own hyperparameters) against the documented domains, naming the offending
+/// field. Runs before any annealing or optimization.
+fn validate_optimize_job(job: &OptimizeJob) -> Result<(), RedQaoaError> {
+    if job.layers == 0 {
+        return Err(RedQaoaError::invalid_parameter(
+            "layers",
+            job.layers,
+            "must be at least 1",
+        ));
+    }
+    if job.max_iters == 0 {
+        return Err(RedQaoaError::invalid_parameter(
+            "max_iters",
+            job.max_iters,
+            "must be at least 1",
+        ));
+    }
+    if let Some(restarts) = job.restarts {
+        if restarts == 0 {
+            return Err(RedQaoaError::invalid_parameter(
+                "restarts",
+                restarts,
+                "must be at least 1 (or None for the paper schedule)",
+            ));
+        }
+    }
+    match &job.optimizer {
+        OptimizerConfig::NelderMead(nm) => {
+            if !(nm.initial_step.is_finite() && nm.initial_step > 0.0) {
+                return Err(RedQaoaError::invalid_parameter(
+                    "nelder_mead.initial_step",
+                    nm.initial_step,
+                    "must be finite and positive",
+                ));
+            }
+            if !(nm.f_tol.is_finite() && nm.f_tol > 0.0) {
+                return Err(RedQaoaError::invalid_parameter(
+                    "nelder_mead.f_tol",
+                    nm.f_tol,
+                    "must be finite and positive",
+                ));
+            }
+        }
+        OptimizerConfig::Spsa(spsa) => {
+            if !(spsa.a.is_finite() && spsa.a > 0.0) {
+                return Err(RedQaoaError::invalid_parameter(
+                    "spsa.a",
+                    spsa.a,
+                    "must be finite and positive",
+                ));
+            }
+            if !(spsa.c.is_finite() && spsa.c > 0.0) {
+                return Err(RedQaoaError::invalid_parameter(
+                    "spsa.c",
+                    spsa.c,
+                    "must be finite and positive",
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// A long-lived Red-QAOA service instance: validated configuration, owned
 /// thread policy, and a content-hash reduction cache shared by every job it
 /// runs. See the [module docs](crate::engine) for the full tour and
@@ -661,21 +891,24 @@ impl Engine {
         &self.pipeline
     }
 
-    /// Current hit/miss/occupancy counters of the reduction cache.
+    /// Current hit/miss/occupancy/footprint counters of the reduction cache.
     pub fn cache_stats(&self) -> CacheStats {
+        let (entries, bytes) = {
+            let cache = self.cache.lock().expect("cache mutex");
+            (cache.entries.len(), cache.bytes)
+        };
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.cache.lock().expect("cache mutex").entries.len(),
+            entries,
             capacity: self.cache_capacity,
+            bytes,
         }
     }
 
     /// Empties the reduction cache (counters are kept).
     pub fn clear_cache(&self) {
-        let mut cache = self.cache.lock().expect("cache mutex");
-        cache.entries.clear();
-        cache.order.clear();
+        self.cache.lock().expect("cache mutex").clear();
     }
 
     /// Runs one job. `Engine::run(job, seed)` is exactly
@@ -891,6 +1124,50 @@ impl Engine {
                     job.layers,
                 )))
             }
+            Job::Optimize(job) => {
+                validate_optimize_job(job)?;
+                let reduction_options = job.reduction.as_ref().unwrap_or(&self.reduction);
+                let reduction = self.reduce_cached(&job.graph, reduction_options)?;
+                let restarts = job.restarts.unwrap_or_else(|| paper_restarts(job.layers));
+                let driver = OptimizeDriver::new(job.optimizer.clone(), restarts, job.max_iters);
+                let mut rng = seeded(job_seed);
+                let transfer = optimized_transfer(
+                    &job.graph,
+                    reduction.graph(),
+                    job.layers,
+                    &driver,
+                    &mut rng,
+                )?;
+                let ground_truth = if job.graph.node_count() <= 22 {
+                    Some(brute_force_maxcut(&job.graph)?.best_cut)
+                } else {
+                    None
+                };
+                let reduced_evaluations = transfer.surrogate.evaluations;
+                let baseline_evaluations = transfer.native.evaluations;
+                // Re-scoring on the full graph: one expectation for the best
+                // parameters plus one per restart for the average column.
+                let rescore_evaluations = 1 + transfer.surrogate.restart_params.len();
+                // Exact-simulation cost model: an evaluation on a k-node
+                // graph costs 2^k, so normalizing by the full graph's 2^n
+                // leaves the overflow-free factor 2^(k - n) ≤ 1.
+                let scale =
+                    (reduction.graph().node_count() as f64 - job.graph.node_count() as f64).exp2();
+                let cost_ratio = if baseline_evaluations == 0 {
+                    1.0
+                } else {
+                    (reduced_evaluations as f64 * scale + rescore_evaluations as f64)
+                        / baseline_evaluations as f64
+                };
+                Ok(JobOutput::Optimize(OptimizeReport {
+                    reduction,
+                    transfer,
+                    ground_truth,
+                    reduced_evaluations,
+                    baseline_evaluations,
+                    cost_ratio,
+                }))
+            }
         }
     }
 }
@@ -1060,6 +1337,91 @@ mod tests {
         let solo = engine.run(&job, 77).unwrap();
         let batch = engine.run_batch(std::slice::from_ref(&job), 77);
         assert_eq!(Some(&solo), batch[0].as_ref().ok());
+    }
+
+    #[test]
+    fn optimize_job_reports_a_full_session() {
+        let engine = Engine::builder().threads(1).build().unwrap();
+        let graph = test_graph(8);
+        let job = Job::Optimize(OptimizeJob::new(graph).with_restarts(3).with_max_iters(60));
+        let report = engine.run(&job, 3).unwrap();
+        let report = report.as_optimize().unwrap();
+        assert_eq!(report.transfer.surrogate.restart_values.len(), 3);
+        assert_eq!(report.transfer.native.restart_values.len(), 3);
+        assert!(report.reduced_evaluations > 0);
+        assert!(report.baseline_evaluations > 0);
+        // 10 nodes: ground truth is brute-forceable and ratios well-defined.
+        assert!(report.ground_truth.is_some());
+        let ratio = report.approximation_ratio().unwrap();
+        let baseline_ratio = report.baseline_approximation_ratio().unwrap();
+        assert!(ratio > 0.0 && ratio <= 1.0, "{ratio}");
+        assert!(baseline_ratio > 0.0 && baseline_ratio <= 1.0);
+        assert!(report.relative_best() <= 1.0 + 1e-9);
+        // The reduced session runs on a strictly smaller statevector, so the
+        // full-graph-equivalent cost must come in under the baseline's.
+        if report.reduction.graph().node_count() < 10 {
+            assert!(report.cost_ratio < 1.0, "{report:?}");
+        }
+        assert!(report.cost_ratio > 0.0);
+    }
+
+    #[test]
+    fn optimize_job_defaults_follow_the_paper_restart_schedule() {
+        let engine = Engine::builder().threads(1).build().unwrap();
+        // Tiny graph keeps 20 restarts affordable in a unit test.
+        let graph = connected_gnp(8, 0.5, &mut seeded(12)).unwrap();
+        let job = Job::Optimize(OptimizeJob::new(graph).with_max_iters(20));
+        let report = engine.run(&job, 1).unwrap();
+        let report = report.as_optimize().unwrap();
+        assert_eq!(report.transfer.native.restart_values.len(), 20);
+    }
+
+    #[test]
+    fn optimize_job_validation_rejects_bad_fields_before_work() {
+        let engine = Engine::builder().build().unwrap();
+        let graph = test_graph(9);
+        let bad = Job::Optimize(OptimizeJob::new(graph).with_restarts(0));
+        let err = engine.run(&bad, 1).unwrap_err();
+        assert_eq!(err.field(), Some("restarts"));
+        // Rejected before any annealing.
+        assert_eq!(engine.cache_stats().misses, 0);
+    }
+
+    #[test]
+    fn cache_bytes_track_inserts_evictions_and_clear() {
+        let engine = Engine::builder().cache_capacity(2).build().unwrap();
+        assert_eq!(engine.cache_stats().bytes, 0);
+        let mut expected = Vec::new();
+        for seed in 0..3 {
+            let out = engine
+                .run(&Job::Reduce(ReduceJob::new(test_graph(seed))), 1)
+                .unwrap();
+            expected.push(out.as_reduced().unwrap().approx_heap_bytes());
+        }
+        let stats = engine.cache_stats();
+        assert_eq!(stats.entries, 2);
+        // FIFO evicted the first insert: exactly the last two remain.
+        assert_eq!(stats.bytes, expected[1] + expected[2], "{stats:?}");
+        assert!(stats.bytes > 0);
+        engine.clear_cache();
+        let cleared = engine.cache_stats();
+        assert_eq!((cleared.entries, cleared.bytes), (0, 0));
+    }
+
+    #[test]
+    fn approx_heap_bytes_grows_with_the_graph() {
+        let engine = Engine::builder().build().unwrap();
+        let small = engine
+            .run(&Job::Reduce(ReduceJob::new(test_graph(1))), 1)
+            .unwrap();
+        let big_graph = connected_gnp(16, 0.5, &mut seeded(2)).unwrap();
+        let big = engine
+            .run(&Job::Reduce(ReduceJob::new(big_graph)), 1)
+            .unwrap();
+        let small_bytes = small.as_reduced().unwrap().approx_heap_bytes();
+        let big_bytes = big.as_reduced().unwrap().approx_heap_bytes();
+        assert!(big_bytes > small_bytes, "{big_bytes} vs {small_bytes}");
+        assert_eq!(engine.cache_stats().bytes, small_bytes + big_bytes);
     }
 
     #[test]

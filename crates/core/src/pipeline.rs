@@ -19,10 +19,12 @@
 
 use crate::reduction::{reduce, ReducedGraph, ReductionOptions};
 use crate::RedQaoaError;
-use mathkit::optim::{FnObjective, NelderMead, NelderMeadOptions};
-use qaoa::evaluator::{EnergyEvaluator, SequentialNoisyEvaluator, StatevectorEvaluator};
+use qaoa::evaluator::{SequentialNoisyEvaluator, StatevectorEvaluator};
 use qaoa::maxcut::brute_force_maxcut;
-use qaoa::optimize::{approximation_ratio, maximize_with_restarts, OptimizeOptions};
+use qaoa::optimize::{
+    approximation_ratio, maximize_with_restarts, NelderMeadOptimizer, OptimizeDriver,
+    OptimizeOptions,
+};
 use qaoa::params::QaoaParams;
 use qsim::noise::NoiseModel;
 use qsim::trajectory::TrajectoryOptions;
@@ -102,32 +104,6 @@ impl PipelineOutcome {
     }
 }
 
-fn refine_on_evaluator<E: EnergyEvaluator>(
-    evaluator: &E,
-    start: &QaoaParams,
-    iters: usize,
-) -> (QaoaParams, f64) {
-    let mut scratch = evaluator.scratch();
-    if iters == 0 {
-        return (start.clone(), evaluator.energy(&mut scratch, 0, start));
-    }
-    let nm = NelderMead::new(NelderMeadOptions {
-        max_iters: iters,
-        ..Default::default()
-    });
-    let layers = start.layers();
-    let mut eval_index = 0u64;
-    let mut objective = FnObjective::new(2 * layers, |flat: &[f64]| {
-        let params = QaoaParams::from_flat(flat).expect("optimizer keeps the shape");
-        let value = evaluator.energy(&mut scratch, eval_index, &params);
-        eval_index += 1;
-        -value
-    });
-    let result = nm.minimize(&mut objective, &start.to_flat());
-    let params = QaoaParams::from_flat(&result.params).expect("valid shape");
-    (params, -result.value)
-}
-
 /// Runs the ideal (noise-free) Red-QAOA pipeline on `graph` and the
 /// plain-QAOA baseline with the same budget.
 ///
@@ -166,12 +142,12 @@ pub fn run_ideal_with_reduction<R: Rng>(
     let reduced_outcome = maximize_with_restarts(&reduced_evaluator, &options.optimize, rng)?;
     let transferred_params = reduced_outcome.best_params.clone();
 
-    // Step 3: transfer and refine on the original graph.
-    let (final_params, final_value) = refine_on_evaluator(
-        &original_evaluator,
-        &transferred_params,
-        options.refine_iters,
-    );
+    // Step 3: transfer and refine on the original graph. The single-restart
+    // polish is the `OptimizeDriver`'s `refine_from` protocol; Nelder–Mead
+    // draws nothing from `rng`, so the pipeline's random stream is untouched.
+    let refined = OptimizeDriver::new(NelderMeadOptimizer::default(), 1, options.refine_iters)
+        .refine_from(&original_evaluator, &transferred_params, rng);
+    let (final_params, final_value) = (refined.params, refined.value);
 
     // Plain-QAOA baseline with the same protocol, directly on the original.
     let baseline_outcome = maximize_with_restarts(&original_evaluator, &options.optimize, rng)?;

@@ -267,6 +267,23 @@ impl ReducedGraph {
     pub fn graph(&self) -> &Graph {
         &self.subgraph.graph
     }
+
+    /// Documented *estimate* of this value's memory footprint in bytes:
+    /// the struct itself, the node-mapping vector, the adjacency-list spine,
+    /// and three words per directed edge entry (a `BTreeSet` stores each
+    /// undirected edge twice; three words approximates the amortized B-tree
+    /// node overhead per element). The engine's cache accounting
+    /// (`CacheStats::bytes`) sums exactly this quantity, so evictions and
+    /// inserts balance to zero by construction.
+    pub fn approx_heap_bytes(&self) -> usize {
+        use std::collections::BTreeSet;
+        use std::mem::size_of;
+        let word = size_of::<usize>();
+        size_of::<Self>()
+            + self.subgraph.nodes.len() * word
+            + self.graph().node_count() * size_of::<BTreeSet<usize>>()
+            + 2 * self.graph().edge_count() * 3 * word
+    }
 }
 
 fn best_subgraph_of_size<R: Rng>(

@@ -1,21 +1,45 @@
 //! Figure 17: end-to-end Red-QAOA vs baseline on larger random graphs.
+use experiments::cli::json_row;
 use experiments::end_to_end::{run_fig17, Fig17Config};
 
 fn main() {
-    experiments::cli::handle_default_args(
+    let args = experiments::cli::handle_default_args(
         "Figure 17: end-to-end Red-QAOA vs baseline on larger random graphs",
     );
     let rows = run_fig17(&Fig17Config::default()).expect("figure 17 experiment failed");
+    if args.json {
+        for r in &rows {
+            println!(
+                "{}",
+                json_row(
+                    "fig17_end_to_end",
+                    &[
+                        ("layers", r.layers.to_string()),
+                        ("restarts", r.restarts.to_string()),
+                        ("best_ratio", format!("{:.4}", r.best_ratio)),
+                        ("average_ratio", format!("{:.4}", r.average_ratio)),
+                        ("node_reduction", format!("{:.4}", r.node_reduction)),
+                        ("edge_reduction", format!("{:.4}", r.edge_reduction)),
+                        ("transfer_error", format!("{:.4}", r.transfer_error)),
+                        ("cost_ratio", format!("{:.4}", r.cost_ratio)),
+                    ],
+                )
+            );
+        }
+        return;
+    }
     println!("# Figure 17: Red-QAOA / baseline ratios (best and average across restarts)");
-    println!("p\tbest_ratio\taverage_ratio\tnode_reduction\tedge_reduction");
+    println!("p\trestarts\tbest_ratio\taverage_ratio\tnode_reduction\tedge_reduction\tcost_ratio");
     for r in &rows {
         println!(
-            "{}\t{:.3}\t{:.3}\t{:.1}%\t{:.1}%",
+            "{}\t{}\t{:.3}\t{:.3}\t{:.1}%\t{:.1}%\t{:.3}",
             r.layers,
+            r.restarts,
             r.best_ratio,
             r.average_ratio,
             r.node_reduction * 100.0,
-            r.edge_reduction * 100.0
+            r.edge_reduction * 100.0,
+            r.cost_ratio
         );
     }
 }

@@ -1,17 +1,20 @@
 //! Figure 17: end-to-end scalability evaluation.
 //!
 //! The paper optimizes 100 random 30-node graphs with COBYLA restarts at
-//! `p = 1, 2, 3` and reports Red-QAOA's best and average results relative to
-//! the baseline. Exact 30-qubit simulation is beyond a CPU statevector, so
-//! the default configuration uses 14-node graphs (documented in
-//! EXPERIMENTS.md); the protocol — same restart budget for both sides,
-//! best-of and average-of restarts — is unchanged.
+//! `p = 1, 2, 3` (20/50/100 restarts by depth) and reports Red-QAOA's best
+//! and average results relative to the baseline — `baseline_fun` vs
+//! `red_qaoa_fun` in the reference `end_to_end.py`: optimize the reduced
+//! graph, then *re-score the found parameters on the full graph*. That exact
+//! protocol is the engine's [`red_qaoa::engine::OptimizeJob`], which this
+//! experiment batches per layer count. Exact 30-qubit simulation is beyond a
+//! CPU statevector, so the default configuration uses 14-node graphs
+//! (documented in EXPERIMENTS.md) and [`Fig17Config::paper`] scales to
+//! 16-node graphs with the full restart schedule.
 
 use datasets::generators::random_graphs_with_degree;
 use mathkit::rng::derive_seed;
-use red_qaoa::engine::{Job, PipelineJob};
-use red_qaoa::pipeline::PipelineOptions;
-use red_qaoa::reduction::ReductionOptions;
+use qaoa::optimize::{paper_restarts, OptimizerConfig};
+use red_qaoa::engine::{Job, OptimizeJob};
 use red_qaoa::RedQaoaError;
 
 /// Configuration of the Figure 17 experiment.
@@ -25,10 +28,14 @@ pub struct Fig17Config {
     pub average_degree: f64,
     /// QAOA layer counts to evaluate.
     pub layers: Vec<usize>,
-    /// Optimizer restarts per layer count (the paper uses 20/50/150).
+    /// Optimizer restarts per layer count. Layer counts beyond this list
+    /// follow the paper's schedule ([`paper_restarts`]: 20/50/100 by `p`),
+    /// so an empty list reproduces the reference protocol exactly.
     pub restarts: Vec<usize>,
     /// Optimizer iterations per restart.
     pub iterations: usize,
+    /// Which gradient-free optimizer drives both sessions.
+    pub optimizer: OptimizerConfig,
     /// RNG seed.
     pub seed: u64,
 }
@@ -42,7 +49,26 @@ impl Default for Fig17Config {
             layers: vec![1, 2],
             restarts: vec![3, 4],
             iterations: 50,
+            optimizer: OptimizerConfig::default(),
             seed: crate::DEFAULT_SEED,
+        }
+    }
+}
+
+impl Fig17Config {
+    /// The paper-faithful protocol at the largest node count exact CPU
+    /// simulation affords: `p = 1, 2, 3` with the full 20/50/100 restart
+    /// schedule on 16-node graphs (beyond the reference implementation's
+    /// exact-simulation sizes). Expensive — minutes, not seconds; the
+    /// default configuration is the CI-sized variant.
+    pub fn paper() -> Self {
+        Self {
+            graph_count: 10,
+            nodes: 16,
+            layers: vec![1, 2, 3],
+            restarts: Vec::new(),
+            iterations: 100,
+            ..Self::default()
         }
     }
 }
@@ -52,18 +78,29 @@ impl Default for Fig17Config {
 pub struct Fig17Row {
     /// Number of QAOA layers.
     pub layers: usize,
-    /// Mean ratio of Red-QAOA's best result to the baseline's best result.
+    /// Restarts both sessions ran with.
+    pub restarts: usize,
+    /// Mean ratio of Red-QAOA's best transferred result to the baseline's
+    /// best result (`red_qaoa_fun / baseline_fun`).
     pub best_ratio: f64,
-    /// Mean ratio of Red-QAOA's average-across-restarts result to the
-    /// baseline's average result.
+    /// Mean ratio of Red-QAOA's average-across-restarts transferred result
+    /// to the baseline's average result.
     pub average_ratio: f64,
     /// Mean node reduction achieved across the graphs.
     pub node_reduction: f64,
     /// Mean edge reduction achieved across the graphs.
     pub edge_reduction: f64,
+    /// Mean parameter-transfer error (relative shortfall vs the baseline
+    /// best, clamped at 0).
+    pub transfer_error: f64,
+    /// Mean full-graph-equivalent cost of the Red-QAOA path relative to the
+    /// baseline (below 1.0: the reduced session was cheaper end to end).
+    pub cost_ratio: f64,
 }
 
-/// Runs the Figure 17 experiment.
+/// Runs the Figure 17 experiment on [`red_qaoa::engine::OptimizeJob`]
+/// batches: one batch per layer count, each graph a baseline-vs-reduced
+/// session on its own derived substream.
 ///
 /// # Errors
 ///
@@ -76,28 +113,26 @@ pub fn run_fig17(config: &Fig17Config) -> Result<Vec<Fig17Row>, RedQaoaError> {
         config.seed,
     );
     // The shared engine serves every layer count: the reduction step of each
-    // graph's pipeline is content-addressed, so the p = 2 row reuses the
-    // reductions the p = 1 row already annealed (the old reduce_pool-per-row
-    // structure re-annealed every graph for every layer count).
+    // graph's session is content-addressed, so the p = 2 row reuses the
+    // reductions the p = 1 row already annealed.
     let engine = crate::shared_engine();
     let mut rows = Vec::new();
     for (l_idx, &layers) in config.layers.iter().enumerate() {
-        let restarts = *config.restarts.get(l_idx).unwrap_or(&3);
-        let options = PipelineOptions {
-            layers,
-            reduction: ReductionOptions::default(),
-            optimize: qaoa::optimize::OptimizeOptions {
-                restarts,
-                max_iters: config.iterations,
-            },
-            refine_iters: config.iterations / 2,
-        };
-        // One batch per layer count; graph `g` optimizes on the substream
-        // derived from (batch seed, g), mirroring the old per-graph streams.
+        let restarts = config
+            .restarts
+            .get(l_idx)
+            .copied()
+            .unwrap_or_else(|| paper_restarts(layers));
         let jobs: Vec<Job> = graphs
             .iter()
             .map(|graph| {
-                Job::Pipeline(PipelineJob::new(graph.clone()).with_options(options.clone()))
+                Job::Optimize(
+                    OptimizeJob::new(graph.clone())
+                        .with_layers(layers)
+                        .with_optimizer(config.optimizer.clone())
+                        .with_restarts(restarts)
+                        .with_max_iters(config.iterations),
+                )
             })
             .collect();
         let results = engine.run_batch(&jobs, derive_seed(config.seed, 77_000 + l_idx as u64));
@@ -105,17 +140,22 @@ pub fn run_fig17(config: &Fig17Config) -> Result<Vec<Fig17Row>, RedQaoaError> {
         let mut average_ratios = Vec::new();
         let mut node_reductions = Vec::new();
         let mut edge_reductions = Vec::new();
+        let mut transfer_errors = Vec::new();
+        let mut cost_ratios = Vec::new();
         for result in results {
             let Ok(output) = result else {
                 continue;
             };
-            let outcome = output.as_pipeline().expect("pipeline jobs").clone();
-            best_ratios.push(outcome.relative_best().min(1.2));
-            if outcome.baseline_average.abs() > f64::EPSILON {
-                average_ratios.push(outcome.red_qaoa_average / outcome.baseline_average);
+            let report = output.as_optimize().expect("optimize jobs");
+            best_ratios.push(report.relative_best().min(1.2));
+            if report.transfer.native_average.abs() > f64::EPSILON {
+                average_ratios
+                    .push(report.transfer.transferred_average / report.transfer.native_average);
             }
-            node_reductions.push(outcome.reduction.node_reduction);
-            edge_reductions.push(outcome.reduction.edge_reduction);
+            node_reductions.push(report.reduction.node_reduction);
+            edge_reductions.push(report.reduction.edge_reduction);
+            transfer_errors.push(report.transfer.transfer_error);
+            cost_ratios.push(report.cost_ratio);
         }
         if best_ratios.is_empty() {
             return Err(RedQaoaError::EmptyInput(
@@ -125,10 +165,13 @@ pub fn run_fig17(config: &Fig17Config) -> Result<Vec<Fig17Row>, RedQaoaError> {
         let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
         rows.push(Fig17Row {
             layers,
+            restarts,
             best_ratio: mean(&best_ratios),
             average_ratio: mean(&average_ratios),
             node_reduction: mean(&node_reductions),
             edge_reduction: mean(&edge_reductions),
+            transfer_error: mean(&transfer_errors),
+            cost_ratio: mean(&cost_ratios),
         });
     }
     Ok(rows)
@@ -151,11 +194,30 @@ mod tests {
         let rows = run_fig17(&config).unwrap();
         assert_eq!(rows.len(), 1);
         let row = &rows[0];
+        assert_eq!(row.restarts, 2);
         // The paper reports ≥ 0.97 average and ≈ 1.0 best; allow slack for the
-        // scaled-down protocol.
+        // scaled-down protocol (and no refinement step: this is the raw
+        // transferred value).
         assert!(row.best_ratio > 0.9, "{row:?}");
         assert!(row.average_ratio > 0.85, "{row:?}");
         assert!(row.node_reduction > 0.0, "{row:?}");
         assert!(row.edge_reduction >= row.node_reduction * 0.5, "{row:?}");
+        assert!((0.0..=1.0).contains(&row.transfer_error), "{row:?}");
+        // Optimizing on the reduced statevector must be cheaper end to end.
+        assert!(row.cost_ratio < 1.0, "{row:?}");
+    }
+
+    #[test]
+    fn unlisted_layer_counts_follow_the_paper_schedule() {
+        let config = Fig17Config {
+            graph_count: 1,
+            nodes: 8,
+            layers: vec![1],
+            restarts: Vec::new(), // empty: paper schedule (20 at p = 1)
+            iterations: 15,
+            ..Default::default()
+        };
+        let rows = run_fig17(&config).unwrap();
+        assert_eq!(rows[0].restarts, 20);
     }
 }

@@ -1,17 +1,261 @@
 //! Classical optimization drivers for QAOA and the approximation-ratio metric.
 //!
 //! The paper drives its end-to-end experiments with COBYLA restarts; here the
-//! same protocol runs on the Nelder–Mead simplex optimizer from `mathkit`
-//! (see DESIGN.md for the substitution rationale). The drivers *maximize* the
-//! cost expectation by minimizing its negation.
+//! same protocol runs on gradient-free optimizers from `mathkit`, behind one
+//! abstraction:
+//!
+//! * [`Optimizer`] — one **step-budgeted local maximization** of a QAOA
+//!   energy from a given start point. Implementations are deterministic
+//!   given the RNG state they are handed: [`NelderMeadOptimizer`] (the
+//!   COBYLA stand-in, draws nothing from the RNG) and [`SpsaOptimizer`]
+//!   (draws its Rademacher perturbations from the RNG, in iteration order).
+//!   [`OptimizerConfig`] is the runtime-selectable enum over both.
+//! * [`OptimizeDriver`] — the shared restart protocol: global-scan seeding
+//!   of the first restart (`seed_start`'s coarse grid / random pool),
+//!   random starts for the rest, best-so-far tracking, and the stopping
+//!   criteria ([`OptimizeDriver::target_value`],
+//!   [`OptimizeDriver::max_evaluations`]). Every consumer of a
+//!   multi-restart optimization — [`maximize_with_restarts`], the pipeline's
+//!   transfer refinement, `red_qaoa::transfer`'s parameter-transfer scoring,
+//!   and the engine's `OptimizeJob` — goes through this one loop.
+//!
+//! The drivers *maximize* the cost expectation by minimizing its negation.
 
 use crate::evaluator::EnergyEvaluator;
 use crate::params::{QaoaParams, BETA_MAX, GAMMA_MAX};
 use crate::QaoaError;
-use mathkit::optim::{FnObjective, GridSearch, NelderMead, NelderMeadOptions};
+use mathkit::optim::{FnObjective, GridSearch, NelderMead, NelderMeadOptions, Spsa, SpsaOptions};
 use rand::Rng;
 use std::cell::RefCell;
 use std::rc::Rc;
+
+/// The paper's restart schedule for the end-to-end experiments (Figure 17):
+/// 20 restarts at `p = 1`, 50 at `p = 2`, 100 for deeper circuits.
+pub fn paper_restarts(layers: usize) -> usize {
+    match layers {
+        0 | 1 => 20,
+        2 => 50,
+        _ => 100,
+    }
+}
+
+/// One gradient-free, step-budgeted local maximization of a QAOA energy.
+///
+/// Implementations receive the shared evaluation state of the enclosing
+/// session — one `scratch` and one monotonically increasing `eval_index` —
+/// so per-point stochastic backends see a fresh noise substream per
+/// objective call and sequential-mode backends consume their stream in call
+/// order, exactly as the restart loop always did.
+///
+/// **Determinism contract:** for a fixed evaluator value, `maximize_from` is
+/// a pure function of `(start, max_iters, rng state, eval_index)`. Optimizers
+/// draw randomness *only* from the `rng` they are handed (Nelder–Mead draws
+/// none), which is what lets the engine hand each batched optimization job
+/// its own derived substream and stay bitwise thread-count invariant.
+pub trait Optimizer {
+    /// Short human-readable name (used by benches and JSON output).
+    fn name(&self) -> &'static str;
+
+    /// Maximizes `evaluator`'s energy from the flattened start point, with a
+    /// budget of `max_iters` optimizer iterations.
+    fn maximize_from<E: EnergyEvaluator, R: Rng>(
+        &self,
+        evaluator: &E,
+        scratch: &mut E::Scratch,
+        eval_index: &mut u64,
+        start: &[f64],
+        max_iters: usize,
+        rng: &mut R,
+    ) -> OptimizerRun;
+}
+
+/// Result of one [`Optimizer`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizerRun {
+    /// The best parameters found.
+    pub params: QaoaParams,
+    /// The best (maximized) expectation value.
+    pub value: f64,
+    /// Number of objective evaluations consumed.
+    pub evaluations: usize,
+}
+
+/// The Nelder–Mead simplex optimizer (the repository's COBYLA stand-in), as
+/// an [`Optimizer`]. Deterministic: draws nothing from the RNG.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NelderMeadOptimizer {
+    /// Convergence tolerance on the spread of simplex objective values.
+    pub f_tol: f64,
+    /// Initial simplex step added to each coordinate of the start point.
+    pub initial_step: f64,
+}
+
+impl Default for NelderMeadOptimizer {
+    fn default() -> Self {
+        let defaults = NelderMeadOptions::default();
+        Self {
+            f_tol: defaults.f_tol,
+            initial_step: defaults.initial_step,
+        }
+    }
+}
+
+impl Optimizer for NelderMeadOptimizer {
+    fn name(&self) -> &'static str {
+        "nelder_mead"
+    }
+
+    fn maximize_from<E: EnergyEvaluator, R: Rng>(
+        &self,
+        evaluator: &E,
+        scratch: &mut E::Scratch,
+        eval_index: &mut u64,
+        start: &[f64],
+        max_iters: usize,
+        _rng: &mut R,
+    ) -> OptimizerRun {
+        let nm = NelderMead::new(NelderMeadOptions {
+            max_iters,
+            f_tol: self.f_tol,
+            initial_step: self.initial_step,
+        });
+        let mut objective = FnObjective::new(start.len(), |flat: &[f64]| {
+            let params = QaoaParams::from_flat(flat).expect("optimizer keeps the shape");
+            let value = evaluator.energy(scratch, *eval_index, &params);
+            *eval_index += 1;
+            -value
+        });
+        let result = nm.minimize(&mut objective, start);
+        OptimizerRun {
+            params: QaoaParams::from_flat(&result.params).expect("valid shape"),
+            value: -result.value,
+            evaluations: result.evaluations,
+        }
+    }
+}
+
+/// Simultaneous Perturbation Stochastic Approximation as an [`Optimizer`]:
+/// two evaluations per iteration regardless of dimension, the classic choice
+/// for optimizing variational circuits on noisy hardware. The Rademacher
+/// perturbation directions are drawn from the session RNG in iteration
+/// order, so a run is a pure function of the seed (see
+/// `docs/determinism.md`, convergence semantics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpsaOptimizer {
+    /// Initial step-size numerator `a` in `a_k = a / (k + 1 + A)^alpha`.
+    pub a: f64,
+    /// Stability constant `A`.
+    pub big_a: f64,
+    /// Step-size decay exponent `alpha`.
+    pub alpha: f64,
+    /// Initial perturbation size `c` in `c_k = c / (k + 1)^gamma`.
+    pub c: f64,
+    /// Perturbation decay exponent `gamma`.
+    pub gamma: f64,
+}
+
+impl Default for SpsaOptimizer {
+    fn default() -> Self {
+        let defaults = SpsaOptions::default();
+        Self {
+            a: defaults.a,
+            big_a: defaults.big_a,
+            alpha: defaults.alpha,
+            c: defaults.c,
+            gamma: defaults.gamma,
+        }
+    }
+}
+
+impl Optimizer for SpsaOptimizer {
+    fn name(&self) -> &'static str {
+        "spsa"
+    }
+
+    fn maximize_from<E: EnergyEvaluator, R: Rng>(
+        &self,
+        evaluator: &E,
+        scratch: &mut E::Scratch,
+        eval_index: &mut u64,
+        start: &[f64],
+        max_iters: usize,
+        rng: &mut R,
+    ) -> OptimizerRun {
+        let spsa = Spsa::new(SpsaOptions {
+            max_iters,
+            a: self.a,
+            big_a: self.big_a,
+            alpha: self.alpha,
+            c: self.c,
+            gamma: self.gamma,
+        });
+        let mut objective = FnObjective::new(start.len(), |flat: &[f64]| {
+            let params = QaoaParams::from_flat(flat).expect("optimizer keeps the shape");
+            let value = evaluator.energy(scratch, *eval_index, &params);
+            *eval_index += 1;
+            -value
+        });
+        let result = spsa.minimize(&mut objective, start, rng);
+        OptimizerRun {
+            params: QaoaParams::from_flat(&result.params).expect("valid shape"),
+            value: -result.value,
+            evaluations: result.evaluations,
+        }
+    }
+}
+
+/// Runtime-selectable optimizer flavor: the [`Optimizer`] trait has generic
+/// methods (over the evaluator and RNG), so job types that need to *store* a
+/// choice of optimizer — the engine's `OptimizeJob`, experiment configs —
+/// hold this enum instead of a trait object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimizerConfig {
+    /// Nelder–Mead simplex (the default; the paper's COBYLA stand-in).
+    NelderMead(NelderMeadOptimizer),
+    /// SPSA with the given gain-sequence hyperparameters.
+    Spsa(SpsaOptimizer),
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig::NelderMead(NelderMeadOptimizer::default())
+    }
+}
+
+impl OptimizerConfig {
+    /// SPSA with default hyperparameters.
+    pub fn spsa() -> Self {
+        OptimizerConfig::Spsa(SpsaOptimizer::default())
+    }
+}
+
+impl Optimizer for OptimizerConfig {
+    fn name(&self) -> &'static str {
+        match self {
+            OptimizerConfig::NelderMead(o) => o.name(),
+            OptimizerConfig::Spsa(o) => o.name(),
+        }
+    }
+
+    fn maximize_from<E: EnergyEvaluator, R: Rng>(
+        &self,
+        evaluator: &E,
+        scratch: &mut E::Scratch,
+        eval_index: &mut u64,
+        start: &[f64],
+        max_iters: usize,
+        rng: &mut R,
+    ) -> OptimizerRun {
+        match self {
+            OptimizerConfig::NelderMead(o) => {
+                o.maximize_from(evaluator, scratch, eval_index, start, max_iters, rng)
+            }
+            OptimizerConfig::Spsa(o) => {
+                o.maximize_from(evaluator, scratch, eval_index, start, max_iters, rng)
+            }
+        }
+    }
+}
 
 /// Result of a multi-restart QAOA maximization.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,6 +266,10 @@ pub struct OptimizeOutcome {
     pub best_value: f64,
     /// The best value found by each restart.
     pub restart_values: Vec<f64>,
+    /// The best parameters found by each restart (index-aligned with
+    /// `restart_values`). Parameter-transfer scoring re-evaluates these on
+    /// the full graph to form the "average result" comparison of Figure 17.
+    pub restart_params: Vec<QaoaParams>,
     /// Total number of objective evaluations across restarts.
     pub evaluations: usize,
 }
@@ -113,16 +361,166 @@ fn seed_start<R: Rng, E: EnergyEvaluator>(
     }
 }
 
-/// Maximizes a QAOA energy backend with Nelder–Mead restarts. The first
-/// restart starts from a coarse global scan of the landscape (an internal
-/// grid-seeded warm start); the remaining restarts start from random
-/// parameters.
+/// The shared multi-restart maximization protocol over any [`Optimizer`].
 ///
-/// Evaluation flows through the [`EnergyEvaluator`] with a single scratch
-/// and a monotonically increasing evaluation index, so per-point stochastic
-/// backends see one fresh noise substream per objective call and
-/// sequential-mode backends consume their stream in call order (the classic
-/// protocol).
+/// Owns everything every caller used to duplicate: global-scan seeding of
+/// the first restart, random starts for the rest, best-so-far tracking, and
+/// the optional stopping criteria. Consumers build one driver and call
+/// [`OptimizeDriver::maximize`] (full restart session) or
+/// [`OptimizeDriver::refine_from`] (single local polish from a known start).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeDriver<O: Optimizer> {
+    optimizer: O,
+    restarts: usize,
+    max_iters: usize,
+    target_value: Option<f64>,
+    max_evaluations: Option<usize>,
+}
+
+impl<O: Optimizer> OptimizeDriver<O> {
+    /// A driver running `restarts` restarts of `optimizer`, each with an
+    /// iteration budget of `max_iters`, and no early-stopping criteria.
+    pub fn new(optimizer: O, restarts: usize, max_iters: usize) -> Self {
+        Self {
+            optimizer,
+            restarts,
+            max_iters,
+            target_value: None,
+            max_evaluations: None,
+        }
+    }
+
+    /// Stop after the first restart whose best value reaches `target`
+    /// (checked between restarts, never mid-restart, so a stopped run is a
+    /// prefix of the unstopped one).
+    pub fn target_value(mut self, target: f64) -> Self {
+        self.target_value = Some(target);
+        self
+    }
+
+    /// Stop after the first restart that brings the cumulative evaluation
+    /// count to `cap` or beyond (checked between restarts).
+    pub fn max_evaluations(mut self, cap: usize) -> Self {
+        self.max_evaluations = Some(cap);
+        self
+    }
+
+    /// The wrapped optimizer.
+    pub fn optimizer(&self) -> &O {
+        &self.optimizer
+    }
+
+    /// Maximizes `evaluator` with the configured restart protocol. The first
+    /// restart starts from a coarse global scan of the landscape (an
+    /// internal grid-seeded warm start); the remaining restarts start from
+    /// random parameters.
+    ///
+    /// Evaluation flows through the [`EnergyEvaluator`] with a single
+    /// scratch and a monotonically increasing evaluation index, so per-point
+    /// stochastic backends see one fresh noise substream per objective call
+    /// and sequential-mode backends consume their stream in call order (the
+    /// classic protocol).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QaoaError::InvalidParameters`] if the evaluator reports
+    /// zero layers or the driver was built with zero restarts.
+    pub fn maximize<E, R>(&self, evaluator: &E, rng: &mut R) -> Result<OptimizeOutcome, QaoaError>
+    where
+        E: EnergyEvaluator,
+        R: Rng,
+    {
+        let layers = evaluator.layers();
+        if layers == 0 {
+            return Err(QaoaError::InvalidParameters("layers must be positive"));
+        }
+        if self.restarts == 0 {
+            return Err(QaoaError::InvalidParameters("restarts must be positive"));
+        }
+        let mut scratch = evaluator.scratch();
+        let mut eval_index: u64 = 0;
+        let mut best_params: Option<QaoaParams> = None;
+        let mut best_value = f64::NEG_INFINITY;
+        let mut restart_values = Vec::with_capacity(self.restarts);
+        let mut restart_params = Vec::with_capacity(self.restarts);
+        let mut evaluations = 0usize;
+        for restart in 0..self.restarts {
+            let start = if restart == 0 {
+                seed_start(
+                    evaluator,
+                    &mut scratch,
+                    &mut eval_index,
+                    rng,
+                    &mut evaluations,
+                )
+            } else {
+                QaoaParams::random(layers, rng).to_flat()
+            };
+            let run = self.optimizer.maximize_from(
+                evaluator,
+                &mut scratch,
+                &mut eval_index,
+                &start,
+                self.max_iters,
+                rng,
+            );
+            evaluations += run.evaluations;
+            restart_values.push(run.value);
+            restart_params.push(run.params.clone());
+            if run.value > best_value {
+                best_value = run.value;
+                best_params = Some(run.params);
+            }
+            if self.target_value.is_some_and(|t| best_value >= t) {
+                break;
+            }
+            if self.max_evaluations.is_some_and(|cap| evaluations >= cap) {
+                break;
+            }
+        }
+        Ok(OptimizeOutcome {
+            best_params: best_params.expect("at least one restart"),
+            best_value,
+            restart_values,
+            restart_params,
+            evaluations,
+        })
+    }
+
+    /// One local polish from a known-good start (no restarts, no global
+    /// seeding). With a zero iteration budget this degenerates to a single
+    /// evaluation at `start`, so callers always get a value measured through
+    /// the same evaluator.
+    pub fn refine_from<E, R>(&self, evaluator: &E, start: &QaoaParams, rng: &mut R) -> OptimizerRun
+    where
+        E: EnergyEvaluator,
+        R: Rng,
+    {
+        let mut scratch = evaluator.scratch();
+        let mut eval_index: u64 = 0;
+        if self.max_iters == 0 {
+            let value = evaluator.energy(&mut scratch, 0, start);
+            return OptimizerRun {
+                params: start.clone(),
+                value,
+                evaluations: 1,
+            };
+        }
+        self.optimizer.maximize_from(
+            evaluator,
+            &mut scratch,
+            &mut eval_index,
+            &start.to_flat(),
+            self.max_iters,
+            rng,
+        )
+    }
+}
+
+/// Maximizes a QAOA energy backend with Nelder–Mead restarts — a thin
+/// wrapper over [`OptimizeDriver`] with the default
+/// [`NelderMeadOptimizer`], kept as the documented entry point for the
+/// classic single-evaluator protocol.
 ///
 /// # Errors
 ///
@@ -137,56 +535,12 @@ where
     R: Rng,
     E: EnergyEvaluator,
 {
-    let layers = evaluator.layers();
-    if layers == 0 {
-        return Err(QaoaError::InvalidParameters("layers must be positive"));
-    }
-    if options.restarts == 0 {
-        return Err(QaoaError::InvalidParameters("restarts must be positive"));
-    }
-    let nm = NelderMead::new(NelderMeadOptions {
-        max_iters: options.max_iters,
-        ..Default::default()
-    });
-    let mut scratch = evaluator.scratch();
-    let mut eval_index: u64 = 0;
-    let mut best_params: Option<QaoaParams> = None;
-    let mut best_value = f64::NEG_INFINITY;
-    let mut restart_values = Vec::with_capacity(options.restarts);
-    let mut evaluations = 0usize;
-    for restart in 0..options.restarts {
-        let start = if restart == 0 {
-            seed_start(
-                evaluator,
-                &mut scratch,
-                &mut eval_index,
-                rng,
-                &mut evaluations,
-            )
-        } else {
-            QaoaParams::random(layers, rng).to_flat()
-        };
-        let mut objective = FnObjective::new(2 * layers, |flat: &[f64]| {
-            let params = QaoaParams::from_flat(flat).expect("optimizer keeps the shape");
-            let value = evaluator.energy(&mut scratch, eval_index, &params);
-            eval_index += 1;
-            -value
-        });
-        let result = nm.minimize(&mut objective, &start);
-        evaluations += result.evaluations;
-        let value = -result.value;
-        restart_values.push(value);
-        if value > best_value {
-            best_value = value;
-            best_params = Some(QaoaParams::from_flat(&result.params).expect("valid shape"));
-        }
-    }
-    Ok(OptimizeOutcome {
-        best_params: best_params.expect("at least one restart"),
-        best_value,
-        restart_values,
-        evaluations,
-    })
+    OptimizeDriver::new(
+        NelderMeadOptimizer::default(),
+        options.restarts,
+        options.max_iters,
+    )
+    .maximize(evaluator, rng)
 }
 
 /// Approximation ratio: the QAOA expectation divided by the classical optimum
@@ -402,6 +756,108 @@ mod tests {
         assert_eq!(trace.len(), outcome.evaluations);
         let best_recorded = trace.running_best().last().copied().unwrap();
         assert!((best_recorded - outcome.best_value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_restart_schedule_matches_the_reference() {
+        assert_eq!(paper_restarts(1), 20);
+        assert_eq!(paper_restarts(2), 50);
+        assert_eq!(paper_restarts(3), 100);
+        assert_eq!(paper_restarts(7), 100);
+    }
+
+    #[test]
+    fn spsa_driver_is_deterministic_and_improves_on_a_cycle() {
+        let g = cycle(6).unwrap();
+        let evaluator = StatevectorEvaluator::new(&g, 1).unwrap();
+        let driver = OptimizeDriver::new(SpsaOptimizer::default(), 3, 150);
+        let run = |seed: u64| driver.maximize(&evaluator, &mut seeded(seed)).unwrap();
+        let a = run(5);
+        let b = run(5);
+        assert_eq!(a.best_value.to_bits(), b.best_value.to_bits());
+        assert_eq!(a.best_params, b.best_params);
+        // Random parameters give |E|/2 = 3 on average; SPSA should climb.
+        assert!(a.best_value > 3.5, "best {}", a.best_value);
+    }
+
+    #[test]
+    fn nelder_mead_driver_matches_the_legacy_wrapper_bitwise() {
+        let g = cycle(6).unwrap();
+        let evaluator = StatevectorEvaluator::new(&g, 1).unwrap();
+        let options = OptimizeOptions {
+            restarts: 3,
+            max_iters: 80,
+        };
+        let legacy = maximize_with_restarts(&evaluator, &options, &mut seeded(11)).unwrap();
+        let driver = OptimizeDriver::new(NelderMeadOptimizer::default(), 3, 80);
+        let direct = driver.maximize(&evaluator, &mut seeded(11)).unwrap();
+        assert_eq!(legacy.best_value.to_bits(), direct.best_value.to_bits());
+        assert_eq!(legacy.restart_values, direct.restart_values);
+        assert_eq!(legacy.evaluations, direct.evaluations);
+    }
+
+    #[test]
+    fn target_value_stops_between_restarts() {
+        let g = cycle(6).unwrap();
+        let evaluator = StatevectorEvaluator::new(&g, 1).unwrap();
+        // The first (grid-seeded) restart already clears this low bar, so the
+        // driver must stop after exactly one restart.
+        let driver = OptimizeDriver::new(NelderMeadOptimizer::default(), 10, 80).target_value(3.0);
+        let outcome = driver.maximize(&evaluator, &mut seeded(2)).unwrap();
+        assert_eq!(outcome.restart_values.len(), 1);
+        assert!(outcome.best_value >= 3.0);
+        // A stopped run is a prefix of the unstopped one.
+        let full = OptimizeDriver::new(NelderMeadOptimizer::default(), 10, 80)
+            .maximize(&evaluator, &mut seeded(2))
+            .unwrap();
+        assert_eq!(
+            outcome.restart_values[0].to_bits(),
+            full.restart_values[0].to_bits()
+        );
+    }
+
+    #[test]
+    fn max_evaluations_caps_the_session() {
+        let g = cycle(6).unwrap();
+        let evaluator = StatevectorEvaluator::new(&g, 1).unwrap();
+        let driver = OptimizeDriver::new(NelderMeadOptimizer::default(), 10, 80).max_evaluations(1);
+        let outcome = driver.maximize(&evaluator, &mut seeded(2)).unwrap();
+        assert_eq!(outcome.restart_values.len(), 1);
+    }
+
+    #[test]
+    fn refine_from_with_zero_budget_evaluates_in_place() {
+        let g = cycle(6).unwrap();
+        let evaluator = StatevectorEvaluator::new(&g, 1).unwrap();
+        let start = QaoaParams::new(vec![0.4], vec![0.3]).unwrap();
+        let driver = OptimizeDriver::new(NelderMeadOptimizer::default(), 1, 0);
+        let run = driver.refine_from(&evaluator, &start, &mut seeded(1));
+        assert_eq!(run.params, start);
+        assert_eq!(run.evaluations, 1);
+        let refined = OptimizeDriver::new(NelderMeadOptimizer::default(), 1, 60).refine_from(
+            &evaluator,
+            &start,
+            &mut seeded(1),
+        );
+        assert!(refined.value >= run.value - 1e-12);
+    }
+
+    #[test]
+    fn optimizer_config_dispatches_by_flavor() {
+        assert_eq!(OptimizerConfig::default().name(), "nelder_mead");
+        assert_eq!(OptimizerConfig::spsa().name(), "spsa");
+        let g = cycle(5).unwrap();
+        let evaluator = StatevectorEvaluator::new(&g, 1).unwrap();
+        let nm = OptimizeDriver::new(OptimizerConfig::default(), 2, 60)
+            .maximize(&evaluator, &mut seeded(3))
+            .unwrap();
+        let spsa = OptimizeDriver::new(OptimizerConfig::spsa(), 2, 60)
+            .maximize(&evaluator, &mut seeded(3))
+            .unwrap();
+        assert_eq!(nm.restart_params.len(), 2);
+        assert_eq!(spsa.restart_params.len(), 2);
+        // Different optimizers, different trajectories.
+        assert_ne!(nm.evaluations, spsa.evaluations);
     }
 
     #[test]

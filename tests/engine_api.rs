@@ -8,8 +8,11 @@
 
 use graphlib::generators::{connected_gnp, cycle};
 use mathkit::rng::seeded;
+use qaoa::optimize::{NelderMeadOptimizer, OptimizerConfig, SpsaOptimizer};
 use red_qaoa::annealing::SaOptions;
-use red_qaoa::engine::{Engine, Job, LandscapeJob, PipelineJob, ReduceJob, ThroughputJob};
+use red_qaoa::engine::{
+    Engine, Job, LandscapeJob, OptimizeJob, PipelineJob, ReduceJob, ThroughputJob,
+};
 use red_qaoa::reduction::{reduce, ReductionOptions};
 use red_qaoa::RedQaoaError;
 
@@ -107,6 +110,53 @@ fn invalid_parameter_unsatisfiable_min_size_carries_the_value() {
         message.contains("min_size") && message.contains("64"),
         "{message}"
     );
+}
+
+#[test]
+fn invalid_parameter_optimize_job_names_each_field() {
+    let engine = Engine::builder().build().unwrap();
+    let graph = test_graph(30);
+    let base = || OptimizeJob::new(graph.clone()).with_max_iters(10);
+    let cases: [(&str, OptimizeJob); 7] = [
+        ("layers", base().with_layers(0)),
+        ("max_iters", base().with_max_iters(0)),
+        ("restarts", base().with_restarts(0)),
+        (
+            "nelder_mead.initial_step",
+            base().with_optimizer(OptimizerConfig::NelderMead(NelderMeadOptimizer {
+                initial_step: 0.0,
+                ..Default::default()
+            })),
+        ),
+        (
+            "nelder_mead.f_tol",
+            base().with_optimizer(OptimizerConfig::NelderMead(NelderMeadOptimizer {
+                f_tol: f64::NAN,
+                ..Default::default()
+            })),
+        ),
+        (
+            "spsa.a",
+            base().with_optimizer(OptimizerConfig::Spsa(SpsaOptimizer {
+                a: -1.0,
+                ..Default::default()
+            })),
+        ),
+        (
+            "spsa.c",
+            base().with_optimizer(OptimizerConfig::Spsa(SpsaOptimizer {
+                c: f64::INFINITY,
+                ..Default::default()
+            })),
+        ),
+    ];
+    for (field, job) in cases {
+        let err = engine.run(&Job::Optimize(job), 1).unwrap_err();
+        assert_eq!(err.field(), Some(field), "{err}");
+        assert!(err.to_string().contains(field), "{err}");
+    }
+    // Every rejection happened before any annealing or optimization ran.
+    assert_eq!(engine.cache_stats().misses, 0);
 }
 
 // ---------------------------------------------------------------------------

@@ -20,7 +20,7 @@ use qaoa::evaluator::{NoisyTrajectoryEvaluator, StatevectorEvaluator};
 use qaoa::landscape::Landscape;
 use qsim::trajectory::TrajectoryOptions;
 use red_qaoa::engine::{
-    Engine, Job, JobOutput, LandscapeJob, PipelineJob, ReduceJob, ThroughputJob,
+    Engine, Job, JobOutput, LandscapeJob, OptimizeJob, PipelineJob, ReduceJob, ThroughputJob,
 };
 use red_qaoa::mse::{ideal_sample_mse, noisy_grid_comparison};
 use red_qaoa::pipeline::{run_noisy, PipelineOptions};
@@ -157,6 +157,76 @@ proptest! {
                 let b = b.as_ref().expect("connected graphs reduce");
                 prop_assert_eq!(&a.subgraph.nodes, &b.subgraph.nodes);
                 prop_assert_eq!(a.and_ratio.to_bits(), b.and_ratio.to_bits());
+            }
+        }
+    }
+
+    /// `OptimizeJob` batches (PR 6): full baseline-vs-reduced optimization
+    /// sessions — mixed Nelder–Mead and SPSA flavors, the latter drawing its
+    /// perturbation directions from the per-job substream — are
+    /// bitwise-identical for every worker count. A fresh engine per run
+    /// keeps the cache comparison honest.
+    #[test]
+    fn optimize_job_batches_are_thread_count_invariant(seed in 0u64..100) {
+        use qaoa::optimize::OptimizerConfig;
+        let graphs: Vec<_> = (0..3)
+            .map(|i| {
+                let nodes = 8 + (i % 2);
+                connected_gnp(nodes, 0.45, &mut seeded(derive_seed(seed, i as u64))).unwrap()
+            })
+            .collect();
+        let jobs = vec![
+            Job::Optimize(
+                OptimizeJob::new(graphs[0].clone())
+                    .with_restarts(2)
+                    .with_max_iters(15),
+            ),
+            Job::Optimize(
+                OptimizeJob::new(graphs[1].clone())
+                    .with_optimizer(OptimizerConfig::spsa())
+                    .with_restarts(2)
+                    .with_max_iters(15),
+            ),
+            // Duplicate graph: the second job must be served the cached
+            // (bitwise-identical) reduction regardless of scheduling.
+            Job::Optimize(
+                OptimizeJob::new(graphs[0].clone())
+                    .with_optimizer(OptimizerConfig::spsa())
+                    .with_restarts(1)
+                    .with_max_iters(10),
+            ),
+            Job::Optimize(
+                OptimizeJob::new(graphs[2].clone())
+                    .with_restarts(1)
+                    .with_max_iters(10),
+            ),
+        ];
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                let engine = Engine::builder().build().unwrap();
+                engine.run_batch(&jobs, derive_seed(seed, 555))
+            })
+        };
+        let reference = run(1);
+        for threads in THREAD_COUNTS {
+            let batch = run(threads);
+            prop_assert_eq!(reference.len(), batch.len());
+            for (a, b) in reference.iter().zip(&batch) {
+                let a = a.as_ref().expect("reference job succeeds");
+                let b = b.as_ref().expect("batch job succeeds");
+                prop_assert_eq!(a, b);
+                let (JobOutput::Optimize(x), JobOutput::Optimize(y)) = (a, b) else {
+                    panic!("optimize jobs return optimize reports");
+                };
+                prop_assert_eq!(
+                    x.transfer.transferred_value.to_bits(),
+                    y.transfer.transferred_value.to_bits()
+                );
+                prop_assert_eq!(
+                    x.transfer.native.best_value.to_bits(),
+                    y.transfer.native.best_value.to_bits()
+                );
+                prop_assert_eq!(x.cost_ratio.to_bits(), y.cost_ratio.to_bits());
             }
         }
     }
