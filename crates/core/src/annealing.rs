@@ -43,10 +43,13 @@
 
 use crate::sa_state::SaState;
 use crate::RedQaoaError;
+use graphlib::connectivity::{AdjacencyCsr, ArticulationPoints};
 use graphlib::metrics::average_node_degree;
 use graphlib::subgraph::{induced_subgraph, random_connected_subgraph, Subgraph};
 use graphlib::Graph;
 use rand::Rng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Cooling schedule of the simulated annealer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -346,13 +349,33 @@ fn run_sa<R: Rng>(
             break; // k == n, nothing to swap.
         };
         let current_value = state.objective();
-        let candidate_value = state.evaluate_swap(out, inn);
-        let improving = candidate_value < current_value;
-
-        // Lines 9–16: Metropolis acceptance.
-        let accept = improving || {
+        // Lines 9–16: staged Metropolis acceptance. The AND-only bound is a
+        // lower bound on the candidate objective (the disconnection penalty
+        // is non-negative), so when it already meets or exceeds the current
+        // value the move is certainly non-improving and the uniform draw
+        // happens *now*, exactly where the full evaluation would have drawn
+        // it. Because `exp(-(x - current) / T)` is monotone decreasing in
+        // `x` (IEEE subtraction, division, and `exp` are all monotone), a
+        // draw that rejects the bound's acceptance probability rejects the
+        // true candidate's too — the expensive connectivity evaluation is
+        // skipped with bitwise-identical draw counts and accept decisions.
+        let and_bound = state.evaluate_and_bound(out, inn);
+        let (accept, candidate_value) = if and_bound >= current_value {
             let p: f64 = rng.gen();
-            p < (-(candidate_value - current_value) / temperature).exp()
+            if p >= (-(and_bound - current_value) / temperature).exp() {
+                (false, and_bound)
+            } else {
+                let candidate_value = state.evaluate_swap(out, inn);
+                let accept = p < (-(candidate_value - current_value) / temperature).exp();
+                (accept, candidate_value)
+            }
+        } else {
+            let candidate_value = state.evaluate_swap(out, inn);
+            let accept = candidate_value < current_value || {
+                let p: f64 = rng.gen();
+                p < (-(candidate_value - current_value) / temperature).exp()
+            };
+            (accept, candidate_value)
         };
         if accept {
             state.apply_swap(out, inn);
@@ -540,6 +563,60 @@ pub fn resize_selection(
     seed: &[usize],
     k: usize,
 ) -> Result<Vec<usize>, RedQaoaError> {
+    resize_selection_with_scratch(graph, seed, k, &mut ResizeScratch::default())
+}
+
+/// Reusable buffers for [`resize_selection_with_scratch`]: membership mask,
+/// degree cache, CSR adjacency snapshot, Tarjan articulation-point state,
+/// the eviction heap, and the debug-oracle BFS buffers are all retained
+/// across calls, so steady-state resizing performs no per-call allocations.
+///
+/// # Example
+///
+/// ```
+/// use graphlib::generators::cycle;
+/// use red_qaoa::annealing::{resize_selection_with_scratch, ResizeScratch};
+///
+/// let graph = cycle(8).unwrap();
+/// let mut scratch = ResizeScratch::default();
+/// let five = resize_selection_with_scratch(&graph, &[0, 1, 2, 3], 5, &mut scratch).unwrap();
+/// assert_eq!(five.len(), 5);
+/// let three = resize_selection_with_scratch(&graph, &five, 3, &mut scratch).unwrap();
+/// assert_eq!(three.len(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct ResizeScratch {
+    in_set: Vec<bool>,
+    internal_degree: Vec<usize>,
+    csr: AdjacencyCsr,
+    cuts: ArticulationPoints,
+    /// Min-heap of `(score bits, node)`; scores are non-negative, so the
+    /// IEEE bit pattern orders exactly like the float value.
+    heap: BinaryHeap<Reverse<(u64, usize)>>,
+    heap_store: Vec<Reverse<(u64, usize)>>,
+    /// Debug-oracle BFS buffers (the release path never recounts).
+    #[cfg(debug_assertions)]
+    visited: Vec<bool>,
+    #[cfg(debug_assertions)]
+    queue: Vec<usize>,
+}
+
+/// [`resize_selection`] with caller-owned scratch buffers: identical results
+/// (it *is* the implementation), but repeated calls — the warm-started
+/// binary search resizes once per candidate size — reuse `scratch` instead
+/// of reallocating the mask, degree cache, and traversal state each time.
+///
+/// # Errors
+///
+/// Returns [`RedQaoaError::InvalidParameter`] if the seed is empty, contains
+/// duplicates, or references a node outside the graph, and
+/// [`RedQaoaError::GraphNotReducible`] if `k` is out of range.
+pub fn resize_selection_with_scratch(
+    graph: &Graph,
+    seed: &[usize],
+    k: usize,
+    scratch: &mut ResizeScratch,
+) -> Result<Vec<usize>, RedQaoaError> {
     let n = graph.node_count();
     if k == 0 || k > n {
         return Err(RedQaoaError::GraphNotReducible(
@@ -553,7 +630,8 @@ pub fn resize_selection(
             "seed selection must be non-empty",
         ));
     }
-    let mut in_set = vec![false; n];
+    scratch.in_set.clear();
+    scratch.in_set.resize(n, false);
     for &u in seed {
         if u >= n {
             return Err(RedQaoaError::invalid_parameter(
@@ -562,65 +640,86 @@ pub fn resize_selection(
                 "seed selection node out of range",
             ));
         }
-        if in_set[u] {
+        if scratch.in_set[u] {
             return Err(RedQaoaError::invalid_parameter(
                 "seed_selection",
                 u,
                 "seed selection contains a duplicate node",
             ));
         }
-        in_set[u] = true;
+        scratch.in_set[u] = true;
     }
     let target = average_node_degree(graph);
     let mut selection: Vec<usize> = seed.to_vec();
     // Number of selected neighbors, maintained for every node.
-    let mut internal_degree: Vec<usize> = (0..n)
-        .map(|u| graph.neighbor_count_in(u, &in_set))
-        .collect();
-    let mut degree_sum: usize = selection.iter().map(|&u| internal_degree[u]).sum();
+    scratch.internal_degree.clear();
+    scratch
+        .internal_degree
+        .extend((0..n).map(|u| graph.neighbor_count_in(u, &scratch.in_set)));
+    let mut degree_sum: usize = selection.iter().map(|&u| scratch.internal_degree[u]).sum();
+    if selection.len() > k {
+        scratch.csr.rebuild_from(graph);
+    }
 
     while selection.len() > k {
         // Rank selected nodes by how close the post-removal AND lands to the
-        // target; evict the best-ranked non-cut vertex.
+        // target; evict the best-ranked non-cut vertex. One Tarjan pass per
+        // eviction replaces the old per-candidate component recount, and the
+        // heap replaces the full sort: only the popped prefix (usually a
+        // single node) is ever ordered.
         let len_after = (selection.len() - 1) as f64;
-        let mut order: Vec<usize> = selection.clone();
-        order.sort_unstable_by(|&a, &b| {
-            let score = |u: usize| {
-                ((degree_sum - 2 * internal_degree[u]) as f64 / len_after - target).abs()
-            };
-            score(a).partial_cmp(&score(b)).unwrap().then(a.cmp(&b))
-        });
-        let components = count_components(graph, &selection, &in_set);
-        let evicted = order
-            .iter()
-            .copied()
-            .find(|&u| {
-                in_set[u] = false;
-                let keeps = count_components(graph, &selection, &in_set) <= components;
-                in_set[u] = true;
-                keeps
-            })
-            // Every component has at least one non-cut vertex, so this is
-            // unreachable; keep a defensive fallback to the best-ranked node.
-            .unwrap_or(order[0]);
-        in_set[evicted] = false;
+        scratch.heap_store.clear();
+        scratch.heap_store.extend(selection.iter().map(|&u| {
+            let score =
+                ((degree_sum - 2 * scratch.internal_degree[u]) as f64 / len_after - target).abs();
+            Reverse((score.to_bits(), u))
+        }));
+        scratch.heap.clear();
+        scratch.heap.extend(scratch.heap_store.drain(..));
+        let is_cut = scratch.cuts.compute(&scratch.csr, &scratch.in_set);
+        let evicted = choose_eviction(&mut scratch.heap, is_cut);
+        #[cfg(debug_assertions)]
+        {
+            let before = count_components(
+                graph,
+                &selection,
+                &scratch.in_set,
+                &mut scratch.visited,
+                &mut scratch.queue,
+            );
+            scratch.in_set[evicted] = false;
+            let after = count_components(
+                graph,
+                &selection,
+                &scratch.in_set,
+                &mut scratch.visited,
+                &mut scratch.queue,
+            );
+            scratch.in_set[evicted] = true;
+            debug_assert!(
+                after <= before,
+                "eviction of {evicted} split the selection ({before} -> {after})"
+            );
+        }
+        scratch.in_set[evicted] = false;
         selection.retain(|&u| u != evicted);
-        degree_sum -= 2 * internal_degree[evicted];
+        degree_sum -= 2 * scratch.internal_degree[evicted];
         for w in graph.neighbors(evicted) {
-            internal_degree[w] -= 1;
+            scratch.internal_degree[w] -= 1;
         }
     }
 
     while selection.len() < k {
         let len_after = (selection.len() + 1) as f64;
-        let score =
-            |u: usize| ((degree_sum + 2 * internal_degree[u]) as f64 / len_after - target).abs();
+        let score = |u: usize| {
+            ((degree_sum + 2 * scratch.internal_degree[u]) as f64 / len_after - target).abs()
+        };
         // Prefer boundary nodes (they attach to the selection); only a seed
         // that already spans its whole component falls back to any outside
         // node.
         let mut best: Option<usize> = None;
         for u in 0..n {
-            if in_set[u] || internal_degree[u] == 0 {
+            if scratch.in_set[u] || scratch.internal_degree[u] == 0 {
                 continue;
             }
             if best.map_or(true, |b| score(u) < score(b)) {
@@ -628,24 +727,53 @@ pub fn resize_selection(
             }
         }
         if best.is_none() {
-            best = (0..n).find(|&u| !in_set[u]);
+            best = (0..n).find(|&u| !scratch.in_set[u]);
         }
         let added = best.expect("k <= n guarantees an outside node");
-        in_set[added] = true;
+        scratch.in_set[added] = true;
         selection.push(added);
-        degree_sum += 2 * internal_degree[added];
+        degree_sum += 2 * scratch.internal_degree[added];
         for w in graph.neighbors(added) {
-            internal_degree[w] += 1;
+            scratch.internal_degree[w] += 1;
         }
     }
     Ok(selection)
 }
 
+/// Pops the eviction heap until a non-articulation node appears. Every
+/// component has at least one non-cut vertex, so the loop normally
+/// terminates on the first pop or two; if the heap somehow drains without
+/// one (defensively unreachable), the best-ranked node is evicted anyway so
+/// the resize always makes progress.
+fn choose_eviction(heap: &mut BinaryHeap<Reverse<(u64, usize)>>, is_cut: &[bool]) -> usize {
+    let mut fallback = None;
+    while let Some(Reverse((_, u))) = heap.pop() {
+        if !is_cut[u] {
+            return u;
+        }
+        fallback.get_or_insert(u);
+    }
+    fallback.expect("eviction heap is never empty")
+}
+
 /// Connected components of the subgraph induced by `selection` (`in_set` is
 /// its membership mask; a node marked `false` is skipped even if listed).
-fn count_components(graph: &Graph, selection: &[usize], in_set: &[bool]) -> usize {
-    let mut visited = vec![false; graph.node_count()];
-    let mut queue = Vec::new();
+/// `visited` / `queue` are caller-owned scratch, reused across calls.
+///
+/// Since the articulation-point rewrite of the shrink loop this BFS recount
+/// is only the debug oracle (and the test reference implementation) — it is
+/// no longer on any release-mode path (and is not even compiled into one).
+#[cfg(any(test, debug_assertions))]
+fn count_components(
+    graph: &Graph,
+    selection: &[usize],
+    in_set: &[bool],
+    visited: &mut Vec<bool>,
+    queue: &mut Vec<usize>,
+) -> usize {
+    visited.clear();
+    visited.resize(graph.node_count(), false);
+    queue.clear();
     let mut components = 0usize;
     for &start in selection {
         if !in_set[start] || visited[start] {
@@ -829,5 +957,147 @@ mod tests {
             ..Default::default()
         };
         assert!(anneal_subgraph(&g, 3, &bad_temp, &mut rng).is_err());
+    }
+
+    /// The pre-heap implementation of `resize_selection` (full sort, then a
+    /// per-candidate component recount), kept verbatim as the oracle the
+    /// articulation-point rewrite is checked against.
+    fn resize_reference(graph: &Graph, seed: &[usize], k: usize) -> Vec<usize> {
+        let n = graph.node_count();
+        let mut in_set = vec![false; n];
+        for &u in seed {
+            in_set[u] = true;
+        }
+        let target = average_node_degree(graph);
+        let mut selection: Vec<usize> = seed.to_vec();
+        let mut internal_degree: Vec<usize> = (0..n)
+            .map(|u| graph.neighbor_count_in(u, &in_set))
+            .collect();
+        let mut degree_sum: usize = selection.iter().map(|&u| internal_degree[u]).sum();
+        let (mut visited, mut queue) = (Vec::new(), Vec::new());
+
+        while selection.len() > k {
+            let len_after = (selection.len() - 1) as f64;
+            let mut order: Vec<usize> = selection.clone();
+            order.sort_unstable_by(|&a, &b| {
+                let score = |u: usize| {
+                    ((degree_sum - 2 * internal_degree[u]) as f64 / len_after - target).abs()
+                };
+                score(a).partial_cmp(&score(b)).unwrap().then(a.cmp(&b))
+            });
+            let components = count_components(graph, &selection, &in_set, &mut visited, &mut queue);
+            let evicted = order
+                .iter()
+                .copied()
+                .find(|&u| {
+                    in_set[u] = false;
+                    let keeps =
+                        count_components(graph, &selection, &in_set, &mut visited, &mut queue)
+                            <= components;
+                    in_set[u] = true;
+                    keeps
+                })
+                .unwrap_or(order[0]);
+            in_set[evicted] = false;
+            selection.retain(|&u| u != evicted);
+            degree_sum -= 2 * internal_degree[evicted];
+            for w in graph.neighbors(evicted) {
+                internal_degree[w] -= 1;
+            }
+        }
+        while selection.len() < k {
+            let len_after = (selection.len() + 1) as f64;
+            let score = |u: usize| {
+                ((degree_sum + 2 * internal_degree[u]) as f64 / len_after - target).abs()
+            };
+            let mut best: Option<usize> = None;
+            for u in 0..n {
+                if in_set[u] || internal_degree[u] == 0 {
+                    continue;
+                }
+                if best.map_or(true, |b| score(u) < score(b)) {
+                    best = Some(u);
+                }
+            }
+            if best.is_none() {
+                best = (0..n).find(|&u| !in_set[u]);
+            }
+            let added = best.expect("outside node exists");
+            in_set[added] = true;
+            selection.push(added);
+            degree_sum += 2 * internal_degree[added];
+            for w in graph.neighbors(added) {
+                internal_degree[w] += 1;
+            }
+        }
+        selection
+    }
+
+    #[test]
+    fn heap_resize_matches_reference_implementation_bitwise() {
+        let mut scratch = ResizeScratch::default();
+        for graph_seed in 0..12u64 {
+            let g = connected_gnp(24, 0.18, &mut seeded(0xC0FFEE + graph_seed)).unwrap();
+            let seed: Vec<usize> = (0..16).collect();
+            for k in [3usize, 7, 12, 16, 20, 24] {
+                let fast = resize_selection_with_scratch(&g, &seed, k, &mut scratch).unwrap();
+                let slow = resize_reference(&g, &seed, k);
+                assert_eq!(fast, slow, "graph seed {graph_seed}, k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn resize_scratch_reuse_matches_fresh_scratch_across_sequences() {
+        let g = connected_gnp(30, 0.15, &mut seeded(77)).unwrap();
+        let mut scratch = ResizeScratch::default();
+        let mut selection: Vec<usize> = (0..30).collect();
+        for &k in &[22usize, 9, 17, 4, 26, 12] {
+            let reused = resize_selection_with_scratch(&g, &selection, k, &mut scratch).unwrap();
+            let fresh = resize_selection(&g, &selection, k).unwrap();
+            assert_eq!(reused, fresh, "k {k}");
+            selection = reused;
+        }
+    }
+
+    #[test]
+    fn eviction_fallback_returns_best_ranked_node_when_all_are_cut() {
+        // A path 0-1-2-3-4: the interior nodes really are articulation
+        // points. Hand the chooser a cut mask claiming *every* node is one —
+        // the defensive branch must still evict the best-ranked (lowest
+        // score, then lowest index) node instead of looping or panicking.
+        let g = graphlib::generators::path(5).unwrap();
+        let selection: Vec<usize> = (0..5).collect();
+        let target = average_node_degree(&g);
+        let internal_degree: Vec<usize> = (0..5).map(|u| g.neighbors(u).count()).collect();
+        let degree_sum: usize = internal_degree.iter().sum();
+        let len_after = (selection.len() - 1) as f64;
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> = selection
+            .iter()
+            .map(|&u| {
+                let score =
+                    ((degree_sum - 2 * internal_degree[u]) as f64 / len_after - target).abs();
+                Reverse((score.to_bits(), u))
+            })
+            .collect();
+        let expected_best = {
+            let score = |u: usize| {
+                ((degree_sum - 2 * internal_degree[u]) as f64 / len_after - target).abs()
+            };
+            let mut order: Vec<usize> = selection.clone();
+            order.sort_unstable_by(|&a, &b| {
+                score(a).partial_cmp(&score(b)).unwrap().then(a.cmp(&b))
+            });
+            order[0]
+        };
+        let all_cut = vec![true; 5];
+        assert_eq!(choose_eviction(&mut heap, &all_cut), expected_best);
+        assert!(heap.is_empty(), "fallback drains the heap");
+
+        // Sanity: with the true cut mask the chooser skips interior nodes.
+        let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+            selection.iter().map(|&u| Reverse((0u64, u))).collect();
+        let true_cuts = vec![false, true, true, true, false];
+        assert_eq!(choose_eviction(&mut heap, &true_cuts), 0);
     }
 }

@@ -492,7 +492,7 @@ pub struct CacheStats {
 struct CacheKey {
     nodes: usize,
     edges: Vec<(usize, usize)>,
-    option_bits: [u64; 12],
+    option_bits: [u64; 14],
 }
 
 impl CacheKey {
@@ -506,6 +506,7 @@ impl CacheKey {
             WarmStart::Off => 0u64,
             WarmStart::On => 1,
             WarmStart::Auto => 2,
+            WarmStart::Measured => 3,
         };
         Self {
             nodes: graph.node_count(),
@@ -523,6 +524,8 @@ impl CacheKey {
                 options.sa.disconnection_penalty.to_bits(),
                 options.sa.stagnation_patience as u64,
                 options.sa.boost_divisor.to_bits(),
+                options.warm_auto_min_nodes as u64,
+                options.warm_temp_fraction.to_bits(),
             ],
         }
     }

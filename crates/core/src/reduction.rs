@@ -16,29 +16,37 @@
 //!   graph; a `reduce` running inside the pool detects the enclosing
 //!   parallel region and runs its restarts serially).
 //!
-//! The binary search is **warm-started** by default ([`WarmStart::Auto`]):
-//! after the first candidate size, each SA run is seeded from the previous
-//! size's best subgraph (deterministically resized by one-node drops/grows)
-//! and started at a reduced temperature, instead of re-annealing from a
-//! fresh random seed — the previous size already paid for that exploration.
+//! The binary search is **warm-started** by default ([`WarmStart::Measured`]):
+//! the *first* candidate size anneals once from a degeneracy-ordered greedy
+//! seed (instead of `sa_runs` cold restarts), every later size is seeded from
+//! the previous size's best subgraph (deterministically resized by one-node
+//! drops/grows) at a reduced temperature, and after the second size the
+//! search compares the measured work of the warm run against a cold-restart
+//! proxy and falls back to cold seeding when warm starting is not actually
+//! paying for itself. The measurement is an *iteration-count* proxy, never
+//! wall-clock, so the decision — like everything else here — is a pure
+//! function of the RNG seed and bitwise-identical across thread counts.
 //! [`WarmStart::Off`] restores (bit for bit) the cold-start behaviour.
 
 use crate::annealing::{
     anneal_subgraph_from_seed_prevalidated, anneal_subgraph_prevalidated, SaOptions,
 };
 use crate::RedQaoaError;
+use graphlib::connectivity::degeneracy_order;
 use graphlib::metrics::{and_ratio, average_node_degree};
 use graphlib::subgraph::Subgraph;
 use graphlib::Graph;
 use mathkit::parallel::parallel_map_indexed;
 use mathkit::rng::{derive_seed, seeded};
 use rand::Rng;
+use std::collections::BinaryHeap;
 
 /// Default minimum acceptable AND ratio between the reduced and original
 /// graphs (Section 4.3: a 0.7 ratio corresponds to the 0.02 MSE threshold).
 pub const DEFAULT_AND_RATIO_THRESHOLD: f64 = 0.7;
 
-/// Smallest graph for which [`WarmStart::Auto`] enables warm starts.
+/// Default of [`ReductionOptions::warm_auto_min_nodes`]: the smallest graph
+/// for which [`WarmStart::Auto`] enables warm starts.
 ///
 /// Below this size the binary search only visits two or three candidate
 /// sizes and each SA run is a few hundred cheap moves, so there is nothing
@@ -47,14 +55,15 @@ pub const DEFAULT_AND_RATIO_THRESHOLD: f64 = 0.7;
 /// `reduce_warm_vs_cold` in the bench crate and `BENCH_reduction.json`).
 pub const WARM_START_AUTO_MIN_NODES: usize = 16;
 
-/// Fraction of [`SaOptions::initial_temp`] a warm-started SA run starts at.
+/// Default of [`ReductionOptions::warm_temp_fraction`]: the fraction of
+/// [`SaOptions::initial_temp`] a warm-started SA run starts at.
 ///
 /// A warm seed is already near the previous size's optimum, so re-heating to
 /// the full `T0` would only walk away from it and re-pay the exploration the
 /// previous candidate size already performed. The reduced temperature keeps
 /// enough mobility to repair the one-node resize while letting the adaptive
 /// schedule terminate the (quickly plateauing) run early.
-const WARM_TEMP_FRACTION: f64 = 0.25;
+pub const DEFAULT_WARM_TEMP_FRACTION: f64 = 0.25;
 
 /// Whether the binary search re-anneals every candidate size from scratch or
 /// reuses the previous size's best subgraph as the SA seed.
@@ -63,24 +72,59 @@ pub enum WarmStart {
     /// Always anneal from a fresh random connected seed (the pre-warm-start
     /// behaviour, bitwise-identical to it for any fixed RNG seed).
     Off,
-    /// Seed every candidate size after the first from the previous size's
-    /// best subgraph ([`crate::annealing::anneal_subgraph_from_seed`]).
+    /// Seed the first candidate size from the degeneracy-ordered greedy and
+    /// every later size from the previous size's best subgraph
+    /// ([`crate::annealing::anneal_subgraph_from_seed`]), unconditionally.
     On,
     /// [`WarmStart::On`] for graphs with at least
-    /// [`WARM_START_AUTO_MIN_NODES`] nodes, [`WarmStart::Off`] below.
-    #[default]
+    /// [`ReductionOptions::warm_auto_min_nodes`] nodes, [`WarmStart::Off`]
+    /// below.
     Auto,
+    /// [`WarmStart::Auto`]'s size gate plus a measured escape hatch (the
+    /// default): graphs below [`ReductionOptions::warm_auto_min_nodes`]
+    /// anneal cold exactly like [`WarmStart::Auto`], and above the gate the
+    /// search seeds like [`WarmStart::On`] but compares, after the second
+    /// candidate size, the warm run's iteration count against a
+    /// cold-restart work proxy (`sa_runs ×` the first size's iterations)
+    /// and reverts the remaining sizes to cold seeding if warm starting did
+    /// not actually run shorter. The proxy is deterministic — wall-clock
+    /// never enters the decision — so the choice is identical for every
+    /// `RED_QAOA_THREADS` value; see [`ReducedGraph::warm_decision`] for
+    /// what was decided.
+    #[default]
+    Measured,
 }
 
 impl WarmStart {
-    /// Resolves the policy for a graph of `nodes` nodes.
+    /// Resolves the policy for a graph of `nodes` nodes **under the default
+    /// options** (i.e. an [`WarmStart::Auto`] / [`WarmStart::Measured`]
+    /// gate of [`WARM_START_AUTO_MIN_NODES`]). Configurations with a custom
+    /// gate resolve through [`ReductionOptions::warm_enabled_for`] instead.
     pub fn enabled_for(self, nodes: usize) -> bool {
         match self {
             WarmStart::Off => false,
             WarmStart::On => true,
-            WarmStart::Auto => nodes >= WARM_START_AUTO_MIN_NODES,
+            WarmStart::Auto | WarmStart::Measured => nodes >= WARM_START_AUTO_MIN_NODES,
         }
     }
+}
+
+/// What the warm-start policy actually did during one [`reduce`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarmDecision {
+    /// Every candidate size annealed cold ([`WarmStart::Off`], or an
+    /// [`WarmStart::Auto`] gate below its node threshold).
+    Cold,
+    /// Every size after the first was warm-seeded and no measurement was
+    /// taken ([`WarmStart::On`], [`WarmStart::Auto`] above its gate, or a
+    /// [`WarmStart::Measured`] search that never reached a second size).
+    Warm,
+    /// [`WarmStart::Measured`] compared the second size's warm run against
+    /// the cold-work proxy and kept warm seeding.
+    MeasuredKept,
+    /// [`WarmStart::Measured`] compared and reverted the remaining sizes to
+    /// cold seeding (the warm run was not shorter than the proxy).
+    MeasuredReverted,
 }
 
 /// Configuration of the full reduction step.
@@ -104,8 +148,21 @@ pub struct ReductionOptions {
     /// reduction (default: keep at least 65% of the nodes) keeps Red-QAOA in
     /// the ~25–40% node-reduction regime the paper reports.
     pub min_size_fraction: f64,
-    /// Warm-start policy of the binary search (default: [`WarmStart::Auto`]).
+    /// Warm-start policy of the binary search (default:
+    /// [`WarmStart::Measured`]).
     pub warm_start: WarmStart,
+    /// Smallest graph for which [`WarmStart::Auto`] and
+    /// [`WarmStart::Measured`] warm-start (default:
+    /// [`WARM_START_AUTO_MIN_NODES`]). Below it the handful of candidate
+    /// sizes are too cheap for seeding (or measuring) to pay off;
+    /// [`WarmStart::On`] ignores the gate.
+    pub warm_auto_min_nodes: usize,
+    /// Fraction of [`SaOptions::initial_temp`] a warm-started run starts at
+    /// (default: [`DEFAULT_WARM_TEMP_FRACTION`]); must be in `(0, 1]`. The
+    /// effective warm temperature is additionally kept at or above
+    /// `4 × final_temp` so a warm run always performs a useful handful of
+    /// repair moves.
+    pub warm_temp_fraction: f64,
 }
 
 impl Default for ReductionOptions {
@@ -117,6 +174,8 @@ impl Default for ReductionOptions {
             min_size: 3,
             min_size_fraction: 0.65,
             warm_start: WarmStart::default(),
+            warm_auto_min_nodes: WARM_START_AUTO_MIN_NODES,
+            warm_temp_fraction: DEFAULT_WARM_TEMP_FRACTION,
         }
     }
 }
@@ -162,7 +221,36 @@ impl ReductionOptions {
                 "must be in [0, 1]",
             ));
         }
+        if !(self.warm_temp_fraction > 0.0 && self.warm_temp_fraction <= 1.0) {
+            return Err(RedQaoaError::invalid_parameter(
+                "warm_temp_fraction",
+                self.warm_temp_fraction,
+                "must be in (0, 1]",
+            ));
+        }
         self.sa.validate()
+    }
+
+    /// Resolves the warm-start policy for a graph of `nodes` nodes using
+    /// this configuration's [`ReductionOptions::warm_auto_min_nodes`] gate.
+    ///
+    /// ```
+    /// use red_qaoa::reduction::{ReductionOptions, WarmStart};
+    ///
+    /// let options = ReductionOptions::builder()
+    ///     .warm_start(WarmStart::Auto)
+    ///     .warm_auto_min_nodes(100)
+    ///     .build()
+    ///     .unwrap();
+    /// assert!(!options.warm_enabled_for(99));
+    /// assert!(options.warm_enabled_for(100));
+    /// ```
+    pub fn warm_enabled_for(&self, nodes: usize) -> bool {
+        match self.warm_start {
+            WarmStart::Off => false,
+            WarmStart::On => true,
+            WarmStart::Auto | WarmStart::Measured => nodes >= self.warm_auto_min_nodes,
+        }
     }
 }
 
@@ -237,6 +325,30 @@ impl ReductionOptionsBuilder {
         self
     }
 
+    /// Sets the smallest graph for which [`WarmStart::Auto`] warm-starts.
+    pub fn warm_auto_min_nodes(mut self, nodes: usize) -> Self {
+        self.options.warm_auto_min_nodes = nodes;
+        self
+    }
+
+    /// Sets the fraction of the initial temperature warm-started runs start
+    /// at (must be in `(0, 1]`; rejected by
+    /// [`ReductionOptionsBuilder::build`] otherwise).
+    ///
+    /// ```
+    /// use red_qaoa::reduction::ReductionOptions;
+    ///
+    /// let err = ReductionOptions::builder()
+    ///     .warm_temp_fraction(0.0)
+    ///     .build()
+    ///     .unwrap_err();
+    /// assert_eq!(err.field(), Some("warm_temp_fraction"));
+    /// ```
+    pub fn warm_temp_fraction(mut self, fraction: f64) -> Self {
+        self.options.warm_temp_fraction = fraction;
+        self
+    }
+
     /// Validates every field and returns the finished [`ReductionOptions`].
     ///
     /// # Errors
@@ -260,6 +372,9 @@ pub struct ReducedGraph {
     pub node_reduction: f64,
     /// Fraction of edges removed.
     pub edge_reduction: f64,
+    /// What the warm-start policy did during this reduction (telemetry for
+    /// the benches and the smoke gate; deterministic like everything else).
+    pub warm_decision: WarmDecision,
 }
 
 impl ReducedGraph {
@@ -286,59 +401,147 @@ impl ReducedGraph {
     }
 }
 
+/// How one candidate size of the binary search is seeded.
+enum SizeSeed<'a> {
+    /// `sa_runs` independent restarts from random connected seeds.
+    Cold,
+    /// One full-temperature run from the degeneracy-ordered greedy seed
+    /// (the first candidate size of a warm-started search).
+    Degeneracy(&'a [usize]),
+    /// One reduced-temperature run seeded from the previous candidate
+    /// size's best subgraph.
+    Warm(&'a [usize]),
+}
+
+/// Deterministic degeneracy-ordered greedy seed of size `k`: grow a
+/// selection from the densest-core end of the [`degeneracy_order`], always
+/// absorbing the boundary node with the highest degeneracy rank (jumping to
+/// the highest-rank unselected node only when the selection exhausts its
+/// component). No RNG is consumed — the seed is a pure function of the
+/// graph — and the dense core it lands on is exactly where a subgraph
+/// matching the parent's AND lives, so the single SA run that polishes it
+/// replaces `sa_runs` cold restarts at the first candidate size.
+fn degeneracy_seed(graph: &Graph, k: usize) -> Vec<usize> {
+    let n = graph.node_count();
+    debug_assert!(k <= n);
+    let order = degeneracy_order(graph);
+    let mut rank = vec![0usize; n];
+    for (position, &u) in order.iter().enumerate() {
+        rank[u] = position;
+    }
+    let mut in_sel = vec![false; n];
+    let mut selection = Vec::with_capacity(k);
+    // Max-heap of (degeneracy rank, node): ranks are unique, so the pick is
+    // deterministic. Stale entries (already selected) are skipped on pop.
+    let mut boundary: BinaryHeap<(usize, usize)> = BinaryHeap::new();
+    let mut cursor = n;
+    while selection.len() < k {
+        let mut pick = None;
+        while let Some((_, u)) = boundary.pop() {
+            if !in_sel[u] {
+                pick = Some(u);
+                break;
+            }
+        }
+        let u = pick.unwrap_or_else(|| loop {
+            cursor -= 1;
+            let u = order[cursor];
+            if !in_sel[u] {
+                break u;
+            }
+        });
+        in_sel[u] = true;
+        selection.push(u);
+        for w in graph.neighbors(u) {
+            if !in_sel[w] {
+                boundary.push((rank[w], w));
+            }
+        }
+    }
+    selection
+}
+
 fn best_subgraph_of_size<R: Rng>(
     graph: &Graph,
     k: usize,
     options: &ReductionOptions,
-    warm_seed: Option<&[usize]>,
+    seed: SizeSeed<'_>,
     rng: &mut R,
-) -> Result<Subgraph, RedQaoaError> {
+) -> Result<(Subgraph, usize), RedQaoaError> {
     debug_assert!(
         options.validate().is_ok(),
         "reduce validates options before the binary search"
     );
     let runs_seed: u64 = rng.gen();
-    if let Some(seed_selection) = warm_seed {
-        // Warm path: one SA run seeded from the previous candidate size's
-        // best subgraph, started at a reduced temperature (the seed is
-        // already near-optimal; see `WARM_TEMP_FRACTION`). The resize is
-        // deterministic and the single run consumes its own substream, so
-        // the result is thread-count invariant just like the cold fan-out.
-        let sa = SaOptions {
-            initial_temp: (options.sa.initial_temp * WARM_TEMP_FRACTION)
-                .max(options.sa.final_temp * 4.0)
-                .min(options.sa.initial_temp),
-            ..options.sa
-        };
-        let mut run_rng = seeded(derive_seed(runs_seed, 0));
-        let outcome =
-            anneal_subgraph_from_seed_prevalidated(graph, seed_selection, k, &sa, &mut run_rng)?;
-        return Ok(outcome.subgraph);
-    }
-    // Cold path: independent restarts fan out with one derived substream per
-    // run, so the winner is the same for every worker-thread count (ties
-    // break toward the lowest run index).
-    let runs = options.sa_runs.max(1);
-    let outcomes = parallel_map_indexed(
-        runs,
-        || (),
-        |_, run| {
-            let mut run_rng = seeded(derive_seed(runs_seed, run as u64));
-            anneal_subgraph_prevalidated(graph, k, &options.sa, &mut run_rng)
-        },
-    );
-    let mut best: Option<(f64, Subgraph)> = None;
-    for outcome in outcomes {
-        let outcome = outcome?;
-        let replace = match &best {
-            None => true,
-            Some((obj, _)) => outcome.objective < *obj,
-        };
-        if replace {
-            best = Some((outcome.objective, outcome.subgraph));
+    match seed {
+        SizeSeed::Warm(seed_selection) => {
+            // Warm path: one SA run seeded from the previous candidate
+            // size's best subgraph, started at a reduced temperature (the
+            // seed is already near-optimal; see
+            // `ReductionOptions::warm_temp_fraction`). The resize is
+            // deterministic and the single run consumes its own substream,
+            // so the result is thread-count invariant just like the cold
+            // fan-out.
+            let sa = SaOptions {
+                initial_temp: (options.sa.initial_temp * options.warm_temp_fraction)
+                    .max(options.sa.final_temp * 4.0)
+                    .min(options.sa.initial_temp),
+                ..options.sa
+            };
+            let mut run_rng = seeded(derive_seed(runs_seed, 0));
+            let outcome = anneal_subgraph_from_seed_prevalidated(
+                graph,
+                seed_selection,
+                k,
+                &sa,
+                &mut run_rng,
+            )?;
+            Ok((outcome.subgraph, outcome.iterations))
+        }
+        SizeSeed::Degeneracy(seed_selection) => {
+            // First warm size: one full-temperature run polishing the
+            // degeneracy greedy — the seed is already in the dense core, so
+            // the `sa_runs` cold restarts (which exist to decorrelate from
+            // bad *random* seeds) have nothing left to decorrelate.
+            let mut run_rng = seeded(derive_seed(runs_seed, 0));
+            let outcome = anneal_subgraph_from_seed_prevalidated(
+                graph,
+                seed_selection,
+                k,
+                &options.sa,
+                &mut run_rng,
+            )?;
+            Ok((outcome.subgraph, outcome.iterations))
+        }
+        SizeSeed::Cold => {
+            // Cold path: independent restarts fan out with one derived
+            // substream per run, so the winner is the same for every
+            // worker-thread count (ties break toward the lowest run index).
+            let runs = options.sa_runs.max(1);
+            let outcomes = parallel_map_indexed(
+                runs,
+                || (),
+                |_, run| {
+                    let mut run_rng = seeded(derive_seed(runs_seed, run as u64));
+                    anneal_subgraph_prevalidated(graph, k, &options.sa, &mut run_rng)
+                },
+            );
+            let mut best: Option<(f64, Subgraph)> = None;
+            let mut total_iterations = 0usize;
+            for outcome in outcomes {
+                let outcome = outcome?;
+                total_iterations += outcome.iterations;
+                let replace = match &best {
+                    None => true,
+                    Some((obj, _)) => outcome.objective < *obj,
+                };
+                if replace {
+                    best = Some((outcome.objective, outcome.subgraph));
+                }
+            }
+            Ok((best.expect("at least one SA run").1, total_iterations))
         }
     }
-    Ok(best.expect("at least one SA run").1)
 }
 
 /// Reduces `graph` to the smallest subgraph whose AND ratio meets the
@@ -397,18 +600,22 @@ pub fn reduce<R: Rng>(
     let mut lo = options.min_size.max(fraction_floor).clamp(2, n);
     let mut hi = n;
     let mut accepted: Option<Subgraph> = None;
-    // Best subgraph of the most recently evaluated size: the warm seed for
-    // the next candidate size (None until the first size is evaluated, which
-    // therefore always anneals cold).
-    let warm = options.warm_start.enabled_for(n);
-    let mut last_best: Option<Vec<usize>> = None;
+    let warm_enabled = options.warm_enabled_for(n);
+    let mut warm = WarmSearchState {
+        active: warm_enabled,
+        measurement_pending: warm_enabled && options.warm_start == WarmStart::Measured,
+        cold_proxy: None,
+        last_best: None,
+        decision: if warm_enabled {
+            WarmDecision::Warm
+        } else {
+            WarmDecision::Cold
+        },
+    };
 
     while lo < hi {
         let mid = (lo + hi) / 2;
-        let candidate = best_subgraph_of_size(graph, mid, options, last_best.as_deref(), rng)?;
-        if warm {
-            last_best = Some(candidate.nodes.clone());
-        }
+        let candidate = anneal_candidate_size(graph, mid, options, &mut warm, rng)?;
         let ratio = if original_and <= f64::EPSILON {
             1.0
         } else {
@@ -426,7 +633,7 @@ pub fn reduce<R: Rng>(
         Some(sub) => sub,
         None => {
             // Try the final size (lo == hi); fall back to the whole graph.
-            let candidate = best_subgraph_of_size(graph, lo, options, last_best.as_deref(), rng)?;
+            let candidate = anneal_candidate_size(graph, lo, options, &mut warm, rng)?;
             let ratio = and_ratio(graph, &candidate.graph);
             if ratio >= options.and_ratio_threshold && candidate.graph.edge_count() > 0 {
                 candidate
@@ -447,7 +654,73 @@ pub fn reduce<R: Rng>(
         and_ratio: ratio,
         node_reduction,
         edge_reduction,
+        warm_decision: warm.decision,
     })
+}
+
+/// Mutable warm-start bookkeeping threaded through the binary search.
+struct WarmSearchState {
+    /// Whether the *next* candidate size will be warm-seeded.
+    active: bool,
+    /// [`WarmStart::Measured`] and the cold-vs-warm comparison has not run
+    /// yet (it runs on the first warm-seeded size, i.e. the second size).
+    measurement_pending: bool,
+    /// Cold-work proxy: `sa_runs ×` the first size's iteration count.
+    cold_proxy: Option<usize>,
+    /// Best subgraph of the most recently evaluated size: the warm seed for
+    /// the next candidate size.
+    last_best: Option<Vec<usize>>,
+    /// What the policy decided, reported as [`ReducedGraph::warm_decision`].
+    decision: WarmDecision,
+}
+
+/// Anneals one candidate size of the binary search, choosing the seeding
+/// mode from the warm-start state and updating it afterwards (including the
+/// [`WarmStart::Measured`] cold-vs-warm comparison on the second size).
+/// Exactly one `u64` is drawn from `rng` per call — the per-size substream
+/// root — whatever the seeding mode, so all policies stay on the same RNG
+/// stream schedule.
+fn anneal_candidate_size<R: Rng>(
+    graph: &Graph,
+    k: usize,
+    options: &ReductionOptions,
+    warm: &mut WarmSearchState,
+    rng: &mut R,
+) -> Result<Subgraph, RedQaoaError> {
+    let degen_holder;
+    let seed = if !warm.active {
+        SizeSeed::Cold
+    } else if let Some(previous) = warm.last_best.as_deref() {
+        SizeSeed::Warm(previous)
+    } else {
+        degen_holder = degeneracy_seed(graph, k);
+        SizeSeed::Degeneracy(&degen_holder)
+    };
+    let first_warm_size = warm.active && warm.last_best.is_none();
+    let warm_seeded = matches!(seed, SizeSeed::Warm(_));
+    let (candidate, iterations) = best_subgraph_of_size(graph, k, options, seed, rng)?;
+    if warm.active {
+        if first_warm_size {
+            warm.cold_proxy = Some(options.sa_runs.max(1).saturating_mul(iterations));
+        } else if warm_seeded && warm.measurement_pending {
+            warm.measurement_pending = false;
+            // The warm run must beat re-annealing this size cold —
+            // `sa_runs` restarts of roughly the first size's length. Both
+            // quantities are iteration counts (deterministic), never
+            // wall-clock, so the decision is thread-count invariant.
+            if iterations >= warm.cold_proxy.unwrap_or(usize::MAX) {
+                warm.active = false;
+                warm.decision = WarmDecision::MeasuredReverted;
+                warm.last_best = None;
+            } else {
+                warm.decision = WarmDecision::MeasuredKept;
+            }
+        }
+        if warm.active {
+            warm.last_best = Some(candidate.nodes.clone());
+        }
+    }
+    Ok(candidate)
 }
 
 /// Reduces every graph of a slice in parallel, one RNG substream per graph.

@@ -15,11 +15,20 @@
 //!   nodes adjacent to the selection — so move proposals are uniform over
 //!   distinct neighbors (Algorithm 1's proposal distribution) and never
 //!   produce a degenerate duplicate swap;
-//! * **neighborhood-limited connectivity**: the component count of a
-//!   candidate swap is derived from the current count through local rules
-//!   (isolated/leaf removal, an early-exit traversal around the removed
-//!   node); a full scan of the selection runs only as a fallback on already
-//!   disconnected states and as a `debug_assert!` cross-check;
+//! * **incremental connectivity**: component *labels* are maintained in a
+//!   [`graphlib::connectivity::UnionFind`] (union on insert; deletions ghost
+//!   the old slot, with a split relabeling exactly the dirty region the
+//!   removal BFS already visited and a periodic amortized rebuild bounding
+//!   ghost growth). A candidate swap's component count is derived from the
+//!   current count through local rules — isolated/leaf removal, an
+//!   early-exit piece-counting traversal around the removed node, and a
+//!   distinct-label count over the incoming node's neighbors — so **no full
+//!   scan of the selection runs in release builds**; the zero-alloc full
+//!   scan survives only as the construction-time count, the periodic
+//!   rebuild, and the `debug_assert!` oracle;
+//! * a staged evaluation ([`SaState::evaluate_and_bound`]) that prices the
+//!   cheap AND term separately from connectivity, so the annealer can
+//!   reject most non-improving moves without any traversal at all;
 //! * reusable scratch buffers (epoch-stamped visit arrays, a traversal
 //!   queue), so the steady-state evaluate/apply cycle performs **zero heap
 //!   allocations**.
@@ -27,9 +36,11 @@
 //! The evaluator is exact: `objective`, `and_value`, and `components` are
 //! bitwise-identical to the from-scratch `induced_subgraph` +
 //! `average_node_degree` + `connected_components` computation (property
-//! tested in `tests/sa_state_equivalence.rs`).
+//! tested in `tests/sa_state_equivalence.rs`, including a union-find-vs-BFS
+//! component oracle over random move walks).
 
 use crate::RedQaoaError;
+use graphlib::connectivity::UnionFind;
 use graphlib::Graph;
 use rand::Rng;
 
@@ -43,8 +54,7 @@ const NONE: usize = usize::MAX;
 /// [`SaState::apply_swap`] pair touches only the neighborhoods of the two
 /// swapped nodes plus, for connectivity, the mutated component region.
 #[derive(Debug, Clone)]
-pub struct SaState<'g> {
-    graph: &'g Graph,
+pub struct SaState {
     target_and: f64,
     penalty: f64,
     /// CSR offsets into `adj`; `adj[offsets[u]..offsets[u + 1]]` are `u`'s
@@ -53,6 +63,16 @@ pub struct SaState<'g> {
     adj: Vec<usize>,
     /// Membership bitset of the current selection.
     in_set: Vec<bool>,
+    /// Word count per adjacency-bitset row (`0` disables the bitset fast
+    /// paths for graphs too large to justify the `O(V²)` bit matrix).
+    words: usize,
+    /// Row-major adjacency bit matrix: bit `v` of row `u` is the edge
+    /// `{u, v}`. Powers `O(1)` edge tests and the word-parallel
+    /// "neighborhood stays connected" check that lets most removals skip
+    /// the piece-counting BFS entirely.
+    adj_bits: Vec<u64>,
+    /// `in_set` as a bitset (kept in lockstep with `in_set`).
+    in_set_bits: Vec<u64>,
     /// The current selection in arbitrary order (swap-remove friendly).
     nodes: Vec<usize>,
     /// `pos_in_nodes[u]` is `u`'s index in `nodes`, or `NONE` if outside.
@@ -67,19 +87,44 @@ pub struct SaState<'g> {
     pos_in_boundary: Vec<usize>,
     /// Connected components of the current induced subgraph.
     components: usize,
+    /// Component labels: selected nodes `u`, `v` are in the same component
+    /// iff `uf.find(slot_of[u]) == uf.find(slot_of[v])`. Removed nodes leave
+    /// ghost slots behind; re-inserted nodes get fresh slots.
+    uf: UnionFind,
+    /// Current union-find slot of every node (stale for unselected nodes).
+    slot_of: Vec<usize>,
     // --- reusable scratch (no steady-state allocations) ---
     visit_epoch: Vec<u64>,
     mark_epoch: Vec<u64>,
     epoch: u64,
     queue: Vec<usize>,
     outside_scratch: Vec<usize>,
+    /// Scratch rows for the bitset connectivity shortcut.
+    s_bits: Vec<u64>,
+    reach_bits: Vec<u64>,
+    /// Piece index assigned by the removal BFS (valid while
+    /// `visit_epoch[w] == epoch` during a split evaluation).
+    piece_id: Vec<u32>,
+    /// Nodes visited by the last *splitting* removal BFS with their piece,
+    /// recorded so `apply_swap` can relabel exactly the dirty region.
+    split_nodes: Vec<(u32, u32)>,
+    /// The `(out, inn)` pair `split_nodes` was recorded for.
+    split_for: Option<(usize, usize)>,
+    /// Fresh slot per piece during a split relabel.
+    piece_slot_scratch: Vec<usize>,
+    /// Distinct-label scratch for the incoming node's neighbors.
+    label_scratch: Vec<(bool, usize)>,
     /// Component count of the last evaluated swap, reused by `apply_swap`.
     last_eval: Option<(usize, usize, usize)>,
+    /// Cached `(out, inn, degree_sum, out_inn_edge)` of the last
+    /// [`SaState::evaluate_and_bound`], reused by `evaluate_swap`.
+    last_bound: Option<(usize, usize, usize, bool)>,
 }
 
-impl<'g> SaState<'g> {
+impl SaState {
     /// Builds the incremental state for `nodes` (a duplicate-free selection
-    /// of `graph`).
+    /// of `graph`). The state snapshots the adjacency into its own CSR
+    /// layout, so it does not borrow the graph afterwards.
     ///
     /// `target_and` is the parent graph's average node degree and `penalty`
     /// the per-extra-component disconnection penalty of the SA objective.
@@ -89,7 +134,7 @@ impl<'g> SaState<'g> {
     /// Returns [`RedQaoaError::InvalidParameter`] if the selection is empty,
     /// contains duplicates, or references a node outside the graph.
     pub fn new(
-        graph: &'g Graph,
+        graph: &Graph,
         nodes: &[usize],
         target_and: f64,
         penalty: f64,
@@ -133,6 +178,24 @@ impl<'g> SaState<'g> {
             offsets.push(adj.len());
         }
 
+        // Adjacency bit matrix: O(V²) bits, so only for graphs where that
+        // stays a few megabytes. Beyond the cap the bitset fast paths are
+        // disabled and every query falls back to the CSR.
+        let words = if n <= 4096 { n.div_ceil(64) } else { 0 };
+        let mut adj_bits = vec![0u64; n * words];
+        let mut in_set_bits = vec![0u64; words];
+        if words > 0 {
+            for u in 0..n {
+                for i in offsets[u]..offsets[u + 1] {
+                    let v = adj[i];
+                    adj_bits[u * words + v / 64] |= 1u64 << (v % 64);
+                }
+            }
+            for &u in &selection {
+                in_set_bits[u / 64] |= 1u64 << (u % 64);
+            }
+        }
+
         let internal_degree: Vec<usize> = (0..n)
             .map(|u| graph.neighbor_count_in(u, &in_set))
             .collect();
@@ -147,12 +210,14 @@ impl<'g> SaState<'g> {
         }
 
         let mut state = Self {
-            graph,
             target_and,
             penalty,
             offsets,
             adj,
             in_set,
+            words,
+            adj_bits,
+            in_set_bits,
             nodes: selection,
             pos_in_nodes,
             internal_degree,
@@ -160,14 +225,24 @@ impl<'g> SaState<'g> {
             boundary,
             pos_in_boundary,
             components: 0,
+            uf: UnionFind::with_capacity(n),
+            slot_of: vec![NONE; n],
             visit_epoch: vec![0; n],
             mark_epoch: vec![0; n],
             epoch: 0,
             queue: Vec::with_capacity(nodes.len()),
             outside_scratch: Vec::new(),
+            s_bits: vec![0u64; words],
+            reach_bits: vec![0u64; words],
+            piece_id: vec![0; n],
+            split_nodes: Vec::new(),
+            split_for: None,
+            piece_slot_scratch: Vec::new(),
+            label_scratch: Vec::new(),
             last_eval: None,
+            last_bound: None,
         };
-        state.components = state.count_components(None);
+        state.rebuild_labels();
         Ok(state)
     }
 
@@ -238,6 +313,28 @@ impl<'g> SaState<'g> {
         Some((out, inn))
     }
 
+    /// Lower bound of [`SaState::evaluate_swap`]: the AND term
+    /// `|AND(S ∖ {out} ∪ {inn}) − target|` of the candidate, **without** the
+    /// disconnection penalty. Because the penalty is non-negative, the full
+    /// objective can only be equal or larger, so a Metropolis step whose
+    /// acceptance draw already fails against this bound can reject the move
+    /// without any connectivity work — the annealer's cheap-reject fast
+    /// path. Costs one `O(log deg)` edge test; the computed degree sum is
+    /// cached and reused by a matching `evaluate_swap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `out` is not selected or `inn` is.
+    pub fn evaluate_and_bound(&mut self, out: usize, inn: usize) -> f64 {
+        debug_assert!(self.in_set[out], "swap source must be selected");
+        debug_assert!(!self.in_set[inn], "swap target must be outside");
+        let uv = self.csr_has_edge(out, inn);
+        let degree_sum = self.internal_degree_sum - 2 * self.internal_degree[out]
+            + 2 * (self.internal_degree[inn] - usize::from(uv));
+        self.last_bound = Some((out, inn, degree_sum, uv));
+        (degree_sum as f64 / self.nodes.len() as f64 - self.target_and).abs()
+    }
+
     /// Scores the swap `out → inn` without committing it, in
     /// `O(deg(out) + deg(inn))` plus the neighborhood-limited connectivity
     /// check. The computed component count is cached and reused by a
@@ -249,15 +346,31 @@ impl<'g> SaState<'g> {
     pub fn evaluate_swap(&mut self, out: usize, inn: usize) -> f64 {
         debug_assert!(self.in_set[out], "swap source must be selected");
         debug_assert!(!self.in_set[inn], "swap target must be outside");
-        let components = self.candidate_components(out, inn);
+        let (degree_sum, uv) = match self.last_bound {
+            Some((o, i, ds, uv)) if o == out && i == inn => (ds, uv),
+            _ => {
+                let uv = self.csr_has_edge(out, inn);
+                let ds = self.internal_degree_sum - 2 * self.internal_degree[out]
+                    + 2 * (self.internal_degree[inn] - usize::from(uv));
+                (ds, uv)
+            }
+        };
+        let components = self.candidate_components(out, inn, uv);
         self.last_eval = Some((out, inn, components));
-        self.value_of(self.candidate_degree_sum(out, inn), components)
+        self.value_of(degree_sum, components)
     }
 
-    fn candidate_degree_sum(&self, out: usize, inn: usize) -> usize {
-        let uv = usize::from(self.graph.has_edge(out, inn));
-        self.internal_degree_sum - 2 * self.internal_degree[out]
-            + 2 * (self.internal_degree[inn] - uv)
+    /// `true` if the edge `{u, v}` exists — one bit test on the adjacency
+    /// matrix when available, otherwise a binary search on the sorted CSR
+    /// neighbor slice.
+    fn csr_has_edge(&self, u: usize, v: usize) -> bool {
+        if self.words > 0 {
+            self.adj_bits[u * self.words + v / 64] >> (v % 64) & 1 == 1
+        } else {
+            self.adj[self.offsets[u]..self.offsets[u + 1]]
+                .binary_search(&v)
+                .is_ok()
+        }
     }
 
     /// Commits the swap `out → inn`, updating membership, degree caches, the
@@ -271,14 +384,40 @@ impl<'g> SaState<'g> {
         debug_assert!(!self.in_set[inn], "swap target must be outside");
         let components = match self.last_eval {
             Some((o, i, c)) if o == out && i == inn => c,
-            _ => self.candidate_components(out, inn),
+            _ => {
+                let uv = self.csr_has_edge(out, inn);
+                self.candidate_components(out, inn, uv)
+            }
         };
         self.last_eval = None;
+        self.last_bound = None;
+        // Dirty-region relabel: when the removal splits `out`'s component,
+        // the removal BFS visited exactly the affected region — reassign
+        // those nodes to one fresh slot per piece. `split_nodes` is always
+        // the record of the `candidate_components` call that produced
+        // `components` (either cached from the matching evaluate or
+        // recomputed above), so the relabel and the count agree. When the
+        // removal does not split, `out`'s old slot simply becomes a ghost.
+        if self.split_for == Some((out, inn)) {
+            self.piece_slot_scratch.clear();
+            for idx in 0..self.split_nodes.len() {
+                let (node, piece) = self.split_nodes[idx];
+                while self.piece_slot_scratch.len() < piece as usize {
+                    let slot = self.uf.make_set();
+                    self.piece_slot_scratch.push(slot);
+                }
+                self.slot_of[node as usize] = self.piece_slot_scratch[piece as usize - 1];
+            }
+        }
+        self.split_for = None;
 
         // `out` leaves: drop its contribution to the degree sum first (its
         // own internal degree still reflects the old selection here).
         self.internal_degree_sum -= 2 * self.internal_degree[out];
         self.in_set[out] = false;
+        if self.words > 0 {
+            self.in_set_bits[out / 64] &= !(1u64 << (out % 64));
+        }
         let pos = self.pos_in_nodes[out];
         self.nodes.swap_remove(pos);
         if pos < self.nodes.len() {
@@ -296,16 +435,25 @@ impl<'g> SaState<'g> {
             self.boundary_add(out);
         }
 
-        // `inn` joins.
+        // `inn` joins: fresh union-find slot (never the stale one a past
+        // membership may have left behind), unioned with every selected
+        // neighbor's component.
         if self.pos_in_boundary[inn] != NONE {
             self.boundary_remove(inn);
         }
         self.in_set[inn] = true;
+        if self.words > 0 {
+            self.in_set_bits[inn / 64] |= 1u64 << (inn % 64);
+        }
         self.pos_in_nodes[inn] = self.nodes.len();
         self.nodes.push(inn);
+        self.slot_of[inn] = self.uf.make_set();
         for i in self.adj_range(inn) {
             let w = self.adj[i];
             self.internal_degree[w] += 1;
+            if self.in_set[w] {
+                self.uf.union(self.slot_of[inn], self.slot_of[w]);
+            }
             if !self.in_set[w] && self.internal_degree[w] == 1 {
                 self.boundary_add(w);
             }
@@ -313,7 +461,19 @@ impl<'g> SaState<'g> {
         self.internal_degree_sum += 2 * self.internal_degree[inn];
         self.components = components;
 
+        // Periodic amortized rebuild: ghost slots accumulate one per
+        // removal (plus one per split piece); once they outnumber the live
+        // selection a few times over, relabel from scratch so slot storage
+        // and find-paths stay O(n).
+        if self.uf.len() > 4 * self.in_set.len() + 8 {
+            self.rebuild_labels();
+        }
+
         debug_assert_eq!({ self.count_components(None) }, self.components);
+        #[cfg(debug_assertions)]
+        {
+            assert!(self.labels_match_components());
+        }
         debug_assert_eq!(
             self.internal_degree_sum,
             self.nodes
@@ -321,6 +481,87 @@ impl<'g> SaState<'g> {
                 .map(|&u| self.internal_degree[u])
                 .sum::<usize>()
         );
+    }
+
+    /// Rebuilds the union-find labels from scratch: one BFS over the
+    /// selection, one shared slot per component. Also recomputes the
+    /// component count, making this the construction-time initializer and
+    /// the periodic ghost-collection pass.
+    fn rebuild_labels(&mut self) {
+        self.uf.clear();
+        self.split_for = None;
+        self.epoch += 1;
+        let epoch = self.epoch;
+        let mut components = 0usize;
+        for idx in 0..self.nodes.len() {
+            let start = self.nodes[idx];
+            if self.visit_epoch[start] == epoch {
+                continue;
+            }
+            components += 1;
+            let slot = self.uf.make_set();
+            self.visit_epoch[start] = epoch;
+            self.slot_of[start] = slot;
+            self.queue.clear();
+            self.queue.push(start);
+            while let Some(w) = self.queue.pop() {
+                for i in self.offsets[w]..self.offsets[w + 1] {
+                    let x = self.adj[i];
+                    if self.in_set[x] && self.visit_epoch[x] != epoch {
+                        self.visit_epoch[x] = epoch;
+                        self.slot_of[x] = slot;
+                        self.queue.push(x);
+                    }
+                }
+            }
+        }
+        self.components = components;
+    }
+
+    /// Debug oracle: the union-find labels partition the selection exactly
+    /// like the component count says.
+    #[cfg(debug_assertions)]
+    fn labels_match_components(&mut self) -> bool {
+        let mut roots: Vec<usize> = (0..self.nodes.len())
+            .map(|idx| {
+                let u = self.nodes[idx];
+                self.uf.find(self.slot_of[u])
+            })
+            .collect();
+        roots.sort_unstable();
+        roots.dedup();
+        if roots.len() != self.components {
+            return false;
+        }
+        // Same-component nodes must share a root: cross-check against the
+        // from-scratch BFS labels.
+        let mut state = (0..self.in_set.len()).map(|_| NONE).collect::<Vec<_>>();
+        self.epoch += 1;
+        let epoch = self.epoch;
+        for idx in 0..self.nodes.len() {
+            let start = self.nodes[idx];
+            if self.visit_epoch[start] == epoch {
+                continue;
+            }
+            let root = self.uf.find(self.slot_of[start]);
+            self.visit_epoch[start] = epoch;
+            state[start] = root;
+            self.queue.clear();
+            self.queue.push(start);
+            while let Some(w) = self.queue.pop() {
+                for i in self.offsets[w]..self.offsets[w + 1] {
+                    let x = self.adj[i];
+                    if self.in_set[x] && self.visit_epoch[x] != epoch {
+                        self.visit_epoch[x] = epoch;
+                        state[x] = root;
+                        self.queue.push(x);
+                    }
+                }
+            }
+        }
+        self.nodes
+            .iter()
+            .all(|&u| self.uf.find(self.slot_of[u]) == state[u])
     }
 
     fn boundary_add(&mut self, w: usize) {
@@ -341,58 +582,110 @@ impl<'g> SaState<'g> {
 
     /// Component count of the candidate selection `S ∖ {out} ∪ {inn}`.
     ///
-    /// Fast paths cover the overwhelmingly common cases without touching
-    /// anything beyond the swapped nodes' neighborhoods:
+    /// Every case is decided locally — no full scan of the selection:
     ///
     /// * evicting an isolated or degree-1 node never splits a component;
-    /// * for higher degrees on a connected state, an early-exit traversal
-    ///   around `out` (stopping as soon as every selected neighbor of `out`
-    ///   is reached) decides whether the removal splits;
-    /// * an incoming node with no remaining selected neighbor adds a
-    ///   singleton component; one attaching to a connected remainder keeps
-    ///   it connected.
+    /// * for higher degrees, a piece-counting traversal around `out`
+    ///   (early-exiting as soon as every selected neighbor of `out` is
+    ///   reached — the common, non-splitting case) counts exactly how many
+    ///   pieces `out`'s component falls into, visiting at most that one
+    ///   component;
+    /// * the incoming node's merge effect is the number of *distinct*
+    ///   component labels among its selected neighbors: piece ids inside
+    ///   the split region, union-find roots everywhere else.
     ///
-    /// Only on already disconnected states (rare: the objective's penalty
-    /// makes them short-lived) does the count fall back to a full scan of
-    /// the candidate selection — still allocation-free and bounded by `k`.
-    fn candidate_components(&mut self, out: usize, inn: usize) -> usize {
+    /// The full-scan [`SaState::count_components`] remains only as the
+    /// `debug_assert!` oracle here.
+    fn candidate_components(&mut self, out: usize, inn: usize, out_inn_edge: bool) -> usize {
         let deg_out = self.internal_degree[out];
-        let inn_links = self.internal_degree[inn] - usize::from(self.graph.has_edge(out, inn));
+        let inn_links = self.internal_degree[inn] - usize::from(out_inn_edge);
 
-        let after_removal = if deg_out == 0 {
+        self.split_for = None;
+        let after_removal = match deg_out {
             // `out` was a singleton component.
-            Some(self.components - 1)
-        } else if deg_out == 1 {
+            0 => self.components - 1,
             // Evicting a leaf never splits its component.
-            Some(self.components)
-        } else if self.components == 1 && self.removal_keeps_component_connected(out) {
-            Some(1)
-        } else {
-            None
+            1 => self.components,
+            // If `out`'s selected neighbors are already connected among
+            // themselves, the removal cannot split — word-parallel check,
+            // no traversal of the component.
+            _ if self.neighbors_directly_connected(out) => self.components,
+            _ => {
+                let pieces = self.removal_pieces(out, inn);
+                self.components - 1 + pieces
+            }
         };
 
-        let result = match after_removal {
-            Some(components) => {
-                if inn_links == 0 {
-                    components + 1
-                } else if components == 1 {
-                    1
-                } else {
-                    // `inn` may bridge several components; count exactly.
-                    self.count_components(Some((out, inn)))
-                }
-            }
-            None => self.count_components(Some((out, inn))),
+        let result = if inn_links == 0 {
+            after_removal + 1
+        } else if after_removal == 1 {
+            1
+        } else {
+            // `inn` may bridge several components / pieces: it merges as
+            // many of them as it has distinct labels among its neighbors.
+            after_removal + 1 - self.distinct_attach_labels(out, inn)
         };
         debug_assert_eq!(result, self.count_components(Some((out, inn))));
         result
     }
 
-    /// `true` if the selection minus `out` keeps `out`'s component in one
-    /// piece. Early-exit traversal: stops as soon as all selected neighbors
-    /// of `out` have been reached, so well-connected regions answer after
-    /// exploring only the mutated neighborhood.
-    fn removal_keeps_component_connected(&mut self, out: usize) -> bool {
+    /// Bitset fast path for the non-splitting common case: `true` if `out`'s
+    /// selected neighbors are connected **using only edges among
+    /// themselves**. Any path from a node of `out`'s component to `out`
+    /// enters through one of those neighbors, so when they form one directly
+    /// connected cluster the removal cannot split the component.
+    ///
+    /// Sufficient, not necessary (neighbors may also be joined through
+    /// longer detours): a `false` answer falls back to the exact
+    /// piece-counting BFS. Costs ~`deg(out)` word-wide row operations.
+    fn neighbors_directly_connected(&mut self, out: usize) -> bool {
+        let words = self.words;
+        if words == 0 {
+            return false;
+        }
+        let row = out * words;
+        let mut first = NONE;
+        for w in 0..words {
+            let bits = self.adj_bits[row + w] & self.in_set_bits[w];
+            self.s_bits[w] = bits;
+            self.reach_bits[w] = 0;
+            if first == NONE && bits != 0 {
+                first = w * 64 + bits.trailing_zeros() as usize;
+            }
+        }
+        debug_assert_ne!(first, NONE, "callers handle degrees 0 and 1");
+        self.reach_bits[first / 64] = 1u64 << (first % 64);
+        self.queue.clear();
+        self.queue.push(first);
+        while let Some(v) = self.queue.pop() {
+            let vrow = v * words;
+            for w in 0..words {
+                let mut new = self.adj_bits[vrow + w] & self.s_bits[w] & !self.reach_bits[w];
+                if new == 0 {
+                    continue;
+                }
+                self.reach_bits[w] |= new;
+                while new != 0 {
+                    self.queue.push(w * 64 + new.trailing_zeros() as usize);
+                    new &= new - 1;
+                }
+            }
+        }
+        (0..words).all(|w| self.reach_bits[w] == self.s_bits[w])
+    }
+
+    /// Number of connected pieces `out`'s component breaks into when `out`
+    /// is removed (`≥ 2` means the removal splits).
+    ///
+    /// Early-exit traversal: the first BFS stops as soon as all selected
+    /// neighbors of `out` have been reached, so well-connected regions
+    /// answer after exploring only the mutated neighborhood. Only when that
+    /// BFS exhausts a piece without reaching every neighbor (a genuine
+    /// split) does the traversal continue — then it visits and piece-labels
+    /// the *entire* dirty region (exactly `out`'s component minus `out`),
+    /// recording every node in `split_nodes` so a matching
+    /// [`SaState::apply_swap`] can relabel it without re-traversing.
+    fn removal_pieces(&mut self, out: usize, inn: usize) -> usize {
         self.epoch += 1;
         let epoch = self.epoch;
         let mut remaining = 0usize;
@@ -407,9 +700,12 @@ impl<'g> SaState<'g> {
                 }
             }
         }
-        debug_assert!(remaining >= 2, "fast paths handle degrees 0 and 1");
+        debug_assert!(remaining >= 2, "callers handle degrees 0 and 1");
         self.visit_epoch[out] = epoch; // exclude `out` from the traversal
         self.visit_epoch[first] = epoch;
+        self.piece_id[first] = 1;
+        self.split_nodes.clear();
+        self.split_nodes.push((first as u32, 1));
         remaining -= 1;
         self.queue.clear();
         self.queue.push(first);
@@ -418,17 +714,79 @@ impl<'g> SaState<'g> {
                 let x = self.adj[i];
                 if self.in_set[x] && self.visit_epoch[x] != epoch {
                     self.visit_epoch[x] = epoch;
+                    self.piece_id[x] = 1;
+                    self.split_nodes.push((x as u32, 1));
                     if self.mark_epoch[x] == epoch {
                         remaining -= 1;
                         if remaining == 0 {
-                            return true;
+                            return 1;
                         }
                     }
                     self.queue.push(x);
                 }
             }
         }
-        remaining == 0
+        if remaining == 0 {
+            return 1;
+        }
+
+        // The removal splits: exhaustively visit the remaining pieces (each
+        // contains at least one of `out`'s neighbors) so every node of the
+        // dirty region carries a piece label.
+        let mut pieces = 1u32;
+        for i in self.adj_range(out) {
+            let start = self.adj[i];
+            if self.mark_epoch[start] != epoch || self.visit_epoch[start] == epoch {
+                continue;
+            }
+            pieces += 1;
+            self.visit_epoch[start] = epoch;
+            self.piece_id[start] = pieces;
+            self.split_nodes.push((start as u32, pieces));
+            self.queue.clear();
+            self.queue.push(start);
+            while let Some(w) = self.queue.pop() {
+                for j in self.adj_range(w) {
+                    let x = self.adj[j];
+                    if self.in_set[x] && self.visit_epoch[x] != epoch {
+                        self.visit_epoch[x] = epoch;
+                        self.piece_id[x] = pieces;
+                        self.split_nodes.push((x as u32, pieces));
+                        self.queue.push(x);
+                    }
+                }
+            }
+        }
+        self.split_for = Some((out, inn));
+        pieces as usize
+    }
+
+    /// Number of distinct component labels among `inn`'s selected neighbors
+    /// (excluding `out`): piece ids for nodes inside a just-split dirty
+    /// region, union-find roots for everything else. The two namespaces are
+    /// kept apart by the boolean tag, and the split case is only trusted
+    /// when this very evaluation ran the splitting BFS (so the epoch-stamped
+    /// piece labels are known to cover the whole region).
+    fn distinct_attach_labels(&mut self, out: usize, inn: usize) -> usize {
+        let split = self.split_for == Some((out, inn));
+        let epoch = self.epoch;
+        self.label_scratch.clear();
+        for i in self.adj_range(inn) {
+            let w = self.adj[i];
+            if w == out || !self.in_set[w] {
+                continue;
+            }
+            let label = if split && self.visit_epoch[w] == epoch {
+                (true, self.piece_id[w] as usize)
+            } else {
+                (false, self.uf.find(self.slot_of[w]))
+            };
+            if !self.label_scratch.contains(&label) {
+                self.label_scratch.push(label);
+            }
+        }
+        debug_assert!(!self.label_scratch.is_empty(), "caller checked inn_links");
+        self.label_scratch.len()
     }
 
     /// Exact component count of the current selection (`swap == None`) or of

@@ -3,21 +3,38 @@
 //! With `--sweep-sa-knobs`, runs the `SaOptions::{stagnation_patience,
 //! boost_divisor}` ablation on the same protocol instead (the sweep that
 //! chose the defaults recorded on `SaOptions::default`).
+use experiments::cli::json_row;
 use experiments::pooling_cmp::{run_fig8, run_sa_knob_sweep, Fig8Config};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let sweep = args.iter().any(|a| a == "--sweep-sa-knobs");
-    let help = args.iter().any(|a| a == "--help" || a == "-h");
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let sweep = raw.iter().any(|a| a == "--sweep-sa-knobs");
+    let help = raw.iter().any(|a| a == "--help" || a == "-h");
     // --help keeps working in sweep mode; only a bare --sweep-sa-knobs run
     // skips the shared handler (which would warn about the flag it doesn't
     // know).
     if !sweep || help {
-        experiments::cli::handle_default_args(
+        let args = experiments::cli::handle_default_args(
             "Figure 8: MSE vs reduction ratio for SA and GNN-pooling baselines \
              (--sweep-sa-knobs runs the stagnation-patience/boost-divisor ablation)",
         );
         let cells = run_fig8(&Fig8Config::default()).expect("figure 8 experiment failed");
+        if args.json {
+            for c in &cells {
+                println!(
+                    "{}",
+                    json_row(
+                        "fig08_pooling_comparison",
+                        &[
+                            ("method", format!("\"{}\"", c.method.label())),
+                            ("reduction_ratio", format!("{:.2}", c.reduction_ratio)),
+                            ("mean_mse", format!("{:.5}", c.mean_mse)),
+                        ],
+                    )
+                );
+            }
+            return;
+        }
         println!("# Figure 8: mean landscape MSE by method and node-reduction ratio");
         println!("method\treduction_ratio\tmean_mse");
         for c in &cells {
@@ -30,6 +47,7 @@ fn main() {
         }
         return;
     }
+    let json = raw.iter().any(|a| a == "--json");
     let rows = run_sa_knob_sweep(
         &Fig8Config::default(),
         0.3,
@@ -37,6 +55,23 @@ fn main() {
         &[2.0, 5.0, 10.0],
     )
     .expect("SA knob sweep failed");
+    if json {
+        for r in &rows {
+            println!(
+                "{}",
+                json_row(
+                    "fig08_sa_knob_sweep",
+                    &[
+                        ("stagnation_patience", r.stagnation_patience.to_string()),
+                        ("boost_divisor", format!("{:.0}", r.boost_divisor)),
+                        ("mean_mse", format!("{:.5}", r.mean_mse)),
+                        ("mean_iterations", format!("{:.1}", r.mean_iterations)),
+                    ],
+                )
+            );
+        }
+        return;
+    }
     println!("# SA knob ablation (Figure 8 protocol, reduction ratio 0.30)");
     println!("stagnation_patience\tboost_divisor\tmean_mse\tmean_iterations");
     for r in &rows {

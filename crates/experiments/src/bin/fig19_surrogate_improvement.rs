@@ -1,11 +1,32 @@
 //! Figure 19: relative approximation-ratio improvement over the noisy baseline.
+use experiments::cli::json_row;
 use experiments::pooling_cmp::{run_fig19, Fig19Config};
 
 fn main() {
-    experiments::cli::handle_default_args(
+    let args = experiments::cli::handle_default_args(
         "Figure 19: relative approximation-ratio improvement over the noisy baseline",
     );
     let rows = run_fig19(&Fig19Config::default()).expect("figure 19 experiment failed");
+    if args.json {
+        for r in &rows {
+            let b = &r.box_plot;
+            println!(
+                "{}",
+                json_row(
+                    "fig19_surrogate_improvement",
+                    &[
+                        ("method", format!("\"{}\"", r.method.label())),
+                        ("min", format!("{:.4}", b.min)),
+                        ("q1", format!("{:.4}", b.q1)),
+                        ("median", format!("{:.4}", b.median)),
+                        ("q3", format!("{:.4}", b.q3)),
+                        ("max", format!("{:.4}", b.max)),
+                    ],
+                )
+            );
+        }
+        return;
+    }
     println!("# Figure 19: relative improvement over noisy baseline (box-plot summary)");
     println!("method\tmin\tq1\tmedian\tq3\tmax");
     for r in &rows {

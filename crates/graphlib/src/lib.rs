@@ -27,6 +27,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod centrality;
+pub mod connectivity;
 pub mod generators;
 pub mod isomorphism;
 pub mod metrics;

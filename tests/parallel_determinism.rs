@@ -24,7 +24,7 @@ use red_qaoa::engine::{
 };
 use red_qaoa::mse::{ideal_sample_mse, noisy_grid_comparison};
 use red_qaoa::pipeline::{run_noisy, PipelineOptions};
-use red_qaoa::reduction::{reduce_pool, ReductionOptions, WarmStart};
+use red_qaoa::reduction::{reduce_pool, ReductionOptions, WarmDecision, WarmStart};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 
@@ -157,6 +157,41 @@ proptest! {
                 let b = b.as_ref().expect("connected graphs reduce");
                 prop_assert_eq!(&a.subgraph.nodes, &b.subgraph.nodes);
                 prop_assert_eq!(a.and_ratio.to_bits(), b.and_ratio.to_bits());
+            }
+        }
+    }
+
+    /// The PR-7 seeding path — degeneracy-ordered first seed plus the
+    /// `Measured` keep-or-revert comparison (iteration-count proxies, never
+    /// wall-clock) — must also be a pure function of the seed: the subgraph,
+    /// its AND ratio, and the *decision itself* are identical for every
+    /// worker count. Graphs sit above the warm gate so the measured branch
+    /// genuinely executes.
+    #[test]
+    fn measured_policy_reduce_pool_is_thread_count_invariant(seed in 0u64..200) {
+        let graphs: Vec<_> = (0..4)
+            .map(|i| {
+                let nodes = 16 + 2 * (i % 3);
+                connected_gnp(nodes, 0.35, &mut seeded(derive_seed(seed, i as u64))).unwrap()
+            })
+            .collect();
+        let options = ReductionOptions {
+            warm_start: WarmStart::Measured,
+            ..Default::default()
+        };
+        let reference = with_threads(1, || reduce_pool(&graphs, &options, seed));
+        for threads in THREAD_COUNTS {
+            let pool = with_threads(threads, || reduce_pool(&graphs, &options, seed));
+            for (a, b) in reference.iter().zip(&pool) {
+                let a = a.as_ref().expect("connected graphs reduce");
+                let b = b.as_ref().expect("connected graphs reduce");
+                prop_assert_eq!(&a.subgraph.nodes, &b.subgraph.nodes);
+                prop_assert_eq!(a.and_ratio.to_bits(), b.and_ratio.to_bits());
+                prop_assert_eq!(a.warm_decision, b.warm_decision);
+                prop_assert!(matches!(
+                    a.warm_decision,
+                    WarmDecision::MeasuredKept | WarmDecision::MeasuredReverted
+                ));
             }
         }
     }

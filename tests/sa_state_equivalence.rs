@@ -13,7 +13,9 @@ use graphlib::Graph;
 use mathkit::rng::seeded;
 use proptest::prelude::*;
 use rand::Rng;
-use red_qaoa::annealing::{anneal_subgraph, SaOptions};
+use red_qaoa::annealing::{
+    anneal_subgraph, resize_selection_with_scratch, ResizeScratch, SaOptions,
+};
 use red_qaoa::sa_state::SaState;
 
 const PENALTY: f64 = 10.0;
@@ -91,5 +93,80 @@ proptest! {
         let target = average_node_degree(&graph);
         let (value, _, _) = from_scratch(&graph, &outcome.subgraph.nodes, target);
         prop_assert_eq!(value.to_bits(), outcome.objective.to_bits());
+    }
+
+    /// Long forced-accept walks: enough insertions to cross the union-find's
+    /// periodic-rebuild threshold several times, with every intermediate
+    /// component count pinned to the `connected_components` BFS oracle. This
+    /// is the direct regression net under the incremental (union-find +
+    /// dirty-region relabel) connectivity of the PR-7 rewrite — the move
+    /// walk repeatedly splits and re-merges components and the label
+    /// structure must never drift from the ground truth.
+    #[test]
+    fn union_find_components_survive_long_walks_and_rebuilds(
+        seed in 0u64..10_000,
+        nodes in 8usize..16,
+    ) {
+        let mut rng = seeded(seed);
+        let graph = connected_gnp(nodes, 0.3, &mut rng).unwrap();
+        let k = 3 + (seed as usize % (nodes - 4));
+        let initial = random_connected_subgraph(&graph, k, &mut rng).unwrap();
+        let target = average_node_degree(&graph);
+        let mut state = SaState::new(&graph, &initial.nodes, target, PENALTY).unwrap();
+        let mut current: Vec<usize> = initial.nodes.clone();
+
+        // Every proposed move is applied: ~200 insertions comfortably cross
+        // the `4 n + 8` rebuild threshold multiple times for these sizes.
+        for _ in 0..200 {
+            let Some((out, inn)) = state.propose(&mut rng) else { break };
+            state.evaluate_swap(out, inn);
+            state.apply_swap(out, inn);
+            current.retain(|&u| u != out);
+            current.push(inn);
+
+            let sub = induced_subgraph(&graph, &current).expect("valid selection");
+            let expected = connected_components(&sub.graph).len();
+            prop_assert_eq!(expected, state.components());
+        }
+    }
+
+    /// Resize sequences: random shrink/grow chains through the
+    /// articulation-point resize, with the component count of every
+    /// intermediate selection pinned to the BFS oracle through a freshly
+    /// built `SaState` (whose labels come from the union-find). Also pins
+    /// the scratch-reuse contract: a reused scratch must give the same
+    /// selections as fresh allocations.
+    #[test]
+    fn resize_sequences_components_match_oracle(
+        seed in 0u64..10_000,
+        nodes in 10usize..18,
+    ) {
+        let mut rng = seeded(seed);
+        let graph = connected_gnp(nodes, 0.25, &mut rng).unwrap();
+        let target = average_node_degree(&graph);
+        let mut scratch = ResizeScratch::default();
+        let mut selection: Vec<usize> = (0..nodes).collect();
+        for _ in 0..6 {
+            let k = 2 + rng.gen_range(0..nodes - 1);
+            let resized =
+                resize_selection_with_scratch(&graph, &selection, k, &mut scratch).unwrap();
+            prop_assert_eq!(resized.len(), k);
+
+            let sub = induced_subgraph(&graph, &resized).expect("valid selection");
+            let expected = connected_components(&sub.graph).len();
+            let state = SaState::new(&graph, &resized, target, PENALTY).unwrap();
+            prop_assert_eq!(expected, state.components());
+
+            // Shrinks of a single-component selection must stay connected
+            // (the articulation pass forbids evicting cut vertices).
+            let before = {
+                let sub = induced_subgraph(&graph, &selection).expect("valid selection");
+                connected_components(&sub.graph).len()
+            };
+            if k < selection.len() && before == 1 {
+                prop_assert_eq!(expected, 1);
+            }
+            selection = resized;
+        }
     }
 }

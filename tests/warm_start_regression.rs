@@ -16,7 +16,8 @@ use graphlib::generators::connected_gnp;
 use mathkit::rng::seeded;
 use red_qaoa::annealing::resize_selection;
 use red_qaoa::reduction::{
-    reduce, ReductionOptions, WarmStart, DEFAULT_AND_RATIO_THRESHOLD, WARM_START_AUTO_MIN_NODES,
+    reduce, ReductionOptions, WarmDecision, WarmStart, DEFAULT_AND_RATIO_THRESHOLD,
+    WARM_START_AUTO_MIN_NODES,
 };
 
 /// The fixed seed set of the regression: 18-node graphs (above the
@@ -109,36 +110,68 @@ fn warm_start_off_reproduces_the_pre_warm_start_outputs_bitwise() {
 fn auto_policy_warm_starts_large_graphs_and_cold_starts_small_ones() {
     assert!(!WarmStart::Auto.enabled_for(WARM_START_AUTO_MIN_NODES - 1));
     assert!(WarmStart::Auto.enabled_for(WARM_START_AUTO_MIN_NODES));
+    let with_policy = |warm_start| ReductionOptions {
+        warm_start,
+        ..Default::default()
+    };
     // Below the cutoff, Auto and Off are the same search, bit for bit.
     let mut rng_a = seeded(7);
     let mut rng_b = seeded(7);
     let graph = connected_gnp(12, 0.4, &mut seeded(1)).unwrap();
-    let auto = reduce(&graph, &ReductionOptions::default(), &mut rng_a).unwrap();
-    let off = reduce(
-        &graph,
-        &ReductionOptions {
-            warm_start: WarmStart::Off,
-            ..Default::default()
-        },
-        &mut rng_b,
-    )
-    .unwrap();
+    let auto = reduce(&graph, &with_policy(WarmStart::Auto), &mut rng_a).unwrap();
+    let off = reduce(&graph, &with_policy(WarmStart::Off), &mut rng_b).unwrap();
     assert_eq!(auto, off);
+    assert_eq!(auto.warm_decision, WarmDecision::Cold);
     // At or above it, Auto takes the warm path (same outputs as On).
     let large = graph_for(SEEDS[0]);
     let mut rng_auto = seeded(9);
     let mut rng_on = seeded(9);
-    let auto = reduce(&large, &ReductionOptions::default(), &mut rng_auto).unwrap();
-    let on = reduce(
-        &large,
-        &ReductionOptions {
-            warm_start: WarmStart::On,
-            ..Default::default()
-        },
-        &mut rng_on,
-    )
-    .unwrap();
+    let auto = reduce(&large, &with_policy(WarmStart::Auto), &mut rng_auto).unwrap();
+    let on = reduce(&large, &with_policy(WarmStart::On), &mut rng_on).unwrap();
     assert_eq!(auto, on);
+    assert_eq!(auto.warm_decision, WarmDecision::Warm);
+    // The gate is configurable: raising it above the graph size turns the
+    // same Auto search cold.
+    let gated = ReductionOptions::builder()
+        .warm_start(WarmStart::Auto)
+        .warm_auto_min_nodes(large.node_count() + 1)
+        .build()
+        .unwrap();
+    assert!(!gated.warm_enabled_for(large.node_count()));
+    let mut rng_gated = seeded(9);
+    let cold = reduce(&large, &gated, &mut rng_gated).unwrap();
+    assert_eq!(cold.warm_decision, WarmDecision::Cold);
+}
+
+#[test]
+fn measured_default_decides_and_stays_deterministic() {
+    // The default policy is Measured: on the pinned 18-node seeds it must
+    // reach a decision (kept or reverted — the second candidate size is
+    // always visited here), meet the AND threshold, and be a pure function
+    // of the seed.
+    for seed in SEEDS {
+        let options = ReductionOptions::default();
+        assert_eq!(options.warm_start, WarmStart::Measured);
+        let first = reduce(&graph_for(seed), &options, &mut seeded(seed + 1)).unwrap();
+        let second = reduce(&graph_for(seed), &options, &mut seeded(seed + 1)).unwrap();
+        assert_eq!(
+            first, second,
+            "seed {seed}: Measured reduce not deterministic"
+        );
+        assert!(
+            matches!(
+                first.warm_decision,
+                WarmDecision::MeasuredKept | WarmDecision::MeasuredReverted
+            ),
+            "seed {seed}: decision {:?}",
+            first.warm_decision
+        );
+        assert!(
+            first.and_ratio >= DEFAULT_AND_RATIO_THRESHOLD - 1e-9,
+            "seed {seed}: measured ratio {}",
+            first.and_ratio
+        );
+    }
 }
 
 #[test]
