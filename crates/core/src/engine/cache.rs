@@ -1,0 +1,476 @@
+//! The engine's in-memory reduction cache: content-addressed keys, N-way
+//! sharding, and size-aware cost-based eviction.
+//!
+//! Reductions are the expensive, reusable artifact of every job the engine
+//! runs (the paper's whole bet), so the cache is built around three ideas:
+//!
+//! * **Content addressing.** [`CacheKey`] stores the *full* request content
+//!   (graph + every reduction option), so collisions are impossible, and its
+//!   stable FNV-1a [`CacheKey::content_hash`] doubles as the reduction's RNG
+//!   substream — which is what makes hits bitwise-identical to misses (see
+//!   `docs/determinism.md`).
+//! * **Sharding.** Keys are distributed over N independently-locked shards
+//!   by content hash, so concurrent workers of a batch contend on a shard,
+//!   not on one global mutex. The configured capacity is partitioned exactly
+//!   across shards (no shard gets zero), so the total entry count never
+//!   exceeds it.
+//! * **Cost-based eviction.** When a shard overflows, it evicts the entry
+//!   with the lowest *recompute-cost per cached byte* — the entry whose
+//!   eviction loses the least annealing work per byte freed — instead of the
+//!   oldest. Ties fall back to insertion order (oldest first). Eviction only
+//!   affects *performance*: a re-request of an evicted key recomputes the
+//!   bitwise-identical reduction from its content-derived substream.
+
+use crate::reduction::{ReducedGraph, ReductionOptions, WarmStart};
+use graphlib::Graph;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Snapshot of the reduction cache's counters.
+///
+/// The *contents* of the cache are deterministic (every entry is a pure
+/// function of its key), but the hit/miss split of a parallel batch is not:
+/// two workers may race to compute the same key and both count a miss. The
+/// counters are telemetry for the benches, not part of the determinism
+/// contract.
+///
+/// `hits` and `misses` are **cumulative over the engine's lifetime**:
+/// [`Engine::clear_cache`](super::Engine::clear_cache) resets `entries` and
+/// `bytes` to zero but deliberately keeps both counters, so a long-running
+/// service's hit-rate telemetry survives a cache flush.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Jobs served from the cache without re-annealing.
+    pub hits: u64,
+    /// Jobs that computed (and inserted) their reduction.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+    /// Configured capacity (`0` means caching is disabled).
+    pub capacity: usize,
+    /// Cumulative estimated footprint of the cached [`ReducedGraph`]s, as
+    /// [`ReducedGraph::approx_heap_bytes`] — the quantity the size-aware
+    /// eviction policy budgets against. Exactly the sum over current
+    /// entries: inserts add, evictions and
+    /// [`Engine::clear_cache`](super::Engine::clear_cache) subtract.
+    pub bytes: usize,
+}
+
+impl CacheStats {
+    /// Fraction of served reductions that came from the cache:
+    /// `hits / (hits + misses)`, or `0.0` before any reduction has been
+    /// served. Like the underlying counters this is cumulative telemetry —
+    /// [`Engine::clear_cache`](super::Engine::clear_cache) does not reset
+    /// it.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Content-addressed cache key: the full graph (node count + sorted edge
+/// list, which `Graph::edges` yields canonically) and the bit patterns of
+/// every reduction option. Storing the full key rather than a digest makes
+/// collisions impossible; graphs at Red-QAOA scale are a few hundred edges.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(super) struct CacheKey {
+    pub(super) nodes: usize,
+    pub(super) edges: Vec<(usize, usize)>,
+    pub(super) option_bits: [u64; 14],
+}
+
+impl CacheKey {
+    pub(super) fn new(graph: &Graph, options: &ReductionOptions) -> Self {
+        use crate::annealing::CoolingSchedule;
+        let (cooling_kind, cooling_alpha) = match options.sa.cooling {
+            CoolingSchedule::Constant(a) => (0u64, a.to_bits()),
+            CoolingSchedule::Adaptive { base } => (1u64, base.to_bits()),
+        };
+        let warm = match options.warm_start {
+            WarmStart::Off => 0u64,
+            WarmStart::On => 1,
+            WarmStart::Auto => 2,
+            WarmStart::Measured => 3,
+        };
+        Self {
+            nodes: graph.node_count(),
+            edges: graph.edges(),
+            option_bits: [
+                options.and_ratio_threshold.to_bits(),
+                options.sa_runs as u64,
+                options.min_size as u64,
+                options.min_size_fraction.to_bits(),
+                warm,
+                options.sa.initial_temp.to_bits(),
+                options.sa.final_temp.to_bits(),
+                cooling_kind,
+                cooling_alpha,
+                options.sa.disconnection_penalty.to_bits(),
+                options.sa.stagnation_patience as u64,
+                options.sa.boost_divisor.to_bits(),
+                options.warm_auto_min_nodes as u64,
+                options.warm_temp_fraction.to_bits(),
+            ],
+        }
+    }
+
+    /// Stable FNV-1a content hash: the reduction substream for this key,
+    /// its shard index, *and* its record key in the persistent store.
+    /// Deliberately hand-rolled (not `DefaultHasher`) so the derived
+    /// substreams — and therefore every cached reduction — are stable across
+    /// Rust releases and process restarts.
+    pub(super) fn content_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        let mut eat = |word: u64| {
+            for byte in word.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        eat(self.nodes as u64);
+        eat(self.edges.len() as u64);
+        for &(u, v) in &self.edges {
+            eat(u as u64);
+            eat(v as u64);
+        }
+        for &word in &self.option_bits {
+            eat(word);
+        }
+        hash
+    }
+}
+
+/// Deterministic proxy for the annealing work a cached reduction saves:
+/// `2 · edges · ln(nodes)` — the SA core visits `O(n log n)` candidate
+/// moves per run and each move's AND-ratio delta touches the move's
+/// incident edges, so recompute cost scales with `edges · ln(nodes)`. The
+/// absolute scale is irrelevant; eviction only compares ratios.
+pub(super) fn anneal_cost(nodes: usize, edges: usize) -> f64 {
+    2.0 * edges.max(1) as f64 * (nodes.max(2) as f64).ln()
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    value: Arc<ReducedGraph>,
+    /// Estimated recompute cost ([`anneal_cost`] of the *original* graph).
+    cost: f64,
+    /// `value.approx_heap_bytes()`, captured once at insert.
+    bytes: usize,
+    /// Global insertion tick; the eviction tie-breaker (oldest first).
+    sequence: u64,
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    /// This shard's slice of the configured capacity (≥ 1).
+    capacity: usize,
+    entries: HashMap<CacheKey, CacheEntry>,
+    /// Sum of `CacheEntry::bytes` over `entries`, maintained on every
+    /// insert/evict/clear so totalling the cache is O(shards), not O(entries).
+    bytes: usize,
+}
+
+impl Shard {
+    fn insert(&mut self, key: CacheKey, entry: CacheEntry) {
+        let added = entry.bytes;
+        match self.entries.insert(key, entry) {
+            None => {
+                self.bytes += added;
+                while self.entries.len() > self.capacity {
+                    self.evict_cheapest();
+                }
+            }
+            Some(replaced) => {
+                // Same key ⇒ same content (entries are pure functions of the
+                // key), but keep the accounting honest regardless.
+                self.bytes += added;
+                self.bytes -= replaced.bytes;
+            }
+        }
+    }
+
+    /// Evicts the entry with the lowest cost-per-byte (least annealing work
+    /// lost per byte freed); ties evict the oldest insertion first.
+    fn evict_cheapest(&mut self) {
+        let victim = self
+            .entries
+            .iter()
+            .min_by(|(_, a), (_, b)| {
+                let ra = a.cost / a.bytes.max(1) as f64;
+                let rb = b.cost / b.bytes.max(1) as f64;
+                ra.total_cmp(&rb).then(a.sequence.cmp(&b.sequence))
+            })
+            .map(|(key, _)| key.clone());
+        if let Some(key) = victim {
+            if let Some(evicted) = self.entries.remove(&key) {
+                self.bytes -= evicted.bytes;
+            }
+        }
+    }
+
+    fn clear(&mut self) {
+        self.entries.clear();
+        self.bytes = 0;
+    }
+}
+
+/// N-way sharded reduction cache. Lookups and inserts lock exactly one
+/// shard (selected by content hash); entries are `Arc`ed so a hit only
+/// bumps a refcount while the lock is held and the deep clone handed to the
+/// caller happens outside it.
+#[derive(Debug)]
+pub(super) struct ShardedReductionCache {
+    /// Total configured capacity across all shards (`0` disables caching).
+    capacity: usize,
+    shards: Vec<Mutex<Shard>>,
+    /// Monotone insertion tick shared by all shards (eviction tie-breaker).
+    sequence: AtomicU64,
+}
+
+impl ShardedReductionCache {
+    /// A cache of `capacity` total entries spread over (up to) `shards`
+    /// shards. The shard count is clamped to the capacity so every shard
+    /// owns at least one slot; the remainder `capacity % shards` is spread
+    /// one-per-shard so the per-shard capacities sum *exactly* to
+    /// `capacity`.
+    pub(super) fn new(capacity: usize, shards: usize) -> Self {
+        let shard_count = shards.max(1).min(capacity.max(1));
+        let base = capacity / shard_count;
+        let extra = capacity % shard_count;
+        let shards = (0..shard_count)
+            .map(|s| {
+                Mutex::new(Shard {
+                    capacity: base + usize::from(s < extra),
+                    ..Shard::default()
+                })
+            })
+            .collect();
+        Self {
+            capacity,
+            shards,
+            sequence: AtomicU64::new(0),
+        }
+    }
+
+    pub(super) fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    #[cfg(test)]
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, hash: u64) -> &Mutex<Shard> {
+        &self.shards[(hash % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks `key` up in its shard. `hash` must be `key.content_hash()`
+    /// (passed in because every caller already computed it for the RNG
+    /// substream).
+    pub(super) fn get(&self, key: &CacheKey, hash: u64) -> Option<Arc<ReducedGraph>> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let shard = self.shard(hash).lock().expect("cache shard mutex");
+        shard.entries.get(key).map(|entry| Arc::clone(&entry.value))
+    }
+
+    /// Inserts `key → value` with recompute-cost estimate `cost`, evicting
+    /// the shard's cheapest entries (lowest cost-per-byte) on overflow.
+    /// A no-op when the cache is disabled (`capacity == 0`).
+    pub(super) fn insert(&self, key: CacheKey, hash: u64, value: Arc<ReducedGraph>, cost: f64) {
+        if self.capacity == 0 {
+            return;
+        }
+        let entry = CacheEntry {
+            bytes: value.approx_heap_bytes(),
+            value,
+            cost,
+            sequence: self.sequence.fetch_add(1, Ordering::Relaxed),
+        };
+        let mut shard = self.shard(hash).lock().expect("cache shard mutex");
+        shard.insert(key, entry);
+    }
+
+    /// Current `(entries, bytes)` totals across all shards.
+    pub(super) fn totals(&self) -> (usize, usize) {
+        self.shards.iter().fold((0, 0), |(entries, bytes), shard| {
+            let shard = shard.lock().expect("cache shard mutex");
+            (entries + shard.entries.len(), bytes + shard.bytes)
+        })
+    }
+
+    /// Empties every shard (the caller's cumulative hit/miss counters are
+    /// untouched — see [`CacheStats`]).
+    pub(super) fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard mutex").clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduction::WarmDecision;
+    use graphlib::generators::cycle;
+    use graphlib::subgraph::Subgraph;
+
+    /// A distinct key per `n` (different node counts ⇒ different content).
+    fn key(n: usize) -> CacheKey {
+        CacheKey::new(&cycle(n).unwrap(), &ReductionOptions::default())
+    }
+
+    /// A synthetic cached value whose footprint grows with `n`.
+    fn value(n: usize) -> Arc<ReducedGraph> {
+        let graph = cycle(n).unwrap();
+        Arc::new(ReducedGraph {
+            subgraph: Subgraph {
+                nodes: (0..graph.node_count()).collect(),
+                graph,
+            },
+            and_ratio: 1.0,
+            node_reduction: 0.0,
+            edge_reduction: 0.0,
+            warm_decision: WarmDecision::Cold,
+        })
+    }
+
+    #[test]
+    fn eviction_removes_the_lowest_cost_per_byte_entry_first() {
+        // One shard, capacity 2, equal byte footprints: the injected cost
+        // alone decides the victim.
+        let cache = ShardedReductionCache::new(2, 1);
+        let (a, b, c) = (key(10), key(11), key(12));
+        cache.insert(a.clone(), a.content_hash(), value(10), 5.0);
+        cache.insert(b.clone(), b.content_hash(), value(10), 1.0);
+        cache.insert(c.clone(), c.content_hash(), value(10), 3.0);
+        assert!(
+            cache.get(&b, b.content_hash()).is_none(),
+            "cheapest evicted"
+        );
+        assert!(cache.get(&a, a.content_hash()).is_some());
+        assert!(cache.get(&c, c.content_hash()).is_some());
+    }
+
+    #[test]
+    fn eviction_prefers_large_entries_at_equal_cost() {
+        // Equal recompute cost, different footprints: the big entry has the
+        // lower cost-per-byte and goes first.
+        let cache = ShardedReductionCache::new(2, 1);
+        let (small, big, next) = (key(6), key(30), key(8));
+        cache.insert(small.clone(), small.content_hash(), value(6), 7.0);
+        cache.insert(big.clone(), big.content_hash(), value(30), 7.0);
+        cache.insert(next.clone(), next.content_hash(), value(8), 7.0);
+        assert!(cache.get(&big, big.content_hash()).is_none());
+        assert!(cache.get(&small, small.content_hash()).is_some());
+        assert!(cache.get(&next, next.content_hash()).is_some());
+    }
+
+    #[test]
+    fn eviction_ties_break_oldest_first() {
+        let cache = ShardedReductionCache::new(2, 1);
+        let (a, b, c) = (key(10), key(11), key(12));
+        // Identical cost and bytes: insertion order decides.
+        cache.insert(a.clone(), a.content_hash(), value(10), 2.0);
+        cache.insert(b.clone(), b.content_hash(), value(10), 2.0);
+        cache.insert(c.clone(), c.content_hash(), value(10), 2.0);
+        assert!(cache.get(&a, a.content_hash()).is_none(), "oldest evicted");
+        assert!(cache.get(&b, b.content_hash()).is_some());
+        assert!(cache.get(&c, c.content_hash()).is_some());
+    }
+
+    #[test]
+    fn capacity_zero_disables_the_cache() {
+        let cache = ShardedReductionCache::new(0, 8);
+        let k = key(10);
+        cache.insert(k.clone(), k.content_hash(), value(10), 1.0);
+        assert!(cache.get(&k, k.content_hash()).is_none());
+        assert_eq!(cache.totals(), (0, 0));
+    }
+
+    #[test]
+    fn byte_accounting_is_exact_under_insert_evict_replace_and_clear() {
+        let cache = ShardedReductionCache::new(2, 1);
+        let (a, b, c) = (key(8), key(16), key(24));
+        let bytes = |n: usize| value(n).approx_heap_bytes();
+        cache.insert(a.clone(), a.content_hash(), value(8), 1.0);
+        assert_eq!(cache.totals(), (1, bytes(8)));
+        cache.insert(b.clone(), b.content_hash(), value(16), 1.0);
+        assert_eq!(cache.totals(), (2, bytes(8) + bytes(16)));
+        // Replacing a key must not double-count.
+        cache.insert(a.clone(), a.content_hash(), value(8), 100.0);
+        assert_eq!(cache.totals(), (2, bytes(8) + bytes(16)));
+        // Overflow evicts exactly one entry's bytes (cost-per-byte picks the
+        // victim: `b` is by far the cheapest to recompute, so it goes).
+        cache.insert(c.clone(), c.content_hash(), value(24), 100.0);
+        let (entries, total) = cache.totals();
+        assert_eq!(entries, 2);
+        assert_eq!(total, bytes(8) + bytes(24));
+        cache.clear();
+        assert_eq!(cache.totals(), (0, 0));
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_capacity_and_totals_sum_over_shards() {
+        let cache = ShardedReductionCache::new(2, 8);
+        assert_eq!(cache.shard_count(), 2, "no shard may own zero slots");
+        // Capacity 200 over 8 shards gives every shard 25 slots, so the 17
+        // inserts below cannot overflow any shard however the hash lands.
+        let cache = ShardedReductionCache::new(200, 8);
+        assert_eq!(cache.shard_count(), 8);
+        for n in 3..20 {
+            let k = key(n);
+            cache.insert(k.clone(), k.content_hash(), value(n), 1.0);
+            assert!(cache.get(&k, k.content_hash()).is_some());
+        }
+        assert_eq!(cache.totals().0, 17);
+    }
+
+    #[test]
+    fn total_entries_never_exceed_capacity() {
+        let cache = ShardedReductionCache::new(5, 3);
+        for n in 3..40 {
+            let k = key(n);
+            cache.insert(k.clone(), k.content_hash(), value(n), 1.0);
+            assert!(cache.totals().0 <= 5);
+        }
+    }
+
+    #[test]
+    fn anneal_cost_grows_with_nodes_and_edges() {
+        assert!(anneal_cost(10, 20) > 0.0);
+        assert!(anneal_cost(10, 40) > anneal_cost(10, 20));
+        assert!(anneal_cost(40, 20) > anneal_cost(10, 20));
+        // Degenerate inputs stay finite and positive.
+        assert!(anneal_cost(0, 0) > 0.0);
+    }
+
+    #[test]
+    fn hit_rate_is_derived_from_the_cumulative_counters() {
+        let stats = CacheStats {
+            hits: 3,
+            misses: 1,
+            entries: 1,
+            capacity: 8,
+            bytes: 100,
+        };
+        assert_eq!(stats.hit_rate(), 0.75);
+        let empty = CacheStats {
+            hits: 0,
+            misses: 0,
+            entries: 0,
+            capacity: 8,
+            bytes: 0,
+        };
+        assert_eq!(empty.hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,418 @@
+//! Optional file-backed persistence for the reduction cache.
+//!
+//! A Red-QAOA service amortizes annealing across jobs through the in-memory
+//! cache; this module amortizes it across *process restarts and co-located
+//! workers*. The store is a single append-only file of
+//! `(content hash, key, reduction)` records keyed by the same
+//! [`CacheKey::content_hash`] the in-memory cache shards on — so an entry
+//! loaded from disk is indistinguishable (bitwise) from one the process
+//! computed itself.
+//!
+//! Robustness contract (pinned by `tests/engine_persist.rs`):
+//!
+//! * **Write-through is best-effort.** A failed append never fails the job;
+//!   the computed reduction is still returned and cached in memory.
+//! * **Loading is validating.** Every record must pass a checksum *and* a
+//!   staleness check (the stored hash must equal the re-hashed decoded key —
+//!   a record written by an incompatible option layout re-hashes
+//!   differently and is dropped). Corrupt or stale records are skipped, not
+//!   fatal.
+//! * **Torn tails self-heal.** A record truncated by a crash mid-append is
+//!   cut off at open time, so the next append starts from a clean boundary.
+//!
+//! The format is deliberately plain (little-endian words, FNV-1a checksum,
+//! no compression): reductions are small, and auditability beats density.
+
+use super::cache::CacheKey;
+use crate::reduction::{ReducedGraph, WarmDecision};
+use graphlib::subgraph::Subgraph;
+use graphlib::Graph;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// File magic: "Red-Qaoa Persistent Store".
+const MAGIC: [u8; 4] = *b"RQPS";
+/// Format version; bumped on any layout change so old files are rewritten,
+/// not misparsed.
+const VERSION: u32 = 1;
+/// Upper bound on a single record's key/value payload (sanity check against
+/// interpreting corrupt length fields as multi-gigabyte allocations).
+const MAX_SECTION_LEN: usize = 1 << 24;
+
+/// An open persistent store: an append-mode handle behind a mutex (appends
+/// are single `write_all` calls, so concurrent workers interleave whole
+/// records, never bytes).
+#[derive(Debug)]
+pub(super) struct PersistentStore {
+    file: Mutex<File>,
+}
+
+impl PersistentStore {
+    /// Opens (creating if absent) the store at `path` and returns it along
+    /// with every valid record found. A missing, empty, or wrong-header file
+    /// is (re)initialized; corrupt or stale records are skipped; a torn tail
+    /// is truncated away.
+    pub(super) fn open(path: &Path) -> std::io::Result<(Self, Vec<(CacheKey, ReducedGraph)>)> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let mut buf = Vec::new();
+        file.read_to_end(&mut buf)?;
+        let (loaded, good_len) = if header_ok(&buf) {
+            let (records, body_len) = parse_records(&buf[HEADER_LEN..]);
+            (records, HEADER_LEN + body_len)
+        } else {
+            (Vec::new(), 0)
+        };
+        if good_len == 0 {
+            // Empty or foreign file: rewrite the header from scratch.
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            let mut header = Vec::with_capacity(HEADER_LEN);
+            header.extend_from_slice(&MAGIC);
+            header.extend_from_slice(&VERSION.to_le_bytes());
+            file.write_all(&header)?;
+        } else if good_len < buf.len() {
+            // Torn tail (crashed mid-append): cut back to the last whole
+            // record so future appends land on a clean boundary.
+            file.set_len(good_len as u64)?;
+            file.seek(SeekFrom::End(0))?;
+        }
+        Ok((
+            Self {
+                file: Mutex::new(file),
+            },
+            loaded,
+        ))
+    }
+
+    /// Appends one record. Callers treat failures as telemetry, not errors
+    /// (write-through is best-effort; see the module docs).
+    pub(super) fn append(&self, key: &CacheKey, value: &ReducedGraph) -> std::io::Result<()> {
+        let record = encode_record(key, value);
+        let mut file = self.file.lock().expect("store mutex");
+        file.write_all(&record)
+    }
+}
+
+const HEADER_LEN: usize = 8;
+/// Per-record prefix: hash u64, key_len u32, val_len u32, checksum u64.
+const RECORD_PREFIX_LEN: usize = 24;
+
+fn header_ok(buf: &[u8]) -> bool {
+    buf.len() >= HEADER_LEN && buf[..4] == MAGIC && buf[4..8] == VERSION.to_le_bytes()
+}
+
+/// FNV-1a over raw bytes (the record checksum; distinct from
+/// [`CacheKey::content_hash`], which hashes semantic words).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn encode_record(key: &CacheKey, value: &ReducedGraph) -> Vec<u8> {
+    let key_bytes = encode_key(key);
+    let val_bytes = encode_value(value);
+    let mut checksum_input = Vec::with_capacity(key_bytes.len() + val_bytes.len());
+    checksum_input.extend_from_slice(&key_bytes);
+    checksum_input.extend_from_slice(&val_bytes);
+    let mut record = Vec::with_capacity(RECORD_PREFIX_LEN + key_bytes.len() + val_bytes.len());
+    record.extend_from_slice(&key.content_hash().to_le_bytes());
+    record.extend_from_slice(&(key_bytes.len() as u32).to_le_bytes());
+    record.extend_from_slice(&(val_bytes.len() as u32).to_le_bytes());
+    record.extend_from_slice(&fnv1a(&checksum_input).to_le_bytes());
+    record.extend_from_slice(&key_bytes);
+    record.extend_from_slice(&val_bytes);
+    record
+}
+
+/// Parses the record region of a store file. Returns every record that
+/// passes the checksum, staleness, and decode checks, plus the byte length
+/// of the whole-record prefix (anything past it is a torn tail). Records
+/// with intact framing but bad content are skipped *and counted into the
+/// prefix* — corruption quarantines one record, not the file.
+fn parse_records(body: &[u8]) -> (Vec<(CacheKey, ReducedGraph)>, usize) {
+    let mut records = Vec::new();
+    let mut offset = 0;
+    while body.len() - offset >= RECORD_PREFIX_LEN {
+        let hash = read_u64(body, offset);
+        let key_len = read_u32(body, offset + 8) as usize;
+        let val_len = read_u32(body, offset + 12) as usize;
+        let checksum = read_u64(body, offset + 16);
+        if key_len > MAX_SECTION_LEN || val_len > MAX_SECTION_LEN {
+            // Framing itself is garbage: nothing downstream is trustworthy.
+            break;
+        }
+        let payload_start = offset + RECORD_PREFIX_LEN;
+        let Some(payload_end) = payload_start.checked_add(key_len + val_len) else {
+            break;
+        };
+        if payload_end > body.len() {
+            // Torn tail: the record was never fully written.
+            break;
+        }
+        let payload = &body[payload_start..payload_end];
+        offset = payload_end;
+        if fnv1a(payload) != checksum {
+            continue; // flipped bits inside one record: skip it
+        }
+        let Some(key) = decode_key(&payload[..key_len]) else {
+            continue;
+        };
+        // Staleness check: a record written under a different option layout
+        // (or a hash collision in framing) re-hashes differently.
+        if key.content_hash() != hash {
+            continue;
+        }
+        let Some(value) = decode_value(&payload[key_len..]) else {
+            continue;
+        };
+        records.push((key, value));
+    }
+    (records, offset)
+}
+
+fn read_u64(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().expect("8 bytes"))
+}
+
+fn read_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(buf[at..at + 4].try_into().expect("4 bytes"))
+}
+
+fn encode_key(key: &CacheKey) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + key.edges.len() * 16 + 14 * 8);
+    out.extend_from_slice(&(key.nodes as u64).to_le_bytes());
+    out.extend_from_slice(&(key.edges.len() as u64).to_le_bytes());
+    for &(u, v) in &key.edges {
+        out.extend_from_slice(&(u as u64).to_le_bytes());
+        out.extend_from_slice(&(v as u64).to_le_bytes());
+    }
+    for &word in &key.option_bits {
+        out.extend_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+fn decode_key(bytes: &[u8]) -> Option<CacheKey> {
+    let mut cursor = Cursor::new(bytes);
+    let nodes = cursor.u64()? as usize;
+    let edge_count = cursor.u64()? as usize;
+    if edge_count > MAX_SECTION_LEN / 16 {
+        return None;
+    }
+    let mut edges = Vec::with_capacity(edge_count);
+    for _ in 0..edge_count {
+        let u = cursor.u64()? as usize;
+        let v = cursor.u64()? as usize;
+        edges.push((u, v));
+    }
+    let mut option_bits = [0u64; 14];
+    for word in &mut option_bits {
+        *word = cursor.u64()?;
+    }
+    cursor.finished().then_some(CacheKey {
+        nodes,
+        edges,
+        option_bits,
+    })
+}
+
+fn encode_value(value: &ReducedGraph) -> Vec<u8> {
+    let graph = &value.subgraph.graph;
+    let edges = graph.edges();
+    let mut out = Vec::with_capacity(32 + edges.len() * 16 + value.subgraph.nodes.len() * 8);
+    out.extend_from_slice(&(graph.node_count() as u64).to_le_bytes());
+    out.extend_from_slice(&(edges.len() as u64).to_le_bytes());
+    for (u, v) in edges {
+        out.extend_from_slice(&(u as u64).to_le_bytes());
+        out.extend_from_slice(&(v as u64).to_le_bytes());
+    }
+    out.extend_from_slice(&(value.subgraph.nodes.len() as u64).to_le_bytes());
+    for &node in &value.subgraph.nodes {
+        out.extend_from_slice(&(node as u64).to_le_bytes());
+    }
+    out.extend_from_slice(&value.and_ratio.to_bits().to_le_bytes());
+    out.extend_from_slice(&value.node_reduction.to_bits().to_le_bytes());
+    out.extend_from_slice(&value.edge_reduction.to_bits().to_le_bytes());
+    out.push(match value.warm_decision {
+        WarmDecision::Cold => 0,
+        WarmDecision::Warm => 1,
+        WarmDecision::MeasuredKept => 2,
+        WarmDecision::MeasuredReverted => 3,
+    });
+    out
+}
+
+fn decode_value(bytes: &[u8]) -> Option<ReducedGraph> {
+    let mut cursor = Cursor::new(bytes);
+    let node_count = cursor.u64()? as usize;
+    let edge_count = cursor.u64()? as usize;
+    if edge_count > MAX_SECTION_LEN / 16 {
+        return None;
+    }
+    let mut edges = Vec::with_capacity(edge_count);
+    for _ in 0..edge_count {
+        let u = cursor.u64()? as usize;
+        let v = cursor.u64()? as usize;
+        edges.push((u, v));
+    }
+    let graph = Graph::from_edges(node_count, &edges).ok()?;
+    let mapping_len = cursor.u64()? as usize;
+    if mapping_len > MAX_SECTION_LEN / 8 {
+        return None;
+    }
+    let mut nodes = Vec::with_capacity(mapping_len);
+    for _ in 0..mapping_len {
+        nodes.push(cursor.u64()? as usize);
+    }
+    let and_ratio = f64::from_bits(cursor.u64()?);
+    let node_reduction = f64::from_bits(cursor.u64()?);
+    let edge_reduction = f64::from_bits(cursor.u64()?);
+    let warm_decision = match cursor.u8()? {
+        0 => WarmDecision::Cold,
+        1 => WarmDecision::Warm,
+        2 => WarmDecision::MeasuredKept,
+        3 => WarmDecision::MeasuredReverted,
+        _ => return None,
+    };
+    cursor.finished().then_some(ReducedGraph {
+        subgraph: Subgraph { graph, nodes },
+        and_ratio,
+        node_reduction,
+        edge_reduction,
+        warm_decision,
+    })
+}
+
+/// Minimal bounds-checked reader over a byte slice (`std::io::Cursor` on
+/// `&[u8]` exists but drags in `io::Error` for what is a pure
+/// `Option`-shaped parse).
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, at: 0 }
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        let end = self.at.checked_add(8)?;
+        let word = read_u64(self.bytes.get(self.at..end)?, 0);
+        self.at = end;
+        Some(word)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        let byte = *self.bytes.get(self.at)?;
+        self.at += 1;
+        Some(byte)
+    }
+
+    /// True when every byte was consumed (trailing garbage fails decode).
+    fn finished(&self) -> bool {
+        self.at == self.bytes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduction::ReductionOptions;
+    use graphlib::generators::cycle;
+
+    fn sample() -> (CacheKey, ReducedGraph) {
+        let graph = cycle(9).unwrap();
+        let key = CacheKey::new(&graph, &ReductionOptions::default());
+        let reduced_graph = cycle(6).unwrap();
+        let value = ReducedGraph {
+            subgraph: Subgraph {
+                nodes: (0..6).collect(),
+                graph: reduced_graph,
+            },
+            and_ratio: 0.95,
+            node_reduction: 1.0 / 3.0,
+            edge_reduction: 1.0 / 3.0,
+            warm_decision: WarmDecision::MeasuredKept,
+        };
+        (key, value)
+    }
+
+    #[test]
+    fn records_round_trip_bitwise() {
+        let (key, value) = sample();
+        let body = encode_record(&key, &value);
+        let (records, consumed) = parse_records(&body);
+        assert_eq!(consumed, body.len());
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].0, key);
+        assert_eq!(records[0].1, value);
+    }
+
+    #[test]
+    fn a_flipped_byte_skips_only_that_record() {
+        let (key, value) = sample();
+        let mut body = encode_record(&key, &value);
+        let good = encode_record(&key, &value);
+        // Corrupt one payload byte of the first record.
+        let target = RECORD_PREFIX_LEN + 3;
+        body[target] ^= 0xFF;
+        body.extend_from_slice(&good);
+        let (records, consumed) = parse_records(&body);
+        assert_eq!(records.len(), 1, "second record survives");
+        assert_eq!(consumed, body.len());
+    }
+
+    #[test]
+    fn a_torn_tail_stops_at_the_last_whole_record() {
+        let (key, value) = sample();
+        let mut body = encode_record(&key, &value);
+        let whole = body.len();
+        body.extend_from_slice(&encode_record(&key, &value)[..10]);
+        let (records, consumed) = parse_records(&body);
+        assert_eq!(records.len(), 1);
+        assert_eq!(consumed, whole, "tail excluded from the good prefix");
+    }
+
+    #[test]
+    fn a_stale_hash_is_dropped() {
+        let (key, value) = sample();
+        let mut body = encode_record(&key, &value);
+        // Rewrite the stored content hash (checksum still passes: it only
+        // covers the payload) — the staleness check must reject it.
+        body[..8].copy_from_slice(&0xDEAD_BEEFu64.to_le_bytes());
+        let (records, consumed) = parse_records(&body);
+        assert!(records.is_empty());
+        assert_eq!(consumed, body.len());
+    }
+
+    #[test]
+    fn garbage_framing_stops_parsing() {
+        let mut body = vec![0xA5u8; 200];
+        // Absurd key_len: framing untrustworthy, parse must stop at 0.
+        body[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        let (records, consumed) = parse_records(&body);
+        assert!(records.is_empty());
+        assert_eq!(consumed, 0);
+    }
+
+    #[test]
+    fn header_check_rejects_foreign_files() {
+        assert!(!header_ok(b""));
+        assert!(!header_ok(b"RQPS"));
+        assert!(!header_ok(b"NOPE\x01\x00\x00\x00"));
+        assert!(!header_ok(b"RQPS\x02\x00\x00\x00"), "future version");
+        assert!(header_ok(b"RQPS\x01\x00\x00\x00"));
+    }
+}

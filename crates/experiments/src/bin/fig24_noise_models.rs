@@ -1,12 +1,30 @@
 //! Figure 24: baseline vs Red-QAOA MSE across seven device noise models.
+use experiments::cli::json_row;
 use experiments::noisy_mse::run_fig24;
 use experiments::DEFAULT_SEED;
 
 fn main() {
-    experiments::cli::handle_default_args(
+    let args = experiments::cli::handle_default_args(
         "Figure 24: baseline vs Red-QAOA MSE across seven device noise models",
     );
     let rows = run_fig24(10, 6, 16, DEFAULT_SEED).expect("figure 24 experiment failed");
+    if args.json {
+        for r in &rows {
+            println!(
+                "{}",
+                json_row(
+                    "fig24_noise_models",
+                    &[
+                        ("device", format!("\"{}\"", r.device)),
+                        ("error_2q", format!("{:.4}", r.error_2q)),
+                        ("baseline_mse", format!("{:.6}", r.baseline_mse)),
+                        ("red_qaoa_mse", format!("{:.6}", r.red_qaoa_mse)),
+                    ],
+                )
+            );
+        }
+        return;
+    }
     println!("# Figure 24: noisy landscape MSE across device noise models");
     println!("device\terror_2q\tbaseline_mse\tred_qaoa_mse");
     for r in &rows {

@@ -1,11 +1,32 @@
 //! Figure 25: relative multi-programming throughput of Red-QAOA.
+use experiments::cli::json_row;
 use experiments::throughput_cmp::{run_fig25, Fig25Config};
 
 fn main() {
-    experiments::cli::handle_default_args(
+    let args = experiments::cli::handle_default_args(
         "Figure 25: relative multi-programming throughput of Red-QAOA",
     );
     let rows = run_fig25(&Fig25Config::default()).expect("figure 25 experiment failed");
+    if args.json {
+        for r in &rows {
+            println!(
+                "{}",
+                json_row(
+                    "fig25_throughput",
+                    &[
+                        ("dataset", format!("\"{}\"", r.dataset)),
+                        ("device", format!("\"{}\"", r.device)),
+                        ("device_qubits", r.device_qubits.to_string()),
+                        (
+                            "relative_throughput",
+                            format!("{:.4}", r.relative_throughput)
+                        ),
+                    ],
+                )
+            );
+        }
+        return;
+    }
     println!("# Figure 25: relative throughput (Red-QAOA / baseline)");
     println!("dataset\tdevice\tqubits\trelative_throughput");
     for r in &rows {

@@ -266,6 +266,60 @@ proptest! {
         }
     }
 
+    /// The two-level scheduler (PR 8): a mixed batch containing one
+    /// oversized `LandscapeJob` — whose estimated cost dwarfs its siblings,
+    /// so at 2 and 4 workers it is routed to the exclusive lane where its
+    /// inner grid scan parallelizes — is bitwise-identical across worker
+    /// counts. Lane placement differs per thread count by design; outputs
+    /// must not. A fresh engine per run keeps the cache comparison honest.
+    #[test]
+    fn two_level_scheduled_batches_are_thread_count_invariant(seed in 0u64..100) {
+        let graphs: Vec<_> = (0..3)
+            .map(|i| {
+                let nodes = 8 + (i % 2);
+                connected_gnp(nodes, 0.45, &mut seeded(derive_seed(seed, i as u64))).unwrap()
+            })
+            .collect();
+        let jobs = vec![
+            Job::Reduce(ReduceJob::new(graphs[0].clone())),
+            // Cost 144 ≫ every sibling (~9–16): the scheduler's outlier.
+            Job::Landscape(LandscapeJob::new(graphs[1].clone(), 12)),
+            Job::Throughput(ThroughputJob::new(graphs[2].clone(), 27, 1)),
+            Job::Landscape(LandscapeJob::new(graphs[0].clone(), 3).reduced()),
+            Job::Reduce(ReduceJob::new(graphs[1].clone())), // shares the big job's graph
+        ];
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                let engine = Engine::builder().build().unwrap();
+                engine.run_batch(&jobs, derive_seed(seed, 777))
+            })
+        };
+        let reference = run(1);
+        for threads in THREAD_COUNTS {
+            let batch = run(threads);
+            prop_assert_eq!(reference.len(), batch.len());
+            for (a, b) in reference.iter().zip(&batch) {
+                let a = a.as_ref().expect("reference job succeeds");
+                let b = b.as_ref().expect("batch job succeeds");
+                // PartialEq first (structural drift), then bitwise spot
+                // checks on the floating-point payloads.
+                prop_assert_eq!(a, b);
+                match (a, b) {
+                    (JobOutput::Landscape(x), JobOutput::Landscape(y)) => {
+                        prop_assert_eq!(bits(&x.values), bits(&y.values));
+                    }
+                    (JobOutput::Reduced(x), JobOutput::Reduced(y)) => {
+                        prop_assert_eq!(x.and_ratio.to_bits(), y.and_ratio.to_bits());
+                    }
+                    (JobOutput::Throughput(x), JobOutput::Throughput(y)) => {
+                        prop_assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
     /// A noisy landscape scan evaluated point-by-point with a fresh scratch
     /// per point equals the scan through `Landscape::evaluate` — the
     /// per-point substream really is a pure function of the index.
