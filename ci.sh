@@ -19,14 +19,17 @@
 #      additionally check bitwise equality across thread counts.
 #   4. perf smoke             — the bench/ landscape smoke emits
 #      BENCH_landscape.json (points/sec for a 32×32 grid on a 16-node
-#      graph), the reduction smoke emits BENCH_reduction.json (SA
-#      moves/sec, incremental-vs-rebuild move evaluation, reduce_pool
-#      graphs/sec), the engine smoke emits BENCH_engine.json (batch
-#      jobs/sec cold vs warm reduction cache), and the optimize smoke
-#      emits BENCH_optimize.json (end-to-end session latency, reduced-vs-
-#      baseline ratio gated at >= 0.95, full-graph-equivalent cost ratio,
-#      evaluations-to-target) so the perf trajectory is recorded
-#      run-over-run.
+#      graph, 4-thread speedup gated at >= 2x when cores > 1), the
+#      reduction smoke emits BENCH_reduction.json (SA moves/sec,
+#      incremental-vs-rebuild move evaluation, reduce_pool graphs/sec),
+#      the engine smoke emits BENCH_engine.json (batch jobs/sec cold vs
+#      warm reduction cache), the optimize smoke emits BENCH_optimize.json
+#      (end-to-end session latency, reduced-vs-baseline ratio gated at
+#      >= 0.95, full-graph-equivalent cost ratio, evaluations-to-target),
+#      and the qsim smoke emits BENCH_qsim.json (gate-ops/sec scalar vs
+#      vectorized kernels for 8-20 qubits, bitwise cross-checked, 16-qubit
+#      speedup gated at >= 1.5x, per-core landscape scaling gated at >= 2x
+#      when cores > 1) so the perf trajectory is recorded run-over-run.
 #   5. bench targets resolve  — cargo bench --no-run
 #   6. figure binaries        — every fig*/table* binary answers --help
 set -euo pipefail
@@ -59,6 +62,9 @@ cargo run --quiet --release -p bench --bin engine_smoke BENCH_engine.json
 
 echo "==> perf smoke: end-to-end optimization sessions -> BENCH_optimize.json"
 cargo run --quiet --release -p bench --bin optimize_smoke BENCH_optimize.json
+
+echo "==> perf smoke: statevector kernels scalar vs vectorized -> BENCH_qsim.json"
+cargo run --quiet --release -p bench --bin qsim_smoke BENCH_qsim.json
 
 echo "==> benches compile: cargo bench --no-run"
 cargo bench --no-run --quiet

@@ -10,7 +10,7 @@ use qsim::circuit::{Circuit, Gate};
 use qsim::density::DensityMatrix;
 use qsim::devices::heavy_hex_like;
 use qsim::noise::{NoiseModel, ReadoutError};
-use qsim::statevector::StateVector;
+use qsim::statevector::{with_kernel, KernelMode, StateVector};
 use qsim::trajectory::{noisy_probabilities, TrajectoryOptions};
 use qsim::transpile::{decompose_to_native, route_trivial};
 
@@ -30,6 +30,37 @@ fn bench_statevector(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &circuit, |b, circuit| {
             b.iter(|| StateVector::from_circuit(circuit).probabilities())
         });
+    }
+    group.finish();
+}
+
+/// Scalar reference kernels vs the chunked vectorized kernels on the same
+/// QAOA evolution — the criterion-grade version of `qsim_smoke`'s rows.
+fn bench_statevector_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector_scalar_vs_vectorized");
+    for &n in &[12usize, 16] {
+        let graph = bench_graph(n, n as u64);
+        let params = QaoaParams::new(vec![0.6, 0.3], vec![0.4, 0.2]).unwrap();
+        let circuit = qaoa_circuit(&graph, &params).unwrap();
+        for (label, mode) in [
+            ("scalar", KernelMode::Scalar),
+            ("vectorized", KernelMode::Vectorized),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &circuit,
+                |b, circuit: &Circuit| {
+                    let mut sv = StateVector::new(circuit.qubit_count());
+                    b.iter(|| {
+                        with_kernel(mode, || {
+                            sv.reinitialize_zero(circuit.qubit_count());
+                            sv.apply_circuit(circuit);
+                            sv.expectation_z(0)
+                        })
+                    })
+                },
+            );
+        }
     }
     group.finish();
 }
@@ -99,6 +130,7 @@ fn bench_routing(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_statevector,
+    bench_statevector_kernels,
     bench_density_matrix,
     bench_trajectory_noise,
     bench_routing

@@ -3,7 +3,9 @@
 //! Runs the grid once with one worker thread and once with four, checks the
 //! two landscapes are bitwise-identical (the determinism contract of
 //! `mathkit::parallel`), and writes a `BENCH_landscape.json` record so the
-//! repository's performance trajectory is tracked run-over-run.
+//! repository's performance trajectory is tracked run-over-run. On machines
+//! that actually have more than one core the four-thread run must be at
+//! least 2× faster than serial — the same gate `qsim_smoke` enforces.
 //!
 //! Usage: `landscape_smoke [output.json]` (default `BENCH_landscape.json`).
 
@@ -47,6 +49,13 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
+    let speedup = serial_secs / parallel_secs;
+    if cores > 1 {
+        assert!(
+            speedup >= 2.0,
+            "with {cores} cores the 4-thread landscape must be >= 2x serial, got {speedup:.3}x"
+        );
+    }
     let json = format!(
         concat!(
             "{{\n",

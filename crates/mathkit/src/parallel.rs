@@ -73,12 +73,19 @@ pub fn current_threads() -> usize {
     if let Some(n) = THREAD_OVERRIDE.with(Cell::get) {
         return n.max(1);
     }
-    if let Ok(raw) = std::env::var(THREADS_ENV) {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
+    // Cached once per process: nothing in the workspace mutates the
+    // environment, and re-reading `env::var` here would allocate a `String`
+    // on every call — the hot evaluation paths promise zero steady-state
+    // allocations (`tests/allocation_steady_state.rs`).
+    static THREADS_FROM_ENV: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    let from_env = *THREADS_FROM_ENV.get_or_init(|| {
+        std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|raw| raw.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+    });
+    if let Some(n) = from_env {
+        return n;
     }
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)

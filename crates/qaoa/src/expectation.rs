@@ -22,7 +22,6 @@ use crate::QaoaError;
 use graphlib::subgraph::induced_subgraph;
 use graphlib::traversal::nodes_within_distance_of_edge;
 use graphlib::Graph;
-use mathkit::Complex64;
 use qsim::circuit::Gate;
 use qsim::noise::NoiseModel;
 use qsim::statevector::{StateVector, StatevectorWorkspace};
@@ -130,12 +129,33 @@ impl QaoaInstance {
 
     /// Exact measurement distribution for the given parameters.
     ///
+    /// Allocates a fresh workspace and result vector per call; hot loops
+    /// should reuse both through [`QaoaInstance::probabilities_into`].
+    ///
     /// # Panics
     ///
     /// Panics if `params.layers() != self.layers()`.
     pub fn probabilities(&self, params: &QaoaParams) -> Vec<f64> {
         let mut workspace = StatevectorWorkspace::new();
-        self.evolve_into(&mut workspace, params).probabilities()
+        let mut out = Vec::new();
+        self.probabilities_into(&mut workspace, params, &mut out);
+        out
+    }
+
+    /// Exact measurement distribution computed into `out` with a reused
+    /// workspace: after the first call of a given size, no allocation
+    /// happens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.layers() != self.layers()`.
+    pub fn probabilities_into(
+        &self,
+        workspace: &mut StatevectorWorkspace,
+        params: &QaoaParams,
+        out: &mut Vec<f64>,
+    ) {
+        self.evolve_into(workspace, params).probabilities_into(out);
     }
 
     /// Noisy cost expectation under a device noise model, evaluated by
@@ -319,6 +339,7 @@ pub fn edge_local_expectation(graph: &Graph, params: &QaoaParams) -> Result<f64,
         return Err(QaoaError::DegenerateGraph);
     }
     let p = params.layers();
+    let mut workspace = StatevectorWorkspace::new();
     let mut total = 0.0;
     for (u, v) in graph.edges() {
         let nodes = nodes_within_distance_of_edge(graph, u, v, p);
@@ -332,17 +353,8 @@ pub fn edge_local_expectation(graph: &Graph, params: &QaoaParams) -> Result<f64,
         let local_u = sub.nodes.binary_search(&u).expect("u in subgraph");
         let local_v = sub.nodes.binary_search(&v).expect("v in subgraph");
         let table = cut_values(&sub.graph)?;
-        let n = sub.graph.node_count();
-        let mut state = StateVector::uniform_superposition(n);
-        for (gamma, beta) in params.gammas.iter().zip(&params.betas) {
-            let phases: Vec<Complex64> =
-                table.iter().map(|&c| Complex64::cis(-gamma * c)).collect();
-            state.apply_diagonal(&phases);
-            for q in 0..n {
-                state.apply_gate(Gate::Rx(q, 2.0 * beta));
-            }
-        }
-        total += 0.5 * (1.0 - state.expectation_zz(local_u, local_v));
+        evolve_qaoa_layers(&mut workspace, sub.graph.node_count(), &table, params);
+        total += 0.5 * (1.0 - workspace.state().expectation_zz(local_u, local_v));
     }
     Ok(total)
 }

@@ -376,31 +376,51 @@ pub fn simulate_noisy_probabilities(
 ///
 /// Panics if `probs.len() != 2^qubit_count`.
 pub fn apply_readout_confusion(probs: &[f64], qubit_count: usize, noise: &NoiseModel) -> Vec<f64> {
-    assert_eq!(probs.len(), 1usize << qubit_count);
     let mut current = probs.to_vec();
+    let mut scratch = Vec::new();
+    apply_readout_confusion_in_place(&mut current, &mut scratch, qubit_count, noise);
+    current
+}
+
+/// In-place variant of [`apply_readout_confusion`]: transforms `probs`
+/// directly, using `scratch` as the per-qubit staging buffer so repeated
+/// calls (the trajectory accumulation loop) allocate nothing after the
+/// first of a given size. Bitwise-identical to the allocating variant.
+///
+/// # Panics
+///
+/// Panics if `probs.len() != 2^qubit_count`.
+pub fn apply_readout_confusion_in_place(
+    probs: &mut [f64],
+    scratch: &mut Vec<f64>,
+    qubit_count: usize,
+    noise: &NoiseModel,
+) {
+    assert_eq!(probs.len(), 1usize << qubit_count);
     let p01 = noise.readout.p01;
     let p10 = noise.readout.p10;
     if p01 == 0.0 && p10 == 0.0 {
-        return current;
+        return;
     }
+    scratch.clear();
+    scratch.resize(probs.len(), 0.0);
     for q in 0..qubit_count {
         let bit = 1usize << q;
-        let mut next = vec![0.0; current.len()];
-        for (i, &p) in current.iter().enumerate() {
+        scratch.fill(0.0);
+        for (i, &p) in probs.iter().enumerate() {
             if p == 0.0 {
                 continue;
             }
             if i & bit == 0 {
-                next[i] += p * (1.0 - p01);
-                next[i | bit] += p * p01;
+                scratch[i] += p * (1.0 - p01);
+                scratch[i | bit] += p * p01;
             } else {
-                next[i] += p * (1.0 - p10);
-                next[i & !bit] += p * p10;
+                scratch[i] += p * (1.0 - p10);
+                scratch[i & !bit] += p * p10;
             }
         }
-        current = next;
+        probs.copy_from_slice(scratch);
     }
-    current
 }
 
 #[cfg(test)]

@@ -4,14 +4,118 @@
 //! is the least-significant bit of the basis-state index (Qiskit's
 //! convention), so `|q_{n-1} … q_1 q_0⟩` maps to index
 //! `q_0 + 2 q_1 + … + 2^{n-1} q_{n-1}`.
+//!
+//! # Kernel backends
+//!
+//! Every hot loop exists twice, with identical results bit for bit:
+//!
+//! * [`vectorized`] (the default) — explicitly chunked, branch-free loops
+//!   shaped for LLVM's autovectorizer: gates walk only the contiguous runs
+//!   they change, butterflies are slice zips with the index math hoisted
+//!   out, reductions keep one accumulator per lane.
+//! * [`mod@reference`] — the plain scalar loops, kept as the differential-test
+//!   oracle (`tests/qsim_kernel_equivalence.rs`) and as the benchmark
+//!   baseline.
+//!
+//! The backend is selected per process with the [`KERNEL_ENV`]
+//! (`RED_QAOA_KERNEL=scalar|vectorized`) environment variable, mirroring
+//! `RED_QAOA_THREADS`, or scoped in code with [`with_kernel`]. Because the
+//! two backends are bitwise-identical, the choice can never change any
+//! result — only how fast it is computed.
+//!
+//! # Fixed reduction order
+//!
+//! All reductions (`expectation_*`, [`StateVector::prob_one`],
+//! [`StateVector::norm_sqr`]) sum in one fixed order, independent of kernel
+//! backend and thread count: [`REDUCTION_LANES`]` = L` interleaved partial
+//! sums, where lane `j` accumulates elements `j, j + L, j + 2L, …` over the
+//! largest prefix that is a multiple of `L`; the lanes then combine
+//! pairwise (`((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`) and any tail elements
+//! (only states with fewer than 3 qubits have one) are added sequentially.
+//! This order is part of the determinism contract — see
+//! `docs/determinism.md`.
+
+pub mod reference;
+pub mod vectorized;
 
 use crate::circuit::{Circuit, Gate};
 use mathkit::Complex64;
 use rand::Rng;
 use std::f64::consts::FRAC_1_SQRT_2;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
 
 /// Practical qubit limit for the statevector backend (64 Mi amplitudes).
 pub const MAX_STATEVECTOR_QUBITS: usize = 26;
+
+/// Number of interleaved partial sums in the fixed reduction order shared
+/// by both kernel backends (see the [module docs](self)).
+pub const REDUCTION_LANES: usize = 8;
+
+/// Environment variable selecting the kernel backend
+/// (`scalar` or `vectorized`; unset or unrecognized means vectorized).
+///
+/// Mirrors `RED_QAOA_THREADS`: an operational knob that can never change a
+/// result, because the two backends are bitwise-identical.
+pub const KERNEL_ENV: &str = "RED_QAOA_KERNEL";
+
+/// Which statevector kernel implementation executes gates and reductions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelMode {
+    /// Plain scalar loops ([`mod@reference`]) — the oracle and baseline.
+    Scalar,
+    /// Chunked autovectorization-friendly loops ([`vectorized`]) — default.
+    Vectorized,
+}
+
+const KERNEL_NONE: u8 = 0;
+const KERNEL_SCALAR: u8 = 1;
+const KERNEL_VECTORIZED: u8 = 2;
+
+/// Process-wide override installed by [`with_kernel`]. Unlike the
+/// thread-local `RED_QAOA_THREADS` override, this is deliberately global:
+/// gates execute inside `mathkit::parallel` worker threads, and a scoped
+/// kernel choice must reach them.
+static KERNEL_OVERRIDE: AtomicU8 = AtomicU8::new(KERNEL_NONE);
+static KERNEL_FROM_ENV: OnceLock<KernelMode> = OnceLock::new();
+
+/// The kernel backend a statevector operation started *now* would use:
+/// the innermost [`with_kernel`] override if one is active, else
+/// [`KERNEL_ENV`], else [`KernelMode::Vectorized`].
+pub fn current_kernel() -> KernelMode {
+    match KERNEL_OVERRIDE.load(Ordering::Relaxed) {
+        KERNEL_SCALAR => KernelMode::Scalar,
+        KERNEL_VECTORIZED => KernelMode::Vectorized,
+        _ => *KERNEL_FROM_ENV.get_or_init(|| match std::env::var(KERNEL_ENV) {
+            Ok(raw) if raw.trim().eq_ignore_ascii_case("scalar") => KernelMode::Scalar,
+            _ => KernelMode::Vectorized,
+        }),
+    }
+}
+
+/// Runs `f` with the kernel backend fixed to `mode`, restoring the previous
+/// selection on exit (including panics).
+///
+/// The override is **process-global** (see `KERNEL_OVERRIDE`'s rationale),
+/// so overlapping overrides from concurrent threads resolve
+/// last-writer-wins. That can change which backend a concurrent operation
+/// runs on, but never any result: the backends are bitwise-identical, which
+/// is exactly what the differential suite proves.
+pub fn with_kernel<R>(mode: KernelMode, f: impl FnOnce() -> R) -> R {
+    struct Restore(u8);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            KERNEL_OVERRIDE.store(self.0, Ordering::Relaxed);
+        }
+    }
+    let code = match mode {
+        KernelMode::Scalar => KERNEL_SCALAR,
+        KernelMode::Vectorized => KERNEL_VECTORIZED,
+    };
+    let previous = KERNEL_OVERRIDE.swap(code, Ordering::Relaxed);
+    let _restore = Restore(previous);
+    f()
+}
 
 /// A pure quantum state over `n` qubits.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,9 +148,7 @@ impl StateVector {
     pub fn uniform_superposition(qubit_count: usize) -> Self {
         let mut sv = Self::new(qubit_count);
         let amp = Complex64::new(1.0 / ((1usize << qubit_count) as f64).sqrt(), 0.0);
-        for a in sv.amplitudes.iter_mut() {
-            *a = amp;
-        }
+        sv.amplitudes.fill(amp);
         sv
     }
 
@@ -60,19 +162,14 @@ impl StateVector {
     /// Re-initializes this state to `|0…0⟩` over `qubit_count` qubits,
     /// reusing the existing amplitude allocation (it only grows, never
     /// reallocates once large enough). This is the zero-allocation entry
-    /// point used by [`StatevectorWorkspace`] in grid scans.
+    /// point used by [`StatevectorWorkspace`] in grid scans. When the
+    /// buffer already has the right length the reset is a plain `fill`.
     ///
     /// # Panics
     ///
     /// Panics if `qubit_count` exceeds [`MAX_STATEVECTOR_QUBITS`].
     pub fn reinitialize_zero(&mut self, qubit_count: usize) {
-        assert!(
-            qubit_count <= MAX_STATEVECTOR_QUBITS,
-            "statevector limited to {MAX_STATEVECTOR_QUBITS} qubits"
-        );
-        self.qubit_count = qubit_count;
-        self.amplitudes.clear();
-        self.amplitudes.resize(1 << qubit_count, Complex64::zero());
+        self.reinitialize_with(qubit_count, Complex64::zero());
         self.amplitudes[0] = Complex64::one();
     }
 
@@ -83,14 +180,25 @@ impl StateVector {
     ///
     /// Panics if `qubit_count` exceeds [`MAX_STATEVECTOR_QUBITS`].
     pub fn reinitialize_uniform(&mut self, qubit_count: usize) {
+        let amp = Complex64::new(1.0 / ((1usize << qubit_count) as f64).sqrt(), 0.0);
+        self.reinitialize_with(qubit_count, amp);
+    }
+
+    /// Resizes to `2^qubit_count` amplitudes all equal to `value`, without
+    /// reallocating when the buffer is already large enough.
+    fn reinitialize_with(&mut self, qubit_count: usize, value: Complex64) {
         assert!(
             qubit_count <= MAX_STATEVECTOR_QUBITS,
             "statevector limited to {MAX_STATEVECTOR_QUBITS} qubits"
         );
         self.qubit_count = qubit_count;
-        let amp = Complex64::new(1.0 / ((1usize << qubit_count) as f64).sqrt(), 0.0);
-        self.amplitudes.clear();
-        self.amplitudes.resize(1 << qubit_count, amp);
+        let dim = 1usize << qubit_count;
+        if self.amplitudes.len() == dim {
+            self.amplitudes.fill(value);
+        } else {
+            self.amplitudes.clear();
+            self.amplitudes.resize(dim, value);
+        }
     }
 
     /// Number of qubits.
@@ -213,70 +321,45 @@ impl StateVector {
     /// Panics if `target` is out of range.
     pub fn apply_single(&mut self, target: usize, u: [[Complex64; 2]; 2]) {
         assert!(target < self.qubit_count, "qubit {target} out of range");
-        let stride = 1usize << target;
-        let dim = self.amplitudes.len();
-        let mut base = 0usize;
-        while base < dim {
-            for offset in base..base + stride {
-                let i0 = offset;
-                let i1 = offset + stride;
-                let a0 = self.amplitudes[i0];
-                let a1 = self.amplitudes[i1];
-                self.amplitudes[i0] = u[0][0] * a0 + u[0][1] * a1;
-                self.amplitudes[i1] = u[1][0] * a0 + u[1][1] * a1;
-            }
-            base += stride * 2;
+        match current_kernel() {
+            KernelMode::Scalar => reference::apply_single(&mut self.amplitudes, target, u),
+            KernelMode::Vectorized => vectorized::apply_single(&mut self.amplitudes, target, u),
         }
     }
 
     fn apply_cnot(&mut self, control: usize, target: usize) {
         assert!(control < self.qubit_count && target < self.qubit_count);
         assert_ne!(control, target, "control and target must differ");
-        let cbit = 1usize << control;
-        let tbit = 1usize << target;
-        for i in 0..self.amplitudes.len() {
-            if i & cbit != 0 && i & tbit == 0 {
-                let j = i | tbit;
-                self.amplitudes.swap(i, j);
-            }
+        match current_kernel() {
+            KernelMode::Scalar => reference::apply_cnot(&mut self.amplitudes, control, target),
+            KernelMode::Vectorized => vectorized::apply_cnot(&mut self.amplitudes, control, target),
         }
     }
 
     fn apply_cz(&mut self, a: usize, b: usize) {
         assert!(a < self.qubit_count && b < self.qubit_count);
         assert_ne!(a, b);
-        let abit = 1usize << a;
-        let bbit = 1usize << b;
-        for (i, amp) in self.amplitudes.iter_mut().enumerate() {
-            if i & abit != 0 && i & bbit != 0 {
-                *amp = -*amp;
-            }
+        match current_kernel() {
+            KernelMode::Scalar => reference::apply_cz(&mut self.amplitudes, a, b),
+            KernelMode::Vectorized => vectorized::apply_cz(&mut self.amplitudes, a, b),
         }
     }
 
     fn apply_swap(&mut self, a: usize, b: usize) {
         assert!(a < self.qubit_count && b < self.qubit_count);
         assert_ne!(a, b);
-        let abit = 1usize << a;
-        let bbit = 1usize << b;
-        for i in 0..self.amplitudes.len() {
-            if i & abit != 0 && i & bbit == 0 {
-                let j = (i & !abit) | bbit;
-                self.amplitudes.swap(i, j);
-            }
+        match current_kernel() {
+            KernelMode::Scalar => reference::apply_swap(&mut self.amplitudes, a, b),
+            KernelMode::Vectorized => vectorized::apply_swap(&mut self.amplitudes, a, b),
         }
     }
 
     fn apply_rzz(&mut self, a: usize, b: usize, theta: f64) {
         assert!(a < self.qubit_count && b < self.qubit_count);
         assert_ne!(a, b);
-        let abit = 1usize << a;
-        let bbit = 1usize << b;
-        let phase_same = Complex64::cis(-theta / 2.0);
-        let phase_diff = Complex64::cis(theta / 2.0);
-        for (i, amp) in self.amplitudes.iter_mut().enumerate() {
-            let parity = ((i & abit != 0) as u8) ^ ((i & bbit != 0) as u8);
-            *amp *= if parity == 0 { phase_same } else { phase_diff };
+        match current_kernel() {
+            KernelMode::Scalar => reference::apply_rzz(&mut self.amplitudes, a, b, theta),
+            KernelMode::Vectorized => vectorized::apply_rzz(&mut self.amplitudes, a, b, theta),
         }
     }
 
@@ -294,8 +377,9 @@ impl StateVector {
             self.amplitudes.len(),
             "diagonal length must equal the state dimension"
         );
-        for (amp, phase) in self.amplitudes.iter_mut().zip(phases) {
-            *amp *= *phase;
+        match current_kernel() {
+            KernelMode::Scalar => reference::apply_diagonal(&mut self.amplitudes, phases),
+            KernelMode::Vectorized => vectorized::apply_diagonal(&mut self.amplitudes, phases),
         }
     }
 
@@ -306,13 +390,10 @@ impl StateVector {
     /// Panics if `qubit` is out of range.
     pub fn prob_one(&self, qubit: usize) -> f64 {
         assert!(qubit < self.qubit_count);
-        let bit = 1usize << qubit;
-        self.amplitudes
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| i & bit != 0)
-            .map(|(_, a)| a.norm_sqr())
-            .sum()
+        match current_kernel() {
+            KernelMode::Scalar => reference::prob_one(&self.amplitudes, qubit),
+            KernelMode::Vectorized => vectorized::prob_one(&self.amplitudes, qubit),
+        }
     }
 
     /// Rescales the state to unit norm. Used by the quantum-jump (trajectory)
@@ -321,9 +402,7 @@ impl StateVector {
     pub fn renormalize(&mut self) {
         let norm = self.norm_sqr().sqrt();
         if norm < 1e-300 {
-            for a in self.amplitudes.iter_mut() {
-                *a = Complex64::zero();
-            }
+            self.amplitudes.fill(Complex64::zero());
             self.amplitudes[0] = Complex64::one();
             return;
         }
@@ -333,13 +412,30 @@ impl StateVector {
     }
 
     /// Probability of measuring each basis state.
+    ///
+    /// Allocates the result vector; hot loops should reuse a buffer through
+    /// [`StateVector::probabilities_into`] (or a
+    /// [`StatevectorWorkspace`], whose
+    /// [`state_probabilities`](StatevectorWorkspace::state_probabilities)
+    /// owns one).
     pub fn probabilities(&self) -> Vec<f64> {
         self.amplitudes.iter().map(|a| a.norm_sqr()).collect()
     }
 
+    /// Computes the measurement distribution into `out`, reusing its
+    /// allocation (after the first call of a given size, no allocation
+    /// happens).
+    pub fn probabilities_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.amplitudes.iter().map(|a| a.norm_sqr()));
+    }
+
     /// Sum of `|amplitude|^2` (should be 1 up to rounding).
     pub fn norm_sqr(&self) -> f64 {
-        self.amplitudes.iter().map(|a| a.norm_sqr()).sum()
+        match current_kernel() {
+            KernelMode::Scalar => reference::norm_sqr(&self.amplitudes),
+            KernelMode::Vectorized => vectorized::norm_sqr(&self.amplitudes),
+        }
     }
 
     /// Expectation value of the Pauli-Z operator on `qubit`.
@@ -349,15 +445,10 @@ impl StateVector {
     /// Panics if `qubit` is out of range.
     pub fn expectation_z(&self, qubit: usize) -> f64 {
         assert!(qubit < self.qubit_count);
-        let bit = 1usize << qubit;
-        self.amplitudes
-            .iter()
-            .enumerate()
-            .map(|(i, a)| {
-                let sign = if i & bit == 0 { 1.0 } else { -1.0 };
-                sign * a.norm_sqr()
-            })
-            .sum()
+        match current_kernel() {
+            KernelMode::Scalar => reference::expectation_z(&self.amplitudes, qubit),
+            KernelMode::Vectorized => vectorized::expectation_z(&self.amplitudes, qubit),
+        }
     }
 
     /// Expectation value of `Z_a Z_b`.
@@ -367,17 +458,10 @@ impl StateVector {
     /// Panics if either qubit is out of range.
     pub fn expectation_zz(&self, a: usize, b: usize) -> f64 {
         assert!(a < self.qubit_count && b < self.qubit_count);
-        let abit = 1usize << a;
-        let bbit = 1usize << b;
-        self.amplitudes
-            .iter()
-            .enumerate()
-            .map(|(i, amp)| {
-                let parity = ((i & abit != 0) as u8) ^ ((i & bbit != 0) as u8);
-                let sign = if parity == 0 { 1.0 } else { -1.0 };
-                sign * amp.norm_sqr()
-            })
-            .sum()
+        match current_kernel() {
+            KernelMode::Scalar => reference::expectation_zz(&self.amplitudes, a, b),
+            KernelMode::Vectorized => vectorized::expectation_zz(&self.amplitudes, a, b),
+        }
     }
 
     /// Expectation value of an arbitrary diagonal observable given its value
@@ -388,18 +472,51 @@ impl StateVector {
     /// Panics if `values.len()` does not equal `2^n`.
     pub fn expectation_diagonal(&self, values: &[f64]) -> f64 {
         assert_eq!(values.len(), self.amplitudes.len());
-        self.amplitudes
-            .iter()
-            .zip(values)
-            .map(|(a, v)| a.norm_sqr() * v)
-            .sum()
+        match current_kernel() {
+            KernelMode::Scalar => reference::expectation_diagonal(&self.amplitudes, values),
+            KernelMode::Vectorized => vectorized::expectation_diagonal(&self.amplitudes, values),
+        }
     }
 
     /// Samples `shots` measurement outcomes in the computational basis and
     /// returns per-basis-state counts.
+    ///
+    /// Builds fresh buffers per call; repeated sampling should reuse a
+    /// [`SampleScratch`] through [`StateVector::sample_counts_with`].
     pub fn sample_counts<R: Rng>(&self, shots: usize, rng: &mut R) -> Vec<usize> {
-        sample_counts_from_probabilities(&self.probabilities(), shots, rng)
+        let mut scratch = SampleScratch::default();
+        self.sample_counts_with(shots, rng, &mut scratch);
+        scratch.counts
     }
+
+    /// Samples `shots` measurement outcomes into the reused buffers of
+    /// `scratch` and returns the per-basis-state counts. After the first
+    /// call of a given size no allocation happens.
+    pub fn sample_counts_with<'s, R: Rng>(
+        &self,
+        shots: usize,
+        rng: &mut R,
+        scratch: &'s mut SampleScratch,
+    ) -> &'s [usize] {
+        self.probabilities_into(&mut scratch.probabilities);
+        sample_counts_from_probabilities_into(
+            &scratch.probabilities,
+            shots,
+            rng,
+            &mut scratch.cdf,
+            &mut scratch.counts,
+        );
+        &scratch.counts
+    }
+}
+
+/// Reusable buffers (probabilities, CDF, counts) for repeated measurement
+/// sampling — see [`StateVector::sample_counts_with`].
+#[derive(Debug, Clone, Default)]
+pub struct SampleScratch {
+    probabilities: Vec<f64>,
+    cdf: Vec<f64>,
+    counts: Vec<usize>,
 }
 
 /// Draws `shots` inverse-transform samples from a probability vector and
@@ -409,7 +526,9 @@ impl StateVector {
 /// search (`O(shots · log dim)` instead of the linear scan's
 /// `O(shots · dim)`), which matters for the `2^n`-entry distributions the
 /// simulators produce. Shared by [`StateVector::sample_counts`] and the
-/// noisy trajectory sampler.
+/// noisy trajectory sampler. Allocates the CDF and count buffers; repeated
+/// sampling should reuse them through
+/// [`sample_counts_from_probabilities_into`].
 ///
 /// # Panics
 ///
@@ -419,15 +538,36 @@ pub fn sample_counts_from_probabilities<R: Rng>(
     shots: usize,
     rng: &mut R,
 ) -> Vec<usize> {
+    let mut cdf = Vec::new();
+    let mut counts = Vec::new();
+    sample_counts_from_probabilities_into(probabilities, shots, rng, &mut cdf, &mut counts);
+    counts
+}
+
+/// Buffer-reusing core of [`sample_counts_from_probabilities`]: builds the
+/// CDF in `cdf` and the per-outcome counts in `counts`, reusing both
+/// allocations across calls.
+///
+/// # Panics
+///
+/// Panics if `probabilities` is empty.
+pub fn sample_counts_from_probabilities_into<R: Rng>(
+    probabilities: &[f64],
+    shots: usize,
+    rng: &mut R,
+    cdf: &mut Vec<f64>,
+    counts: &mut Vec<usize>,
+) {
     assert!(!probabilities.is_empty(), "empty distribution");
-    let mut counts = vec![0usize; probabilities.len()];
+    counts.clear();
+    counts.resize(probabilities.len(), 0);
     // Cumulative distribution for inverse-transform sampling.
-    let mut cdf = Vec::with_capacity(probabilities.len());
+    cdf.clear();
     let mut acc = 0.0;
-    for p in probabilities {
+    cdf.extend(probabilities.iter().map(|p| {
         acc += p;
-        cdf.push(acc);
-    }
+        acc
+    }));
     let total = acc.max(f64::MIN_POSITIVE);
     for _ in 0..shots {
         let r: f64 = rng.gen::<f64>() * total;
@@ -437,7 +577,6 @@ pub fn sample_counts_from_probabilities<R: Rng>(
         };
         counts[idx] += 1;
     }
-    counts
 }
 
 /// Reusable scratch buffers for repeated statevector evaluations.
@@ -445,9 +584,10 @@ pub fn sample_counts_from_probabilities<R: Rng>(
 /// Landscape scans evaluate the same circuit family thousands of times; a
 /// fresh `2^n` amplitude vector (plus a `2^n` phase table per cost layer)
 /// per evaluation is pure allocator traffic. A workspace owns both buffers
-/// and recycles them: after the first evaluation of a given size no further
-/// allocation happens. Buffers only grow, so one workspace can serve
-/// subgraphs of mixed sizes (the edge-local light-cone evaluator does this).
+/// (plus a probability buffer for distribution readouts) and recycles them:
+/// after the first evaluation of a given size no further allocation
+/// happens. Buffers only grow, so one workspace can serve subgraphs of
+/// mixed sizes (the edge-local light-cone evaluator does this).
 ///
 /// A workspace is intentionally `!Sync`-by-use: each worker thread of a
 /// parallel scan creates its own (see `mathkit::parallel`).
@@ -455,6 +595,7 @@ pub fn sample_counts_from_probabilities<R: Rng>(
 pub struct StatevectorWorkspace {
     state: StateVector,
     phases: Vec<Complex64>,
+    probabilities: Vec<f64>,
 }
 
 impl StatevectorWorkspace {
@@ -463,6 +604,7 @@ impl StatevectorWorkspace {
         Self {
             state: StateVector::new(0),
             phases: Vec::new(),
+            probabilities: Vec::new(),
         }
     }
 
@@ -506,6 +648,14 @@ impl StatevectorWorkspace {
         self.phases
             .extend(table.iter().map(|&v| Complex64::cis(scale * v)));
         self.state.apply_diagonal(&self.phases);
+    }
+
+    /// Computes the working state's measurement distribution into the
+    /// workspace's reused probability buffer and returns it (no allocation
+    /// after the first call of a given size).
+    pub fn state_probabilities(&mut self) -> &[f64] {
+        self.state.probabilities_into(&mut self.probabilities);
+        &self.probabilities
     }
 
     /// Borrow of the working state.
@@ -734,6 +884,28 @@ mod tests {
     const SNAPSHOT_COUNTS: [usize; 4] = [364, 352, 127, 157];
 
     #[test]
+    fn scratch_sampling_matches_allocating_sampling() {
+        let mut c = Circuit::new(3);
+        c.extend([Gate::H(0), Gate::Ry(1, 0.8), Gate::Cnot(0, 2)])
+            .unwrap();
+        let sv = StateVector::from_circuit(&c);
+        let fresh = sv.sample_counts(2048, &mut seeded(7));
+        let mut scratch = SampleScratch::default();
+        // Two rounds through the same scratch: identical draws, identical
+        // counts, no residue from the first round.
+        for _ in 0..2 {
+            let counts = sv.sample_counts_with(2048, &mut seeded(7), &mut scratch);
+            assert_eq!(counts, &fresh[..]);
+        }
+        // probabilities_into reuses `out` and matches probabilities().
+        let mut out = Vec::new();
+        sv.probabilities_into(&mut out);
+        assert_eq!(out, sv.probabilities());
+        sv.probabilities_into(&mut out);
+        assert_eq!(out, sv.probabilities());
+    }
+
+    #[test]
     fn workspace_reuse_matches_fresh_statevectors() {
         let mut ws = StatevectorWorkspace::new();
         for &n in &[3usize, 2, 4, 3] {
@@ -747,6 +919,8 @@ mod tests {
             let mut fresh = fresh;
             fresh.apply_gate(Gate::Rx(0, 0.4));
             assert_eq!(ws.state().amplitudes(), fresh.amplitudes());
+            // The reused probability buffer matches a fresh readout.
+            assert_eq!(ws.state_probabilities(), &fresh.probabilities()[..]);
         }
         // begin_zero resets any residue from the previous evaluation.
         ws.begin_zero(2);
@@ -807,5 +981,32 @@ mod tests {
         );
         zero.renormalize();
         assert!((zero.probabilities()[0] - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn kernel_override_is_scoped_and_selects_the_backend() {
+        // The override nests and restores, and gates really do run on the
+        // selected backend (identical bits either way — that is the whole
+        // contract, proven at scale by tests/qsim_kernel_equivalence.rs).
+        let run = || {
+            let mut sv = StateVector::uniform_superposition(4);
+            sv.apply_gate(Gate::Ry(1, 0.8));
+            sv.apply_gate(Gate::Rzz(0, 3, 0.9));
+            sv.apply_gate(Gate::Cnot(2, 0));
+            (
+                sv.amplitudes().to_vec(),
+                sv.expectation_zz(0, 3).to_bits(),
+                sv.norm_sqr().to_bits(),
+            )
+        };
+        let scalar = with_kernel(KernelMode::Scalar, || {
+            assert_eq!(current_kernel(), KernelMode::Scalar);
+            let inner = with_kernel(KernelMode::Vectorized, current_kernel);
+            assert_eq!(inner, KernelMode::Vectorized);
+            assert_eq!(current_kernel(), KernelMode::Scalar);
+            run()
+        });
+        let vectorized = with_kernel(KernelMode::Vectorized, run);
+        assert_eq!(scalar, vectorized);
     }
 }

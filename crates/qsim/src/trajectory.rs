@@ -11,7 +11,7 @@
 //! distribution.
 
 use crate::circuit::{Circuit, Gate};
-use crate::density::apply_readout_confusion;
+use crate::density::apply_readout_confusion_in_place;
 use crate::noise::NoiseModel;
 use crate::statevector::{sample_counts_from_probabilities, StateVector};
 use mathkit::parallel::parallel_map_indexed;
@@ -167,7 +167,9 @@ pub fn noisy_probabilities<R: Rng>(
     for a in acc.iter_mut() {
         *a /= effective_runs as f64;
     }
-    apply_readout_confusion(&acc, circuit.qubit_count(), noise)
+    let mut scratch = Vec::new();
+    apply_readout_confusion_in_place(&mut acc, &mut scratch, circuit.qubit_count(), noise);
+    acc
 }
 
 /// Number of trajectories summed per reduction chunk of the seeded average.
@@ -227,7 +229,9 @@ pub fn noisy_probabilities_seeded(
     for a in acc.iter_mut() {
         *a /= effective_runs as f64;
     }
-    apply_readout_confusion(&acc, circuit.qubit_count(), noise)
+    let mut scratch = Vec::new();
+    apply_readout_confusion_in_place(&mut acc, &mut scratch, circuit.qubit_count(), noise);
+    acc
 }
 
 /// Seeded, thread-count-independent variant of

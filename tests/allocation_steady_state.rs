@@ -1,0 +1,143 @@
+//! Steady-state allocation tests for the hot evaluation paths.
+//!
+//! The workspace-buffer APIs (`expectation_with`, `probabilities_into`,
+//! `sample_counts_with`, `apply_readout_confusion_in_place`) promise that
+//! after the first call of a given size *no further allocation happens*.
+//! That promise is what makes landscape scans allocator-quiet; this file
+//! enforces it with a counting `#[global_allocator]` so an accidental
+//! per-call `Vec` rebuild (the bug class PR 9 removed) fails a test
+//! instead of quietly costing 2^n allocations per grid point.
+//!
+//! The counter is **per-thread** (a `const`-initialized thread-local `Cell`,
+//! which never allocates itself): the global allocator hook runs on whatever
+//! thread allocates, and libtest's main thread allocates lazily at
+//! unpredictable times while it waits for test events — a process-global
+//! counter would flake whenever that lands inside a measured window.
+//! Everything still runs inside one `#[test]` function so the windows stay
+//! strictly ordered.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use graphlib::generators::connected_gnp;
+use mathkit::rng::seeded;
+use qaoa::expectation::QaoaInstance;
+use qaoa::params::QaoaParams;
+use qsim::density::apply_readout_confusion_in_place;
+use qsim::noise::{NoiseModel, ReadoutError};
+use qsim::statevector::{SampleScratch, StateVector, StatevectorWorkspace};
+
+struct CountingAllocator;
+
+thread_local! {
+    /// Allocations performed by *this* thread since it started.
+    static ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Counts one allocation on the calling thread.
+fn count() {
+    let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        count();
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        count();
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        count();
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Runs `f` and returns how many heap allocations this thread performed.
+fn allocations_during(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.with(Cell::get);
+    f();
+    ALLOCATIONS.with(Cell::get) - before
+}
+
+#[test]
+fn hot_paths_allocate_nothing_in_steady_state() {
+    let graph = connected_gnp(8, 0.45, &mut seeded(5)).unwrap();
+    let instance = QaoaInstance::new(&graph, 2).unwrap();
+    let params = QaoaParams::new(vec![0.7, 0.3], vec![0.4, 0.2]).unwrap();
+
+    // --- expectation_with through a reused workspace ---------------------
+    let mut workspace = StatevectorWorkspace::new();
+    for _ in 0..2 {
+        instance.expectation_with(&mut workspace, &params); // warm the buffers
+    }
+    let allocs = allocations_during(|| {
+        for _ in 0..16 {
+            instance.expectation_with(&mut workspace, &params);
+        }
+    });
+    assert_eq!(allocs, 0, "expectation_with allocated in steady state");
+
+    // --- probabilities_into through the same workspace -------------------
+    let mut probs = Vec::new();
+    instance.probabilities_into(&mut workspace, &params, &mut probs); // warm
+    let allocs = allocations_during(|| {
+        for _ in 0..16 {
+            instance.probabilities_into(&mut workspace, &params, &mut probs);
+        }
+    });
+    assert_eq!(allocs, 0, "probabilities_into allocated in steady state");
+
+    // --- measurement sampling through SampleScratch ----------------------
+    let sv = StateVector::uniform_superposition(8);
+    let mut scratch = SampleScratch::default();
+    let mut rng = seeded(11);
+    sv.sample_counts_with(256, &mut rng, &mut scratch); // warm
+    let allocs = allocations_during(|| {
+        for _ in 0..16 {
+            sv.sample_counts_with(256, &mut rng, &mut scratch);
+        }
+    });
+    assert_eq!(allocs, 0, "sample_counts_with allocated in steady state");
+
+    // --- readout confusion in place --------------------------------------
+    let noise = NoiseModel::new(
+        0.002,
+        0.02,
+        ReadoutError::new(0.02, 0.03),
+        100.0,
+        90.0,
+        35.0,
+        300.0,
+    );
+    let mut dist = sv.probabilities();
+    let mut confusion_scratch = Vec::new();
+    apply_readout_confusion_in_place(&mut dist, &mut confusion_scratch, 8, &noise); // warm
+    let allocs = allocations_during(|| {
+        for _ in 0..16 {
+            apply_readout_confusion_in_place(&mut dist, &mut confusion_scratch, 8, &noise);
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "apply_readout_confusion_in_place allocated in steady state"
+    );
+
+    // Sanity check that the counter actually counts: a fresh Vec push must
+    // register at least one allocation, or every assertion above is vacuous.
+    let allocs = allocations_during(|| {
+        let v = vec![ALLOCATIONS.with(Cell::get) as u64];
+        std::hint::black_box(&v);
+    });
+    assert!(allocs >= 1, "counting allocator is not counting");
+}

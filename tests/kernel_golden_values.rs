@@ -1,0 +1,116 @@
+//! Golden-value regression tests for the statevector kernels.
+//!
+//! The differential suite (`tests/qsim_kernel_equivalence.rs`) proves the
+//! scalar and vectorized kernels agree with *each other*; these tests pin
+//! both to recorded constants so a future change that shifts either kernel
+//! by a single ULP — a reassociated reduction, an FMA contraction, a
+//! reordered butterfly — fails loudly instead of silently moving every
+//! energy in the repo. The constants are `f64::to_bits` values recorded
+//! from the PR that introduced the kernel split (same pattern as
+//! `tests/warm_start_regression.rs`).
+//!
+//! Every expectation is asserted under **both** `KernelMode`s: the pinned
+//! bits are the contract, kernel choice is an implementation detail.
+
+use graphlib::generators::{connected_gnp, cycle};
+use mathkit::rng::seeded;
+use qaoa::expectation::QaoaInstance;
+use qaoa::params::QaoaParams;
+use qsim::circuit::{Circuit, Gate};
+use qsim::statevector::{with_kernel, KernelMode, StateVector, StatevectorWorkspace};
+
+/// A fixed 5-qubit circuit mixing every gate family the kernels implement.
+fn pinned_circuit() -> Circuit {
+    let mut c = Circuit::new(5);
+    c.extend([
+        Gate::H(0),
+        Gate::Ry(1, 0.8),
+        Gate::Cnot(0, 2),
+        Gate::Rzz(1, 3, 0.9),
+        Gate::Rx(4, -1.3),
+        Gate::Cz(2, 4),
+        Gate::T(3),
+        Gate::Swap(0, 4),
+        Gate::Rz(2, 2.2),
+        Gate::H(3),
+    ])
+    .unwrap();
+    c
+}
+
+fn for_both_kernels(check: impl Fn()) {
+    for mode in [KernelMode::Scalar, KernelMode::Vectorized] {
+        with_kernel(mode, &check);
+    }
+}
+
+#[test]
+fn expectation_zz_bits_are_pinned() {
+    // ((a, b), recorded bits of expectation_zz(a, b)).
+    let expected: [((usize, usize), u64); 4] = [
+        ((0, 1), 0x3fc7daea0385bd10),
+        ((1, 3), 0x0000000000000000),
+        ((2, 4), 0x3ff0000000000002),
+        ((0, 4), 0x3c90000000000000),
+    ];
+    for_both_kernels(|| {
+        let sv = StateVector::from_circuit(&pinned_circuit());
+        for ((a, b), bits) in expected {
+            assert_eq!(
+                sv.expectation_zz(a, b).to_bits(),
+                bits,
+                "expectation_zz({a}, {b}) drifted"
+            );
+        }
+    });
+}
+
+#[test]
+fn expectation_diagonal_and_norm_bits_are_pinned() {
+    for_both_kernels(|| {
+        let sv = StateVector::from_circuit(&pinned_circuit());
+        let values: Vec<f64> = (0..32).map(|i| (i as f64) * 0.25 - 3.5).collect();
+        assert_eq!(
+            sv.expectation_diagonal(&values).to_bits(),
+            0x3fc56ce74783d488,
+            "expectation_diagonal drifted"
+        );
+        assert_eq!(
+            sv.norm_sqr().to_bits(),
+            0x3ff0000000000002,
+            "norm_sqr drifted"
+        );
+    });
+}
+
+#[test]
+fn three_layer_qaoa_expectation_bits_are_pinned() {
+    // Recorded `expectation_with` bits for a 3-layer ansatz on three fixed
+    // graphs, all evaluated through one reused workspace (so this also pins
+    // the evolve → phase-diagonal → expectation pipeline end to end).
+    let params = QaoaParams::new(vec![0.7, 0.35, 0.21], vec![0.4, 0.55, 0.13]).unwrap();
+    let graphs = [
+        ("cycle8", cycle(8).unwrap(), 0x400b4ae7159c05e8u64),
+        (
+            "gnp9",
+            connected_gnp(9, 0.4, &mut seeded(77)).unwrap(),
+            0x401cc9c3e16caa13,
+        ),
+        (
+            "gnp10",
+            connected_gnp(10, 0.3, &mut seeded(78)).unwrap(),
+            0x401a626396a20c92,
+        ),
+    ];
+    for_both_kernels(|| {
+        let mut workspace = StatevectorWorkspace::new();
+        for (name, graph, bits) in &graphs {
+            let instance = QaoaInstance::new(graph, 3).unwrap();
+            assert_eq!(
+                instance.expectation_with(&mut workspace, &params).to_bits(),
+                *bits,
+                "3-layer expectation on {name} drifted"
+            );
+        }
+    });
+}

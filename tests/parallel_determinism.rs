@@ -18,6 +18,7 @@ use mathkit::rng::{derive_seed, seeded};
 use proptest::prelude::*;
 use qaoa::evaluator::{NoisyTrajectoryEvaluator, StatevectorEvaluator};
 use qaoa::landscape::Landscape;
+use qsim::statevector::{with_kernel, KernelMode};
 use qsim::trajectory::TrajectoryOptions;
 use red_qaoa::engine::{
     Engine, Job, JobOutput, LandscapeJob, OptimizeJob, PipelineJob, ReduceJob, ThroughputJob,
@@ -315,6 +316,64 @@ proptest! {
                         prop_assert_eq!(x.to_bits(), y.to_bits());
                     }
                     _ => {}
+                }
+            }
+        }
+    }
+
+    /// Kernel-mode invariance (PR 9): `RED_QAOA_KERNEL` is an operational
+    /// knob exactly like `RED_QAOA_THREADS` — a mixed `LandscapeJob` /
+    /// `OptimizeJob` batch must be bitwise-identical across every
+    /// combination of kernel mode ∈ {scalar, vectorized} and worker count
+    /// ∈ {1, 2, 4}. This is the end-to-end proof that the vectorized
+    /// statevector kernels cannot change any engine result.
+    #[test]
+    fn job_batches_are_kernel_mode_invariant(seed in 0u64..100) {
+        let graphs: Vec<_> = (0..2)
+            .map(|i| {
+                let nodes = 8 + (i % 2);
+                connected_gnp(nodes, 0.45, &mut seeded(derive_seed(seed, i as u64))).unwrap()
+            })
+            .collect();
+        let jobs = vec![
+            Job::Landscape(LandscapeJob::new(graphs[0].clone(), 6)),
+            Job::Optimize(
+                OptimizeJob::new(graphs[1].clone())
+                    .with_restarts(2)
+                    .with_max_iters(12),
+            ),
+            Job::Landscape(LandscapeJob::new(graphs[1].clone(), 4).reduced()),
+        ];
+        let run = |mode: KernelMode, threads: usize| {
+            with_kernel(mode, || {
+                with_threads(threads, || {
+                    let engine = Engine::builder().build().unwrap();
+                    engine.run_batch(&jobs, derive_seed(seed, 999))
+                })
+            })
+        };
+        let reference = run(KernelMode::Scalar, 1);
+        for mode in [KernelMode::Scalar, KernelMode::Vectorized] {
+            for threads in THREAD_COUNTS {
+                let batch = run(mode, threads);
+                prop_assert_eq!(reference.len(), batch.len());
+                for (a, b) in reference.iter().zip(&batch) {
+                    let a = a.as_ref().expect("reference job succeeds");
+                    let b = b.as_ref().expect("batch job succeeds");
+                    prop_assert_eq!(a, b);
+                    match (a, b) {
+                        (JobOutput::Landscape(x), JobOutput::Landscape(y)) => {
+                            prop_assert_eq!(bits(&x.values), bits(&y.values));
+                        }
+                        (JobOutput::Optimize(x), JobOutput::Optimize(y)) => {
+                            prop_assert_eq!(
+                                x.transfer.transferred_value.to_bits(),
+                                y.transfer.transferred_value.to_bits()
+                            );
+                            prop_assert_eq!(x.cost_ratio.to_bits(), y.cost_ratio.to_bits());
+                        }
+                        _ => {}
+                    }
                 }
             }
         }
