@@ -26,12 +26,17 @@
 #      warm reduction cache), the optimize smoke emits BENCH_optimize.json
 #      (end-to-end session latency, reduced-vs-baseline ratio gated at
 #      >= 0.95, full-graph-equivalent cost ratio, evaluations-to-target),
-#      and the qsim smoke emits BENCH_qsim.json (gate-ops/sec scalar vs
+#      the qsim smoke emits BENCH_qsim.json (gate-ops/sec scalar vs
 #      vectorized kernels for 8-20 qubits, bitwise cross-checked, 16-qubit
 #      speedup gated at >= 1.5x, per-core landscape scaling gated at >= 2x
-#      when cores > 1) so the perf trajectory is recorded run-over-run.
+#      when cores > 1), and the depth smoke emits BENCH_depth.json
+#      (interaction-scheduler rounds gated at <= d+1 for d-regular graphs,
+#      two-qubit depth reduction vs naive emission gated at >= 2x, and the
+#      compound node+depth noisy MSE gated at <= the node-only MSE) so the
+#      perf trajectory is recorded run-over-run.
 #   5. bench targets resolve  — cargo bench --no-run
-#   6. figure binaries        — every fig*/table* binary answers --help
+#   6. figure binaries        — every fig*/table* binary answers --help,
+#      and a fast subset's --json output must parse as JSON (jq)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -66,6 +71,9 @@ cargo run --quiet --release -p bench --bin optimize_smoke BENCH_optimize.json
 echo "==> perf smoke: statevector kernels scalar vs vectorized -> BENCH_qsim.json"
 cargo run --quiet --release -p bench --bin qsim_smoke BENCH_qsim.json
 
+echo "==> perf smoke: depth scheduling rounds + compound MSE -> BENCH_depth.json"
+cargo run --quiet --release -p bench --bin depth_smoke BENCH_depth.json
+
 echo "==> benches compile: cargo bench --no-run"
 cargo bench --no-run --quiet
 
@@ -74,6 +82,12 @@ cargo build --release -p experiments --bins --quiet
 for bin in target/release/fig* target/release/table1_datasets; do
     [ -x "$bin" ] || continue
     "$bin" --help >/dev/null
+done
+
+echo "==> --json output parses (fast subset)"
+for bin in fig03_cycle_landscapes fig06_mse_threshold table1_datasets; do
+    "target/release/$bin" --json | jq -es 'length > 0' >/dev/null \
+        || { echo "FAIL: $bin --json is not parseable JSON"; exit 1; }
 done
 
 echo "CI OK"

@@ -9,7 +9,7 @@ use qaoa::optimize::{
     NelderMeadOptimizer, OptimizeDriver, OptimizeOptions, OptimizerConfig, SpsaOptimizer,
 };
 use qsim::devices::fake_toronto;
-use red_qaoa::pipeline::{run_ideal, run_noisy, PipelineOptions};
+use red_qaoa::pipeline::{run_ideal, run_noisy, CircuitReduction, PipelineOptions};
 use red_qaoa::reduction::ReductionOptions;
 use red_qaoa::throughput::dataset_relative_throughput;
 
@@ -22,6 +22,7 @@ fn pipeline_options() -> PipelineOptions {
             max_iters: 40,
         },
         refine_iters: 20,
+        circuit: CircuitReduction::None,
     }
 }
 

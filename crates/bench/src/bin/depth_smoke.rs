@@ -1,0 +1,135 @@
+//! CI perf smoke: depth-reduction subsystem headline numbers.
+//!
+//! Two sections, both asserted:
+//!
+//! * **Scheduling** — for random `d`-regular graphs with `d ∈ {3, 4, 6}`
+//!   the greedy interaction scheduler must pack the cost layer's `RZZ`
+//!   terms into at most `d + 1` rounds (the Vizing edge-coloring bound),
+//!   and the two-qubit depth reduction versus the naive sequential
+//!   emission (one round per gate, `|E|` rounds) must be **≥ 2×** — the
+//!   headline acceptance number of the depth subsystem.
+//! * **Compound MSE** — the four circuit-reduction arms (baseline /
+//!   node-only / depth-only / node+depth) run on one random graph at equal
+//!   trajectory counts with common random numbers
+//!   ([`red_qaoa::mse::compound_grid_comparison`]); the compound arm's
+//!   noisy-landscape MSE must be **no worse than the node-only arm's**,
+//!   i.e. composing depth scheduling on top of node reduction never costs
+//!   noisy fidelity at matched sampling budgets.
+//!
+//! Usage: `depth_smoke [output.json]` (default `BENCH_depth.json`).
+
+use bench::{bench_graph, BENCH_SEED};
+use graphlib::generators::random_regular;
+use mathkit::rng::{derive_seed, seeded};
+use qaoa::depth::compile_maxcut;
+use qsim::devices::fake_toronto;
+use red_qaoa::mse::compound_grid_comparison;
+use red_qaoa::reduction::{reduce, ReductionOptions};
+
+/// Degrees of the regular-graph scheduling rows.
+const DEGREES: [usize; 3] = [3, 4, 6];
+/// Node count of the regular test graphs (even, so every degree is valid).
+const REGULAR_NODES: usize = 24;
+
+fn main() {
+    let output = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_depth.json".to_string());
+
+    // --- scheduling rows --------------------------------------------------
+    let mut row_json = Vec::new();
+    let mut min_reduction = f64::INFINITY;
+    for (i, &d) in DEGREES.iter().enumerate() {
+        let mut rng = seeded(derive_seed(BENCH_SEED, 9_000 + i as u64));
+        let graph = random_regular(REGULAR_NODES, d, &mut rng).expect("valid regular graph");
+        let schedule = compile_maxcut(&graph).expect("non-degenerate graph compiles");
+        let m = schedule.metrics();
+        assert!(
+            m.rounds <= d + 1,
+            "{d}-regular graph scheduled into {} rounds, Vizing bound is {}",
+            m.rounds,
+            d + 1
+        );
+        assert!(m.meets_vizing_bound());
+        let reduction = m.depth_reduction();
+        min_reduction = min_reduction.min(reduction);
+        row_json.push(format!(
+            concat!(
+                "    {{ \"degree\": {}, \"nodes\": {}, \"terms\": {}, ",
+                "\"rounds\": {}, \"naive_depth\": {}, ",
+                "\"depth_reduction\": {:.3}, \"vizing_bound\": {} }}"
+            ),
+            d,
+            REGULAR_NODES,
+            m.scheduled_terms,
+            m.rounds,
+            m.naive_depth,
+            reduction,
+            d + 1
+        ));
+    }
+    assert!(
+        min_reduction >= 2.0,
+        "two-qubit depth reduction vs naive sequential emission must be >= 2x, \
+         got {min_reduction:.3}x"
+    );
+
+    // --- compound-MSE section ---------------------------------------------
+    let graph = bench_graph(11, 8_100);
+    let mut rng = seeded(derive_seed(BENCH_SEED, 8_200));
+    let reduced = reduce(&graph, &ReductionOptions::default(), &mut rng).expect("graph reduces");
+    let noise = fake_toronto().noise;
+    let trajectories = 16usize;
+    let cmp = compound_grid_comparison(&graph, reduced.graph(), 6, &noise, trajectories, &mut rng)
+        .expect("compound comparison runs");
+    assert!(
+        cmp.compound_mse <= cmp.node_mse,
+        "node+depth noisy MSE ({:.6}) must not exceed node-only noisy MSE ({:.6}) \
+         at {trajectories} trajectories",
+        cmp.compound_mse,
+        cmp.node_mse
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"depth_smoke\",\n",
+            "  \"rows\": [\n{}\n  ],\n",
+            "  \"min_depth_reduction\": {:.3},\n",
+            "  \"compound\": {{\n",
+            "    \"nodes\": {},\n",
+            "    \"reduced_nodes\": {},\n",
+            "    \"width\": 6,\n",
+            "    \"trajectories\": {},\n",
+            "    \"baseline_mse\": {:.6},\n",
+            "    \"node_mse\": {:.6},\n",
+            "    \"depth_mse\": {:.6},\n",
+            "    \"compound_mse\": {:.6},\n",
+            "    \"full_rounds\": {},\n",
+            "    \"full_naive_depth\": {},\n",
+            "    \"reduced_rounds\": {}\n",
+            "  }},\n",
+            "  \"asserted\": {{\n",
+            "    \"rounds_le_d_plus_1\": true,\n",
+            "    \"depth_reduction_ge_2x\": true,\n",
+            "    \"compound_mse_le_node_mse\": true\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        row_json.join(",\n"),
+        min_reduction,
+        graph.node_count(),
+        reduced.graph().node_count(),
+        trajectories,
+        cmp.baseline_mse,
+        cmp.node_mse,
+        cmp.depth_mse,
+        cmp.compound_mse,
+        cmp.full_depth.rounds,
+        cmp.full_depth.naive_depth,
+        cmp.reduced_depth.rounds,
+    );
+    std::fs::write(&output, &json).expect("write benchmark record");
+    print!("{json}");
+    println!("wrote {output}");
+}

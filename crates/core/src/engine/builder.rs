@@ -137,6 +137,20 @@ impl EngineBuilder {
         self
     }
 
+    /// Sets the default [`CircuitReduction`](crate::pipeline::CircuitReduction)
+    /// mode jobs inherit: node reduction only (the legacy default), circuit
+    /// depth reduction only, or both composed. Per-job pipeline options and
+    /// the [`LandscapeJob`](super::LandscapeJob) /
+    /// [`OptimizeJob`](super::OptimizeJob) `with_circuit` overrides take
+    /// precedence.
+    ///
+    /// This does *not* mark the pipeline options as explicitly set, so the
+    /// default pipeline still follows the engine's reduction options.
+    pub fn circuit_reduction(mut self, circuit: crate::pipeline::CircuitReduction) -> Self {
+        self.pipeline.circuit = circuit;
+        self
+    }
+
     /// Installs the noise model noisy [`PipelineJob`](super::PipelineJob)s
     /// simulate under.
     pub fn noise(mut self, noise: NoiseModel) -> Self {

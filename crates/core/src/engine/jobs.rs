@@ -12,8 +12,8 @@
 use super::builder::{validate_pipeline_options, EvaluatorBackend};
 use super::Engine;
 use crate::pipeline::{
-    run_ideal_with_reduction, run_noisy_with_reduction, NoisyPipelineOutcome, PipelineOptions,
-    PipelineOutcome,
+    run_ideal_with_reduction, run_noisy_with_reduction, CircuitReduction, NoisyPipelineOutcome,
+    PipelineOptions, PipelineOutcome,
 };
 use crate::reduction::{ReducedGraph, ReductionOptions};
 use crate::throughput::relative_throughput;
@@ -21,8 +21,10 @@ use crate::transfer::{optimized_transfer, OptimizedTransfer};
 use crate::RedQaoaError;
 use graphlib::Graph;
 use mathkit::rng::seeded;
+use qaoa::depth::{compile_maxcut, DepthMetrics};
 use qaoa::evaluator::{
-    AnalyticP1Evaluator, AutoEvaluator, EdgeLocalEvaluator, StatevectorEvaluator,
+    AnalyticP1Evaluator, AutoEvaluator, EdgeLocalEvaluator, ScheduledCircuitEvaluator,
+    StatevectorEvaluator,
 };
 use qaoa::landscape::Landscape;
 use qaoa::maxcut::brute_force_maxcut;
@@ -107,6 +109,12 @@ pub struct LandscapeJob {
     pub width: usize,
     /// Scan the cached reduction of the graph instead of the graph itself.
     pub reduce_first: bool,
+    /// Per-job circuit-reduction mode; `None` uses the engine's default.
+    /// Depth modes scan with the [`ScheduledCircuitEvaluator`] (the exact
+    /// depth-scheduled gate circuit) instead of the configured backend, and
+    /// [`CircuitReduction::Depth`] makes [`LandscapeJob::reduce_first`] scan
+    /// the graph itself (the identity reduction).
+    pub circuit: Option<CircuitReduction>,
 }
 
 impl LandscapeJob {
@@ -116,12 +124,19 @@ impl LandscapeJob {
             graph,
             width,
             reduce_first: false,
+            circuit: None,
         }
     }
 
     /// Scans the graph's (cached) reduction instead of the graph.
     pub fn reduced(mut self) -> Self {
         self.reduce_first = true;
+        self
+    }
+
+    /// Overrides the engine's circuit-reduction mode for this job only.
+    pub fn with_circuit(mut self, circuit: CircuitReduction) -> Self {
+        self.circuit = Some(circuit);
         self
     }
 }
@@ -177,6 +192,12 @@ pub struct OptimizeJob {
     pub max_iters: usize,
     /// Per-job reduction options; `None` uses the engine's defaults.
     pub reduction: Option<ReductionOptions>,
+    /// Per-job circuit-reduction mode; `None` uses the engine's default.
+    /// [`CircuitReduction::Depth`] skips node reduction (the session runs on
+    /// the identity reduction); depth modes attach
+    /// [`DepthMetrics`] for the graph the session optimized on to the
+    /// report.
+    pub circuit: Option<CircuitReduction>,
 }
 
 impl OptimizeJob {
@@ -190,6 +211,7 @@ impl OptimizeJob {
             restarts: None,
             max_iters: 80,
             reduction: None,
+            circuit: None,
         }
     }
 
@@ -222,6 +244,12 @@ impl OptimizeJob {
         self.reduction = Some(reduction);
         self
     }
+
+    /// Overrides the engine's circuit-reduction mode for this job only.
+    pub fn with_circuit(mut self, circuit: CircuitReduction) -> Self {
+        self.circuit = Some(circuit);
+        self
+    }
 }
 
 /// The typed result of an [`OptimizeJob`].
@@ -244,6 +272,10 @@ pub struct OptimizeReport {
     /// `(reduced_evals · 2^(k−n) + rescore_evals) / baseline_evals`.
     /// Below 1.0 means the reduced path was cheaper end to end.
     pub cost_ratio: f64,
+    /// Depth-compilation metrics of the graph the session optimized on,
+    /// when the resolved [`CircuitReduction`] mode includes depth
+    /// scheduling; `None` in the legacy node-reduction-only mode.
+    pub depth: Option<DepthMetrics>,
 }
 
 impl OptimizeReport {
@@ -489,7 +521,14 @@ pub(super) fn execute(
                     }
                 },
             };
-            let reduction = engine.reduce_cached(&job.graph, &options.reduction)?;
+            // Depth-only mode skips node reduction entirely: the identity
+            // reduction costs no annealing, consumes no RNG, and leaves the
+            // cache (whose key covers only ReductionOptions) untouched.
+            let reduction = if options.circuit.wants_node_reduction() {
+                engine.reduce_cached(&job.graph, &options.reduction)?
+            } else {
+                ReducedGraph::identity(&job.graph)
+            };
             let mut rng = seeded(job_seed);
             match (job.noisy_trajectories, noise) {
                 (Some(trajectories), Some(noise)) => run_noisy_with_reduction(
@@ -513,24 +552,35 @@ pub(super) fn execute(
                     "must be at least 1",
                 ));
             }
-            let reduction = if job.reduce_first {
+            let circuit = job
+                .circuit
+                .unwrap_or_else(|| engine.pipeline_options().circuit);
+            // In depth-only mode `reduce_first` scans the graph itself (the
+            // identity reduction) — no annealing, no cache traffic.
+            let reduction = if job.reduce_first && circuit.wants_node_reduction() {
                 Some(engine.reduce_cached(&job.graph, engine.reduction_options())?)
             } else {
                 None
             };
             let graph = reduction.as_ref().map(|r| r.graph()).unwrap_or(&job.graph);
-            let landscape = match engine.evaluator_backend() {
-                EvaluatorBackend::Auto => {
-                    Landscape::evaluate(job.width, &AutoEvaluator::new(graph, 1)?)
-                }
-                EvaluatorBackend::Statevector => {
-                    Landscape::evaluate(job.width, &StatevectorEvaluator::new(graph, 1)?)
-                }
-                EvaluatorBackend::AnalyticP1 => {
-                    Landscape::evaluate(job.width, &AnalyticP1Evaluator::new(graph)?)
-                }
-                EvaluatorBackend::EdgeLocal => {
-                    Landscape::evaluate(job.width, &EdgeLocalEvaluator::new(graph, 1)?)
+            // Depth modes scan the exact depth-scheduled gate circuit; the
+            // configured backend choice only applies to the legacy mode.
+            let landscape = if circuit.wants_depth() {
+                Landscape::evaluate(job.width, &ScheduledCircuitEvaluator::new(graph, 1)?)
+            } else {
+                match engine.evaluator_backend() {
+                    EvaluatorBackend::Auto => {
+                        Landscape::evaluate(job.width, &AutoEvaluator::new(graph, 1)?)
+                    }
+                    EvaluatorBackend::Statevector => {
+                        Landscape::evaluate(job.width, &StatevectorEvaluator::new(graph, 1)?)
+                    }
+                    EvaluatorBackend::AnalyticP1 => {
+                        Landscape::evaluate(job.width, &AnalyticP1Evaluator::new(graph)?)
+                    }
+                    EvaluatorBackend::EdgeLocal => {
+                        Landscape::evaluate(job.width, &EdgeLocalEvaluator::new(graph, 1)?)
+                    }
                 }
             };
             Ok(JobOutput::Landscape(landscape))
@@ -560,8 +610,20 @@ pub(super) fn execute(
         }
         Job::Optimize(job) => {
             validate_optimize_job(job)?;
+            let circuit = job
+                .circuit
+                .unwrap_or_else(|| engine.pipeline_options().circuit);
             let reduction_options = job.reduction.as_ref().unwrap_or(engine.reduction_options());
-            let reduction = engine.reduce_cached(&job.graph, reduction_options)?;
+            let reduction = if circuit.wants_node_reduction() {
+                engine.reduce_cached(&job.graph, reduction_options)?
+            } else {
+                ReducedGraph::identity(&job.graph)
+            };
+            let depth = if circuit.wants_depth() {
+                Some(*compile_maxcut(reduction.graph())?.metrics())
+            } else {
+                None
+            };
             let restarts = job.restarts.unwrap_or_else(|| paper_restarts(job.layers));
             let driver = OptimizeDriver::new(job.optimizer.clone(), restarts, job.max_iters);
             let mut rng = seeded(job_seed);
@@ -595,6 +657,7 @@ pub(super) fn execute(
                 reduced_evaluations,
                 baseline_evaluations,
                 cost_ratio,
+                depth,
             }))
         }
     }

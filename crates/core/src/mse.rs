@@ -13,6 +13,7 @@
 
 use crate::RedQaoaError;
 use graphlib::Graph;
+use qaoa::depth::DepthMetrics;
 // The backend-selection logic that used to live here as a bespoke enum is now
 // the `qaoa::evaluator` trait layer; re-export the auto-selector so existing
 // `red_qaoa::mse` users keep a one-stop entry point.
@@ -147,6 +148,109 @@ pub fn noisy_grid_comparison<R: Rng>(
     })
 }
 
+/// The four noisy arms of the compound depth-reduction study: every
+/// combination of node reduction (off/on) × depth scheduling (off/on),
+/// each scored against the original graph's ideal landscape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompoundNoisyComparison {
+    /// Ideal landscape of the original graph (the shared reference).
+    pub ideal: Landscape,
+    /// MSE of the original graph executed naively under noise
+    /// ([`crate::pipeline::CircuitReduction::None`] without node reduction —
+    /// the plain-QAOA baseline).
+    pub baseline_mse: f64,
+    /// MSE of the node-reduced graph executed naively under noise (the
+    /// legacy Red-QAOA arm, [`crate::pipeline::CircuitReduction::None`]).
+    pub node_mse: f64,
+    /// MSE of the original graph executed depth-scheduled under noise
+    /// ([`crate::pipeline::CircuitReduction::Depth`]).
+    pub depth_mse: f64,
+    /// MSE of the node-reduced graph executed depth-scheduled under noise
+    /// ([`crate::pipeline::CircuitReduction::NodeAndDepth`]).
+    pub compound_mse: f64,
+    /// Depth-compilation metrics of the original graph's cost layer.
+    pub full_depth: DepthMetrics,
+    /// Depth-compilation metrics of the reduced graph's cost layer.
+    pub reduced_depth: DepthMetrics,
+}
+
+/// Compares all four circuit-reduction arms — baseline, node-only,
+/// depth-only, and compound — on a `width × width` noisy `p = 1` grid
+/// against the original graph's ideal landscape.
+///
+/// All four arms run at the *same* trajectory count and draw from the same
+/// per-point noise substream (common random numbers), so the MSE ordering
+/// reflects each circuit's systematic noise response, not sampling luck.
+/// Unlike [`noisy_grid_comparison`] the circuits are *not* routed onto a
+/// device map: routing rewrites the gate sequence with SWAPs, which would
+/// confound the effect of depth scheduling this study isolates.
+///
+/// # Errors
+///
+/// Returns [`RedQaoaError`] if either graph is degenerate or exceeds the
+/// exact-simulation limit, or if `width` is zero.
+pub fn compound_grid_comparison<R: Rng>(
+    original: &Graph,
+    reduced: &Graph,
+    width: usize,
+    noise: &NoiseModel,
+    trajectories: usize,
+    rng: &mut R,
+) -> Result<CompoundNoisyComparison, RedQaoaError> {
+    if width == 0 {
+        return Err(RedQaoaError::invalid_parameter(
+            "width",
+            width,
+            "must be positive",
+        ));
+    }
+    if original.node_count() > MAX_EXACT_NODES || reduced.node_count() > MAX_EXACT_NODES {
+        return Err(RedQaoaError::Qaoa(qaoa::QaoaError::GraphTooLarge {
+            nodes: original.node_count().max(reduced.node_count()),
+            limit: MAX_EXACT_NODES,
+        }));
+    }
+    let naive_original = QaoaInstance::new(original, 1)?;
+    let naive_reduced = QaoaInstance::new(reduced, 1)?;
+    let scheduled_original = naive_original.clone().with_depth_schedule();
+    let scheduled_reduced = naive_reduced.clone().with_depth_schedule();
+    let full_depth = scheduled_original
+        .depth_metrics()
+        .expect("schedule just attached");
+    let reduced_depth = scheduled_reduced
+        .depth_metrics()
+        .expect("schedule just attached");
+    let options = TrajectoryOptions {
+        trajectories: trajectories.max(1),
+    };
+    let ideal = Landscape::evaluate(
+        width,
+        &StatevectorEvaluator::from_instance(naive_original.clone()),
+    );
+    // One base seed for all four arms: see the common-random-numbers note in
+    // `noisy_grid_comparison`.
+    let base_seed: u64 = rng.gen();
+    let noisy = |instance: QaoaInstance| {
+        Landscape::evaluate(
+            width,
+            &NoisyTrajectoryEvaluator::per_point(instance, *noise, options, base_seed),
+        )
+    };
+    let baseline_mse = ideal.mse_to(&noisy(naive_original))?;
+    let node_mse = ideal.mse_to(&noisy(naive_reduced))?;
+    let depth_mse = ideal.mse_to(&noisy(scheduled_original))?;
+    let compound_mse = ideal.mse_to(&noisy(scheduled_reduced))?;
+    Ok(CompoundNoisyComparison {
+        ideal,
+        baseline_mse,
+        node_mse,
+        depth_mse,
+        compound_mse,
+        full_depth,
+        reduced_depth,
+    })
+}
+
 /// Ideal sample MSE evaluated on an explicit, caller-supplied parameter set
 /// (useful when several graphs must share exactly the same set).
 ///
@@ -246,6 +350,55 @@ mod tests {
             "reduced {} vs baseline {}",
             comparison.reduced_mse,
             comparison.baseline_mse
+        );
+    }
+
+    #[test]
+    fn compound_comparison_reports_all_four_arms() {
+        let mut rng = seeded(6);
+        let original = connected_gnp(9, 0.45, &mut rng).unwrap();
+        let reduced = crate::reduction::reduce(
+            &original,
+            &crate::reduction::ReductionOptions::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let noise = fake_toronto().noise;
+        let c =
+            compound_grid_comparison(&original, reduced.graph(), 6, &noise, 24, &mut rng).unwrap();
+        for (name, mse) in [
+            ("baseline", c.baseline_mse),
+            ("node", c.node_mse),
+            ("depth", c.depth_mse),
+            ("compound", c.compound_mse),
+        ] {
+            assert!(mse.is_finite() && mse > 0.0, "{name} mse {mse}");
+        }
+        assert!(c.full_depth.meets_vizing_bound());
+        assert!(c.reduced_depth.meets_vizing_bound());
+        assert_eq!(c.full_depth.scheduled_terms, original.edge_count());
+        // Depth scheduling shortens the circuit, so each scheduled arm
+        // should not sit meaningfully further from the ideal reference than
+        // its naive counterpart (small stochastic slack).
+        assert!(
+            c.compound_mse <= c.node_mse * 1.5,
+            "compound {} vs node {}",
+            c.compound_mse,
+            c.node_mse
+        );
+        assert!(
+            c.depth_mse <= c.baseline_mse * 1.5,
+            "depth {} vs baseline {}",
+            c.depth_mse,
+            c.baseline_mse
+        );
+    }
+
+    #[test]
+    fn compound_comparison_rejects_invalid_width() {
+        let g = cycle(6).unwrap();
+        assert!(
+            compound_grid_comparison(&g, &g, 0, &NoiseModel::ideal(), 4, &mut seeded(1)).is_err()
         );
     }
 

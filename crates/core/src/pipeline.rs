@@ -19,6 +19,8 @@
 
 use crate::reduction::{reduce, ReducedGraph, ReductionOptions};
 use crate::RedQaoaError;
+pub use qaoa::depth::CircuitReduction;
+use qaoa::depth::{compile_maxcut, DepthMetrics};
 use qaoa::evaluator::{SequentialNoisyEvaluator, StatevectorEvaluator};
 use qaoa::maxcut::brute_force_maxcut;
 use qaoa::optimize::{
@@ -41,6 +43,13 @@ pub struct PipelineOptions {
     pub optimize: OptimizeOptions,
     /// Nelder–Mead iterations of the final refinement on the original graph.
     pub refine_iters: usize,
+    /// Which reduction axes to apply: node reduction (the legacy default),
+    /// circuit-depth reduction, or both composed. With a depth-requesting
+    /// mode the Red-QAOA arm's circuits are built from the depth-compiled
+    /// schedule (see `qaoa::depth`); with [`CircuitReduction::Depth`] the
+    /// node-reduction step is replaced by [`ReducedGraph::identity`] and
+    /// consumes no RNG.
+    pub circuit: CircuitReduction,
 }
 
 impl Default for PipelineOptions {
@@ -53,6 +62,7 @@ impl Default for PipelineOptions {
                 max_iters: 80,
             },
             refine_iters: 30,
+            circuit: CircuitReduction::None,
         }
     }
 }
@@ -79,6 +89,9 @@ pub struct PipelineOutcome {
     /// Exact MaxCut of the original graph (ground truth), when brute force is
     /// feasible.
     pub ground_truth: Option<usize>,
+    /// Depth-compilation metrics of the Red-QAOA arm's cost layer, when the
+    /// run requested a depth-reducing [`CircuitReduction`] mode.
+    pub depth: Option<DepthMetrics>,
 }
 
 impl PipelineOutcome {
@@ -116,8 +129,36 @@ pub fn run_ideal<R: Rng>(
     options: &PipelineOptions,
     rng: &mut R,
 ) -> Result<PipelineOutcome, RedQaoaError> {
-    let reduction = reduce(graph, &options.reduction, rng)?;
+    let reduction = resolve_reduction(graph, options, rng)?;
     run_ideal_with_reduction(graph, reduction, options, rng)
+}
+
+/// Step 1 under the [`CircuitReduction`] knob: the SA reduction for
+/// node-requesting modes, the RNG-free [`ReducedGraph::identity`] for
+/// depth-only mode.
+fn resolve_reduction<R: Rng>(
+    graph: &graphlib::Graph,
+    options: &PipelineOptions,
+    rng: &mut R,
+) -> Result<ReducedGraph, RedQaoaError> {
+    if options.circuit.wants_node_reduction() {
+        reduce(graph, &options.reduction, rng)
+    } else {
+        Ok(ReducedGraph::identity(graph))
+    }
+}
+
+/// Depth-compiles the Red-QAOA arm's cost layer when the pipeline mode asks
+/// for it; `None` (and no work) otherwise.
+fn resolve_depth(
+    reduction: &ReducedGraph,
+    options: &PipelineOptions,
+) -> Result<Option<DepthMetrics>, RedQaoaError> {
+    if !options.circuit.wants_depth() {
+        return Ok(None);
+    }
+    let schedule = compile_maxcut(reduction.graph()).map_err(RedQaoaError::from)?;
+    Ok(Some(*schedule.metrics()))
 }
 
 /// Runs the ideal pipeline's steps 2 and 3 on a reduction computed
@@ -135,6 +176,10 @@ pub fn run_ideal_with_reduction<R: Rng>(
     options: &PipelineOptions,
     rng: &mut R,
 ) -> Result<PipelineOutcome, RedQaoaError> {
+    // Exact evaluation applies the cost layer as a phase table, so a depth
+    // schedule cannot change the ideal numbers — only the metrics report is
+    // produced here. The noisy pipeline is where scheduling changes results.
+    let depth = resolve_depth(&reduction, options)?;
     let reduced_evaluator = StatevectorEvaluator::new(reduction.graph(), options.layers)?;
     let original_evaluator = StatevectorEvaluator::new(graph, options.layers)?;
 
@@ -175,6 +220,7 @@ pub fn run_ideal_with_reduction<R: Rng>(
         baseline_average: baseline_outcome.average_restart_value(),
         red_qaoa_average,
         ground_truth,
+        depth,
     })
 }
 
@@ -191,6 +237,9 @@ pub struct NoisyPipelineOutcome {
     pub baseline_ideal_value: f64,
     /// Exact MaxCut of the original graph, when feasible.
     pub ground_truth: Option<usize>,
+    /// Depth-compilation metrics of the Red-QAOA arm's cost layer, when the
+    /// run requested a depth-reducing [`CircuitReduction`] mode.
+    pub depth: Option<DepthMetrics>,
 }
 
 impl NoisyPipelineOutcome {
@@ -220,7 +269,7 @@ pub fn run_noisy<R: Rng>(
     trajectories: usize,
     rng: &mut R,
 ) -> Result<NoisyPipelineOutcome, RedQaoaError> {
-    let reduction = reduce(graph, &options.reduction, rng)?;
+    let reduction = resolve_reduction(graph, options, rng)?;
     run_noisy_with_reduction(graph, reduction, options, noise, trajectories, rng)
 }
 
@@ -244,6 +293,7 @@ pub fn run_noisy_with_reduction<R: Rng>(
     trajectories: usize,
     rng: &mut R,
 ) -> Result<NoisyPipelineOutcome, RedQaoaError> {
+    let depth = resolve_depth(&reduction, options)?;
     let reduced_evaluator = StatevectorEvaluator::new(reduction.graph(), options.layers)?;
     let original_evaluator = StatevectorEvaluator::new(graph, options.layers)?;
     let traj = TrajectoryOptions {
@@ -257,9 +307,15 @@ pub fn run_noisy_with_reduction<R: Rng>(
     let red_seed: u64 = rng.gen();
     let baseline_seed: u64 = rng.gen();
 
-    // Red-QAOA: noisy optimization of the reduced circuit.
-    let red_noisy =
-        SequentialNoisyEvaluator::new(reduced_evaluator.instance().clone(), *noise, traj, red_seed);
+    // Red-QAOA: noisy optimization of the reduced circuit. Under a
+    // depth-reducing mode the circuit is built from the compiled schedule —
+    // unitarily identical, but packed into fewer two-qubit time steps, so
+    // the trajectory simulator charges less idle decoherence per shot.
+    let mut red_instance = reduced_evaluator.instance().clone();
+    if options.circuit.wants_depth() {
+        red_instance = red_instance.with_depth_schedule();
+    }
+    let red_noisy = SequentialNoisyEvaluator::new(red_instance, *noise, traj, red_seed);
     let red_outcome = maximize_with_restarts(&red_noisy, &options.optimize, rng)?;
 
     // Baseline: noisy optimization of the original circuit.
@@ -285,6 +341,7 @@ pub fn run_noisy_with_reduction<R: Rng>(
         red_qaoa_ideal_value,
         baseline_ideal_value,
         ground_truth,
+        depth,
     })
 }
 
@@ -344,6 +401,51 @@ mod tests {
         assert!(outcome.baseline_ideal_value > 0.0);
         assert!(outcome.relative_improvement().abs() < 1.0);
         assert!(outcome.ground_truth.is_some());
+    }
+
+    #[test]
+    fn depth_only_mode_skips_node_reduction_and_reports_metrics() {
+        let mut rng = seeded(5);
+        let graph = connected_gnp(9, 0.4, &mut rng).unwrap();
+        let options = PipelineOptions {
+            circuit: qaoa::depth::CircuitReduction::Depth,
+            ..quick_options()
+        };
+        let outcome = run_ideal(&graph, &options, &mut rng).unwrap();
+        // Identity reduction: the "reduced" graph is the original.
+        assert_eq!(outcome.reduction.graph().node_count(), graph.node_count());
+        assert_eq!(outcome.reduction.and_ratio, 1.0);
+        assert_eq!(outcome.reduction.node_reduction, 0.0);
+        let depth = outcome.depth.expect("depth mode reports metrics");
+        assert!(depth.meets_vizing_bound());
+        assert_eq!(depth.scheduled_terms, graph.edge_count());
+    }
+
+    #[test]
+    fn node_and_depth_mode_compiles_the_reduced_graph() {
+        let mut rng = seeded(6);
+        let graph = connected_gnp(10, 0.45, &mut rng).unwrap();
+        let options = PipelineOptions {
+            circuit: qaoa::depth::CircuitReduction::NodeAndDepth,
+            ..quick_options()
+        };
+        let noise = fake_toronto().noise;
+        let outcome = run_noisy(&graph, &options, &noise, 8, &mut rng).unwrap();
+        let depth = outcome.depth.expect("depth metrics present");
+        // The compiled layer belongs to the *reduced* graph.
+        assert_eq!(
+            depth.scheduled_terms,
+            outcome.reduction.graph().edge_count()
+        );
+        assert!(outcome.red_qaoa_ideal_value > 0.0);
+    }
+
+    #[test]
+    fn legacy_mode_reports_no_depth_metrics() {
+        let mut rng = seeded(7);
+        let graph = connected_gnp(8, 0.45, &mut rng).unwrap();
+        let outcome = run_ideal(&graph, &quick_options(), &mut rng).unwrap();
+        assert!(outcome.depth.is_none());
     }
 
     #[test]

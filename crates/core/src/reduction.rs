@@ -378,6 +378,24 @@ pub struct ReducedGraph {
 }
 
 impl ReducedGraph {
+    /// The identity (no-op) reduction: the "reduced" graph *is* the original,
+    /// with a unit AND ratio and zero node/edge reduction. Depth-only
+    /// pipeline modes (`CircuitReduction::Depth`) use this so the
+    /// depth-compilation axis can run without the SA search, the reduction
+    /// cache, or any RNG consumption.
+    pub fn identity(graph: &Graph) -> Self {
+        Self {
+            subgraph: Subgraph {
+                graph: graph.clone(),
+                nodes: (0..graph.node_count()).collect(),
+            },
+            and_ratio: 1.0,
+            node_reduction: 0.0,
+            edge_reduction: 0.0,
+            warm_decision: WarmDecision::Cold,
+        }
+    }
+
     /// Convenience accessor for the reduced graph itself.
     pub fn graph(&self) -> &Graph {
         &self.subgraph.graph

@@ -1,12 +1,32 @@
 //! Figure 1: ideal vs noisy QAOA convergence for 6- and 10-node graphs.
+use experiments::cli::json_row;
 use experiments::convergence::{run_fig1, Fig1Config};
 
 fn main() {
-    experiments::cli::handle_default_args(
+    let args = experiments::cli::handle_default_args(
         "Figure 1: ideal vs noisy QAOA convergence for 6- and 10-node graphs",
     );
     let config = Fig1Config::default();
     let curves = run_fig1(&config).expect("figure 1 experiment failed");
+    if args.json {
+        for c in &curves {
+            for (i, (ideal, noisy)) in c.ideal.iter().zip(&c.noisy).enumerate() {
+                println!(
+                    "{}",
+                    json_row(
+                        "fig01_convergence",
+                        &[
+                            ("nodes", format!("{}", c.nodes)),
+                            ("evaluation", format!("{i}")),
+                            ("ideal", format!("{ideal:.6}")),
+                            ("noisy", format!("{noisy:.6}")),
+                        ],
+                    )
+                );
+            }
+        }
+        return;
+    }
     for c in &curves {
         println!(
             "# Figure 1: {}-node graph (approximation ratio per evaluation)",

@@ -1,10 +1,11 @@
 //! Figure 2: ideal vs noisy energy landscape of a 13-node graph (Kolkata).
+use experiments::cli::json_row;
 use experiments::landscapes::{landscape_rows, run_device_landscapes, LandscapeConfig};
 use experiments::print_table;
 use qsim::devices::kolkata;
 
 fn main() {
-    experiments::cli::handle_default_args(
+    let args = experiments::cli::handle_default_args(
         "Figure 2: ideal vs noisy energy landscape of a 13-node graph (Kolkata)",
     );
     let config = LandscapeConfig {
@@ -12,6 +13,19 @@ fn main() {
         ..Default::default()
     };
     let cmp = run_device_landscapes(&config, &kolkata()).expect("figure 2 experiment failed");
+    if args.json {
+        println!(
+            "{}",
+            json_row(
+                "fig02_noisy_landscape",
+                &[
+                    ("nodes", format!("{}", config.nodes)),
+                    ("baseline_mse", format!("{:.6}", cmp.baseline_mse)),
+                ],
+            )
+        );
+        return;
+    }
     println!(
         "# Figure 2: noisy-vs-ideal landscape MSE (baseline graph) = {:.4}",
         cmp.baseline_mse

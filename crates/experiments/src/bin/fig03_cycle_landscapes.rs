@@ -1,12 +1,23 @@
 //! Figure 3: energy landscapes of 7- and 10-node cycle graphs coincide.
+use experiments::cli::json_row;
 use experiments::landscapes::{landscape_rows, run_fig3};
 use experiments::print_table;
 
 fn main() {
-    experiments::cli::handle_default_args(
+    let args = experiments::cli::handle_default_args(
         "Figure 3: energy landscapes of 7- and 10-node cycle graphs coincide",
     );
     let result = run_fig3(16).expect("figure 3 experiment failed");
+    if args.json {
+        println!(
+            "{}",
+            json_row(
+                "fig03_cycle_landscapes",
+                &[("mse", format!("{:.8}", result.mse))],
+            )
+        );
+        return;
+    }
     println!(
         "# Figure 3: MSE between 7-node and 10-node cycle landscapes = {:.2e}",
         result.mse

@@ -1,11 +1,29 @@
 //! Figure 5: MSE vs Average-Node-Degree ratio with a polynomial fit.
 use experiments::and_correlation::{run_fig5, Fig5Config};
+use experiments::cli::json_row;
 
 fn main() {
-    experiments::cli::handle_default_args(
+    let args = experiments::cli::handle_default_args(
         "Figure 5: MSE vs Average-Node-Degree ratio with a polynomial fit",
     );
     let result = run_fig5(&Fig5Config::default()).expect("figure 5 experiment failed");
+    if args.json {
+        for p in &result.points {
+            println!(
+                "{}",
+                json_row(
+                    "fig05_and_correlation",
+                    &[
+                        ("and_ratio", format!("{:.6}", p.and_ratio)),
+                        ("mse", format!("{:.8}", p.mse)),
+                        ("fit", format!("{:.8}", result.fit.eval(p.and_ratio))),
+                        ("correlation", format!("{:.4}", result.correlation)),
+                    ],
+                )
+            );
+        }
+        return;
+    }
     println!(
         "# Figure 5: {} subgraph points, Pearson corr (1-AND ratio vs MSE) = {:.3}",
         result.points.len(),

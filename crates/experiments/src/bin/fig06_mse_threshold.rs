@@ -1,12 +1,29 @@
 //! Figure 6: landscape MSE vs optimal-point drift for random graphs.
+use experiments::cli::json_row;
 use experiments::landscapes::run_fig6;
 use experiments::DEFAULT_SEED;
 
 fn main() {
-    experiments::cli::handle_default_args(
+    let args = experiments::cli::handle_default_args(
         "Figure 6: landscape MSE vs optimal-point drift for random graphs",
     );
     let rows = run_fig6(6, 9, 12, DEFAULT_SEED).expect("figure 6 experiment failed");
+    if args.json {
+        for r in &rows {
+            println!(
+                "{}",
+                json_row(
+                    "fig06_mse_threshold",
+                    &[
+                        ("graph", format!("{}", r.graph_index)),
+                        ("mse", format!("{:.6}", r.mse)),
+                        ("optimum_distance", format!("{:.6}", r.optimum_distance)),
+                    ],
+                )
+            );
+        }
+        return;
+    }
     println!("# Figure 6: MSE and optimum drift vs a reference landscape");
     println!("graph\tmse\toptimum_distance");
     for r in &rows {

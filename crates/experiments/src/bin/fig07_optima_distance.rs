@@ -1,10 +1,28 @@
 //! Figure 7: MSE vs distance between optimal points.
 use experiments::and_correlation::{run_fig7, Fig7Config};
+use experiments::cli::json_row;
 
 fn main() {
-    experiments::cli::handle_default_args("Figure 7: MSE vs distance between optimal points");
+    let args =
+        experiments::cli::handle_default_args("Figure 7: MSE vs distance between optimal points");
     let (points, correlation) =
         run_fig7(&Fig7Config::default()).expect("figure 7 experiment failed");
+    if args.json {
+        for p in &points {
+            println!(
+                "{}",
+                json_row(
+                    "fig07_optima_distance",
+                    &[
+                        ("mse", format!("{:.8}", p.mse)),
+                        ("optimum_distance", format!("{:.6}", p.optimum_distance)),
+                        ("correlation", format!("{correlation:.4}")),
+                    ],
+                )
+            );
+        }
+        return;
+    }
     println!("# Figure 7: Pearson correlation (MSE vs optimum distance) = {correlation:.3}");
     println!("mse\toptimum_distance");
     for p in &points {

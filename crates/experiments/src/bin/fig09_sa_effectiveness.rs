@@ -1,11 +1,29 @@
 //! Figure 9: SA-selected subgraph vs the full subgraph MSE distribution.
+use experiments::cli::json_row;
 use experiments::sa_effectiveness::{run_fig9, Fig9Config};
 
 fn main() {
-    experiments::cli::handle_default_args(
+    let args = experiments::cli::handle_default_args(
         "Figure 9: SA-selected subgraph vs the full subgraph MSE distribution",
     );
     let panels = run_fig9(&Fig9Config::default()).expect("figure 9 experiment failed");
+    if args.json {
+        for p in &panels {
+            println!(
+                "{}",
+                json_row(
+                    "fig09_sa_effectiveness",
+                    &[
+                        ("reduction_ratio", format!("{:.3}", p.reduction_ratio)),
+                        ("subgraphs", format!("{}", p.all_mses.len())),
+                        ("sa_mse", format!("{:.8}", p.sa_mse)),
+                        ("sa_percentile", format!("{:.4}", p.sa_percentile)),
+                    ],
+                )
+            );
+        }
+        return;
+    }
     for p in &panels {
         println!(
             "# Figure 9: {:.0}% node reduction ({} subgraphs)",

@@ -1,10 +1,11 @@
 //! Figure 11: best-case (10-node) landscapes: ideal / Red-QAOA / baseline.
+use experiments::cli::json_row;
 use experiments::landscapes::{landscape_rows, run_device_landscapes, LandscapeConfig};
 use experiments::print_table;
 use qsim::devices::fake_toronto;
 
 fn main() {
-    experiments::cli::handle_default_args(
+    let args = experiments::cli::handle_default_args(
         "Figure 11: best-case (10-node) landscapes: ideal / Red-QAOA / baseline",
     );
     let config = LandscapeConfig {
@@ -12,6 +13,20 @@ fn main() {
         ..Default::default()
     };
     let cmp = run_device_landscapes(&config, &fake_toronto()).expect("figure 11 experiment failed");
+    if args.json {
+        println!(
+            "{}",
+            json_row(
+                "fig11_best_case",
+                &[
+                    ("nodes", format!("{}", config.nodes)),
+                    ("red_qaoa_mse", format!("{:.6}", cmp.reduced_mse)),
+                    ("baseline_mse", format!("{:.6}", cmp.baseline_mse)),
+                ],
+            )
+        );
+        return;
+    }
     println!(
         "# Figure 11: Red-QAOA MSE {:.3} vs baseline MSE {:.3}",
         cmp.reduced_mse, cmp.baseline_mse

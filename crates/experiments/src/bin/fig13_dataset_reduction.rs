@@ -1,12 +1,30 @@
 //! Figure 13: node and edge reduction ratios for AIDS, IMDb, LINUX (<=10 nodes).
+use experiments::cli::json_row;
 use experiments::dataset_eval::{run_small_datasets, DatasetEvalConfig};
 
 fn main() {
-    experiments::cli::handle_default_args(
+    let args = experiments::cli::handle_default_args(
         "Figure 13: node and edge reduction ratios for AIDS, IMDb, LINUX (<=10 nodes)",
     );
     let rows =
         run_small_datasets(&DatasetEvalConfig::default()).expect("figure 13 experiment failed");
+    if args.json {
+        for r in &rows {
+            println!(
+                "{}",
+                json_row(
+                    "fig13_dataset_reduction",
+                    &[
+                        ("dataset", format!("\"{}\"", r.dataset)),
+                        ("graphs", format!("{}", r.graphs)),
+                        ("node_reduction", format!("{:.4}", r.node_reduction)),
+                        ("edge_reduction", format!("{:.4}", r.edge_reduction)),
+                    ],
+                )
+            );
+        }
+        return;
+    }
     println!("# Figure 13: mean reduction ratios (graphs with up to 10 nodes)");
     println!("dataset\tgraphs\tnode_reduction\tedge_reduction");
     for r in &rows {

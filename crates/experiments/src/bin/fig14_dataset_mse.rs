@@ -1,12 +1,31 @@
 //! Figure 14: ideal landscape MSE for AIDS, IMDb, LINUX at p = 1, 2, 3.
+use experiments::cli::json_row;
 use experiments::dataset_eval::{run_small_datasets, DatasetEvalConfig};
 
 fn main() {
-    experiments::cli::handle_default_args(
+    let args = experiments::cli::handle_default_args(
         "Figure 14: ideal landscape MSE for AIDS, IMDb, LINUX at p = 1, 2, 3",
     );
     let config = DatasetEvalConfig::default();
     let rows = run_small_datasets(&config).expect("figure 14 experiment failed");
+    if args.json {
+        for r in &rows {
+            for (i, mse) in r.mse_per_layer.iter().enumerate() {
+                println!(
+                    "{}",
+                    json_row(
+                        "fig14_dataset_mse",
+                        &[
+                            ("dataset", format!("\"{}\"", r.dataset)),
+                            ("p", format!("{}", config.layers[i])),
+                            ("mse", format!("{mse:.6}")),
+                        ],
+                    )
+                );
+            }
+        }
+        return;
+    }
     println!("# Figure 14: mean ideal MSE by dataset and layer count");
     println!("dataset\tp\tmse");
     for r in &rows {

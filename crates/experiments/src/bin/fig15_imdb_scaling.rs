@@ -1,10 +1,29 @@
 //! Figure 15: IMDb small vs medium reduction ratios.
+use experiments::cli::json_row;
 use experiments::dataset_eval::{run_imdb_scaling, DatasetEvalConfig};
 
 fn main() {
-    experiments::cli::handle_default_args("Figure 15: IMDb small vs medium reduction ratios");
+    let args =
+        experiments::cli::handle_default_args("Figure 15: IMDb small vs medium reduction ratios");
     let rows =
         run_imdb_scaling(&DatasetEvalConfig::default()).expect("figure 15 experiment failed");
+    if args.json {
+        for r in &rows {
+            println!(
+                "{}",
+                json_row(
+                    "fig15_imdb_scaling",
+                    &[
+                        ("split", format!("\"{}\"", r.dataset)),
+                        ("graphs", format!("{}", r.graphs)),
+                        ("node_reduction", format!("{:.4}", r.node_reduction)),
+                        ("edge_reduction", format!("{:.4}", r.edge_reduction)),
+                    ],
+                )
+            );
+        }
+        return;
+    }
     println!("# Figure 15: IMDb reduction ratios by size split");
     println!("split\tgraphs\tnode_reduction\tedge_reduction");
     for r in &rows {

@@ -1,10 +1,11 @@
 //! Figure 22: 13-node landscapes on the ibmq_kolkata noise model.
+use experiments::cli::json_row;
 use experiments::landscapes::{landscape_rows, run_device_landscapes, LandscapeConfig};
 use experiments::print_table;
 use qsim::devices::kolkata;
 
 fn main() {
-    experiments::cli::handle_default_args(
+    let args = experiments::cli::handle_default_args(
         "Figure 22: 13-node landscapes on the ibmq_kolkata noise model",
     );
     let config = LandscapeConfig {
@@ -12,6 +13,20 @@ fn main() {
         ..Default::default()
     };
     let cmp = run_device_landscapes(&config, &kolkata()).expect("figure 22 experiment failed");
+    if args.json {
+        println!(
+            "{}",
+            json_row(
+                "fig22_kolkata",
+                &[
+                    ("nodes", format!("{}", config.nodes)),
+                    ("red_qaoa_mse", format!("{:.6}", cmp.reduced_mse)),
+                    ("baseline_mse", format!("{:.6}", cmp.baseline_mse)),
+                ],
+            )
+        );
+        return;
+    }
     println!(
         "# Figure 22: Red-QAOA MSE {:.3} vs baseline MSE {:.3} (ibmq_kolkata model)",
         cmp.reduced_mse, cmp.baseline_mse

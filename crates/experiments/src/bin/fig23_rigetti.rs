@@ -1,8 +1,9 @@
 //! Figure 23: baseline vs Red-QAOA noisy MSE on the Rigetti Aspen-M-3 model.
+use experiments::cli::json_row;
 use experiments::noisy_mse::{run_fig23, NoisyMseConfig};
 
 fn main() {
-    experiments::cli::handle_default_args(
+    let args = experiments::cli::handle_default_args(
         "Figure 23: baseline vs Red-QAOA noisy MSE on the Rigetti Aspen-M-3 model",
     );
     let config = NoisyMseConfig {
@@ -10,6 +11,22 @@ fn main() {
         ..Default::default()
     };
     let rows = run_fig23(&config).expect("figure 23 experiment failed");
+    if args.json {
+        for r in &rows {
+            println!(
+                "{}",
+                json_row(
+                    "fig23_rigetti",
+                    &[
+                        ("nodes", format!("{}", r.nodes)),
+                        ("baseline_mse", format!("{:.6}", r.baseline_mse)),
+                        ("red_qaoa_mse", format!("{:.6}", r.red_qaoa_mse)),
+                    ],
+                )
+            );
+        }
+        return;
+    }
     println!("# Figure 23: noisy landscape MSE on Aspen-M-3 class noise");
     println!("nodes\tbaseline_mse\tred_qaoa_mse");
     for r in &rows {

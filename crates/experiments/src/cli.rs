@@ -11,10 +11,9 @@
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CliArgs {
     /// `--json` was passed: the binary should emit machine-readable JSON
-    /// rows instead of (or alongside) its TSV tables. `fig18_runtime` is the
-    /// exemplar wiring; binaries that have not wired JSON output yet simply
-    /// ignore the flag (it still parses everywhere, so scripting a sweep
-    /// over all binaries never aborts).
+    /// rows (one object per line, via [`json_row`]) instead of its TSV
+    /// tables. Every figure/table binary honors the flag; `ci.sh` checks a
+    /// fast subset's output for JSON parseability.
     pub json: bool,
 }
 
@@ -48,8 +47,8 @@ pub fn handle_default_args(about: &str) -> CliArgs {
                 println!();
                 println!(
                     "Runs the experiment with its deterministic default configuration \
-                     and prints tab-separated rows to stdout. With --json, binaries \
-                     that support it emit machine-readable JSON rows instead."
+                     and prints tab-separated rows to stdout. With --json, it emits \
+                     machine-readable JSON rows (one object per line) instead."
                 );
                 std::process::exit(0);
             }

@@ -156,11 +156,19 @@ pub fn run_imdb_scaling(config: &DatasetEvalConfig) -> Result<Vec<DatasetEvalRow
 
 /// Table 1: summary rows of the four benchmark datasets.
 pub fn run_table1(seed: u64) -> Vec<String> {
+    run_table1_summaries(seed)
+        .iter()
+        .map(|s| s.to_row())
+        .collect()
+}
+
+/// Table 1 as structured summaries (the `--json` path of the binary).
+pub fn run_table1_summaries(seed: u64) -> Vec<datasets::stats::DatasetSummary> {
     vec![
-        aids(seed).summary().to_row(),
-        linux(seed).summary().to_row(),
-        imdb(seed).summary().to_row(),
-        random_suite(seed).summary().to_row(),
+        aids(seed).summary(),
+        linux(seed).summary(),
+        imdb(seed).summary(),
+        random_suite(seed).summary(),
     ]
 }
 

@@ -19,6 +19,7 @@
 //! | [`pooling_cmp`] | 8, 19 |
 //! | [`sa_effectiveness`] | 9 |
 //! | [`noisy_mse`] | 10, 23, 24 |
+//! | [`depth_compound`] | 26 |
 //! | [`dataset_eval`] | 13, 14, 15, 16, Table 1 |
 //! | [`end_to_end`] | 17 |
 //! | [`runtime`] | 18 |
@@ -32,6 +33,7 @@ pub mod and_correlation;
 pub mod cli;
 pub mod convergence;
 pub mod dataset_eval;
+pub mod depth_compound;
 pub mod end_to_end;
 pub mod landscapes;
 pub mod noisy_mse;

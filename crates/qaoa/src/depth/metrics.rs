@@ -1,0 +1,122 @@
+//! The depth-reduction metrics report.
+//!
+//! [`DepthMetrics`] is the circuit-side counterpart of the node-reduction
+//! AND ratio: a compact census of what the depth compiler achieved, surfaced
+//! next to `ReducedGraph` metrics in pipeline outcomes, job reports, and the
+//! experiment binaries. All fields are plain counts so the report is `Copy`,
+//! hashable-by-equality, and trivially serializable to the repo's hand-rolled
+//! JSON rows.
+
+use super::factor::SemiSymmetry;
+use super::schedule::ScheduledLayer;
+
+/// Summary of one depth-compilation run: how many interaction terms came in,
+/// what factoring removed, and how tightly scheduling packed the remainder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepthMetrics {
+    /// Qubits in the register.
+    pub qubits: usize,
+    /// Interaction terms in the input Hamiltonian (before factoring).
+    pub input_terms: usize,
+    /// Terms that survived duplicate merging and were scheduled — the
+    /// two-qubit gate count of one compiled cost layer.
+    pub scheduled_terms: usize,
+    /// Duplicate-pair terms eliminated by the exact weighted-`RZZ` merge.
+    pub merged_duplicates: usize,
+    /// Rounds of disjoint interactions — the two-qubit depth of one compiled
+    /// cost layer.
+    pub rounds: usize,
+    /// Two-qubit depth of the naive per-gate sequential emission of the same
+    /// (merged) term list: one round per gate. The baseline `rounds` is
+    /// measured against.
+    pub naive_depth: usize,
+    /// Maximum interaction degree Δ of any qubit — the scheduler's lower
+    /// bound (Vizing: the optimum lies in `[Δ, Δ+1]`).
+    pub max_degree: usize,
+    /// Semi-symmetry equivalence classes among the scheduled terms.
+    pub symmetry_classes: usize,
+    /// Scheduled terms sharing a class with at least one other term — the
+    /// factored-term count of arXiv 2411.08824.
+    pub semi_symmetric_terms: usize,
+}
+
+impl DepthMetrics {
+    /// Assembles the report from the compiler's pass outputs.
+    pub fn new(
+        qubits: usize,
+        input_terms: usize,
+        merged_duplicates: usize,
+        symmetry: &SemiSymmetry,
+        layer: &ScheduledLayer,
+        max_degree: usize,
+    ) -> Self {
+        Self {
+            qubits,
+            input_terms,
+            scheduled_terms: layer.term_count(),
+            merged_duplicates,
+            rounds: layer.round_count(),
+            naive_depth: layer.term_count(),
+            max_degree,
+            symmetry_classes: symmetry.classes.len(),
+            semi_symmetric_terms: symmetry.semi_symmetric_terms(),
+        }
+    }
+
+    /// Two-qubit depth reduction factor vs the naive sequential layer
+    /// (`naive_depth / rounds`); `1.0` for an empty schedule.
+    pub fn depth_reduction(&self) -> f64 {
+        if self.rounds == 0 {
+            1.0
+        } else {
+            self.naive_depth as f64 / self.rounds as f64
+        }
+    }
+
+    /// Whether the schedule met the Vizing `Δ + 1` edge-coloring bound.
+    pub fn meets_vizing_bound(&self) -> bool {
+        self.rounds <= self.max_degree + 1
+    }
+
+    /// Total two-qubit depth of a `p`-layer ansatz built from this schedule.
+    pub fn two_qubit_depth(&self, layers: usize) -> usize {
+        self.rounds * layers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::depth::compile_maxcut;
+    use graphlib::generators::{complete, star};
+
+    #[test]
+    fn report_counts_line_up_on_a_complete_graph() {
+        let schedule = compile_maxcut(&complete(6)).unwrap();
+        let m = *schedule.metrics();
+        assert_eq!(m.qubits, 6);
+        assert_eq!(m.input_terms, 15);
+        assert_eq!(m.scheduled_terms, 15);
+        assert_eq!(m.merged_duplicates, 0);
+        assert_eq!(m.naive_depth, 15);
+        assert_eq!(m.max_degree, 5);
+        assert_eq!(m.rounds, 5);
+        assert!(m.meets_vizing_bound());
+        assert_eq!(m.two_qubit_depth(3), 15);
+        assert!((m.depth_reduction() - 3.0).abs() < 1e-12);
+        // K6 is vertex-transitive: one qubit class, one term class.
+        assert_eq!(m.symmetry_classes, 1);
+        assert_eq!(m.semi_symmetric_terms, 15);
+    }
+
+    #[test]
+    fn star_schedules_cannot_beat_sequential() {
+        // Every edge of a star shares the hub, so rounds == terms and the
+        // reduction factor is exactly 1.
+        let schedule = compile_maxcut(&star(5).unwrap()).unwrap();
+        let m = schedule.metrics();
+        assert_eq!(m.rounds, 4);
+        assert_eq!(m.naive_depth, 4);
+        assert!((m.depth_reduction() - 1.0).abs() < 1e-12);
+        assert!(m.meets_vizing_bound());
+    }
+}

@@ -18,6 +18,10 @@
 //!   point, no graph walks).
 //! * [`EdgeLocalEvaluator`] — the light-cone decomposition with per-edge
 //!   subgraphs and cut tables precomputed once per graph.
+//! * [`ScheduledCircuitEvaluator`] — exact simulation of the explicit
+//!   depth-scheduled gate circuit (see [`crate::depth`]); unitarily equal to
+//!   the statevector backend but exercising the exact gate sequence noisy
+//!   depth-mode runs execute.
 //! * [`NoisyTrajectoryEvaluator`] — Monte-Carlo trajectory simulation under
 //!   a device noise model, optionally routed onto a coupling map, with one
 //!   noise substream per evaluation index (parallel-scan safe).
@@ -489,6 +493,76 @@ impl EnergyEvaluator for SequentialNoisyEvaluator {
     }
 }
 
+/// Exact backend that simulates the *explicit depth-scheduled gate circuit*
+/// instead of applying the cost layer as a phase table.
+///
+/// The scheduled circuit is unitarily identical to the naive emission
+/// (diagonal `RZZ` gates commute), so values agree with
+/// [`StatevectorEvaluator`] to floating-point reassociation — but this
+/// backend exercises the exact gate sequence the noisy trajectory paths
+/// execute, which is what depth-mode landscape jobs evaluate and what the
+/// scheduled-circuit golden pins lock down.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledCircuitEvaluator {
+    instance: QaoaInstance,
+}
+
+impl ScheduledCircuitEvaluator {
+    /// Prepares the backend: builds the instance and depth-compiles its
+    /// cost layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QaoaInstance::new`] errors (degenerate or oversized
+    /// graphs, `layers == 0`).
+    pub fn new(graph: &Graph, layers: usize) -> Result<Self, QaoaError> {
+        Ok(Self::from_instance(QaoaInstance::new(graph, layers)?))
+    }
+
+    /// Wraps an already-prepared instance, attaching a depth schedule if it
+    /// does not carry one yet.
+    pub fn from_instance(instance: QaoaInstance) -> Self {
+        let instance = if instance.depth_schedule().is_some() {
+            instance
+        } else {
+            instance.with_depth_schedule()
+        };
+        Self { instance }
+    }
+
+    /// The underlying instance (always carries a depth schedule).
+    pub fn instance(&self) -> &QaoaInstance {
+        &self.instance
+    }
+
+    /// The depth-compilation metrics of the scheduled cost layer.
+    pub fn depth_metrics(&self) -> crate::depth::DepthMetrics {
+        self.instance
+            .depth_metrics()
+            .expect("constructor attaches a schedule")
+    }
+}
+
+impl EnergyEvaluator for ScheduledCircuitEvaluator {
+    type Scratch = ();
+
+    fn layers(&self) -> usize {
+        self.instance.layers()
+    }
+
+    fn scratch(&self) -> Self::Scratch {}
+
+    fn energy(&self, _scratch: &mut Self::Scratch, _index: u64, params: &QaoaParams) -> f64 {
+        let schedule = self
+            .instance
+            .depth_schedule()
+            .expect("constructor attaches a schedule");
+        let circuit = crate::depth::scheduled_qaoa_circuit(schedule, params);
+        qsim::statevector::StateVector::from_circuit(&circuit)
+            .expectation_diagonal(self.instance.cut_table())
+    }
+}
+
 /// Node count at or below which [`AutoEvaluator`] prefers the global
 /// statevector backend.
 pub const AUTO_EXACT_NODE_CUTOFF: usize = 16;
@@ -660,6 +734,22 @@ mod tests {
         let auto = AutoEvaluator::new(&g, 1).unwrap();
         let value = auto.energy(&mut auto.scratch(), 0, &params);
         assert!((exact - value).abs() < 1e-8);
+    }
+
+    #[test]
+    fn scheduled_circuit_backend_agrees_with_the_statevector_backend() {
+        let mut rng = seeded(19);
+        let g = connected_gnp(7, 0.5, &mut rng).unwrap();
+        let scheduled = ScheduledCircuitEvaluator::new(&g, 2).unwrap();
+        let exact = StatevectorEvaluator::new(&g, 2).unwrap();
+        let mut scratch = exact.scratch();
+        assert!(scheduled.depth_metrics().meets_vizing_bound());
+        for _ in 0..4 {
+            let params = QaoaParams::random(2, &mut rng);
+            let a = scheduled.energy(&mut (), 0, &params);
+            let b = exact.energy(&mut scratch, 0, &params);
+            assert!((a - b).abs() < 1e-8, "scheduled {a} vs exact {b}");
+        }
     }
 
     #[test]

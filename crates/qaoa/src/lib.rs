@@ -15,6 +15,10 @@
 //!   optimization driver evaluates energies through one of its named,
 //!   swappable backends (statevector workspace, analytic `p = 1`,
 //!   edge-local light cones, noisy trajectories).
+//! * [`depth`] — the circuit depth-reduction subsystem: semi-symmetry
+//!   factoring of equivalent interaction terms, greedy round scheduling of
+//!   ZZ gates (edge coloring the interaction graph), and the
+//!   [`DepthMetrics`](depth::DepthMetrics) report.
 //! * [`analytic`] — the closed-form `p = 1` MaxCut expectation.
 //! * [`landscape`] — energy landscapes over parameter grids or random
 //!   parameter sets, normalization, optima, and landscape MSE.
@@ -39,6 +43,7 @@
 
 pub mod analytic;
 pub mod circuit;
+pub mod depth;
 pub mod evaluator;
 pub mod expectation;
 pub mod landscape;

@@ -11,7 +11,7 @@ use datasets::linux;
 use mathkit::rng::seeded;
 use qaoa::optimize::OptimizeOptions;
 use qsim::devices::fake_toronto;
-use red_qaoa::pipeline::{run_noisy, PipelineOptions};
+use red_qaoa::pipeline::{run_noisy, CircuitReduction, PipelineOptions};
 use red_qaoa::reduction::ReductionOptions;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -25,6 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             max_iters: 40,
         },
         refine_iters: 0,
+        circuit: CircuitReduction::None,
     };
 
     println!(

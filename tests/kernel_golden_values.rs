@@ -84,6 +84,69 @@ fn expectation_diagonal_and_norm_bits_are_pinned() {
 }
 
 #[test]
+fn scheduled_circuit_expectation_bits_are_pinned() {
+    // Depth-scheduled cost layers (PR 10): the `ScheduledCircuitEvaluator`
+    // simulates the explicit round-major `RZZ` gate sequence the greedy
+    // interaction scheduler emits, not the phase-table shortcut. The gate
+    // *order* is part of the floating-point result, so these pins lock the
+    // scheduler's round assignment (lowest-index tie-breaks) as well as the
+    // kernels: a future change to either moves these bits.
+    use qaoa::evaluator::{EnergyEvaluator, ScheduledCircuitEvaluator};
+    let params = QaoaParams::new(vec![0.7], vec![0.4]).unwrap();
+    let graphs = [
+        ("cycle8", cycle(8).unwrap(), 0x4017e1572a7fa90eu64),
+        (
+            "gnp9",
+            connected_gnp(9, 0.4, &mut seeded(77)).unwrap(),
+            0x4022f538eb314ce2,
+        ),
+        (
+            "gnp10",
+            connected_gnp(10, 0.3, &mut seeded(78)).unwrap(),
+            0x4021344352dcebab,
+        ),
+    ];
+    for_both_kernels(|| {
+        for (name, graph, bits) in &graphs {
+            let evaluator = ScheduledCircuitEvaluator::new(graph, 1).unwrap();
+            let value = evaluator.energy(&mut evaluator.scratch(), 0, &params);
+            assert_eq!(
+                value.to_bits(),
+                *bits,
+                "scheduled p=1 expectation on {name} drifted"
+            );
+        }
+    });
+}
+
+#[test]
+fn scheduled_three_layer_expectation_bits_are_pinned() {
+    // Same contract at p = 3: every layer re-emits the scheduled rounds, so
+    // these pins cover the round-major emission repeated across layers.
+    use qaoa::evaluator::{EnergyEvaluator, ScheduledCircuitEvaluator};
+    let params = QaoaParams::new(vec![0.7, 0.35, 0.21], vec![0.4, 0.55, 0.13]).unwrap();
+    let graphs = [
+        ("cycle8", cycle(8).unwrap(), 0x400b4ae7159c05e1u64),
+        (
+            "gnp9",
+            connected_gnp(9, 0.4, &mut seeded(77)).unwrap(),
+            0x401cc9c3e16caa02,
+        ),
+    ];
+    for_both_kernels(|| {
+        for (name, graph, bits) in &graphs {
+            let evaluator = ScheduledCircuitEvaluator::new(graph, 3).unwrap();
+            let value = evaluator.energy(&mut evaluator.scratch(), 0, &params);
+            assert_eq!(
+                value.to_bits(),
+                *bits,
+                "scheduled p=3 expectation on {name} drifted"
+            );
+        }
+    });
+}
+
+#[test]
 fn three_layer_qaoa_expectation_bits_are_pinned() {
     // Recorded `expectation_with` bits for a 3-layer ansatz on three fixed
     // graphs, all evaluated through one reused workspace (so this also pins

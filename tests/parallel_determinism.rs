@@ -8,9 +8,10 @@
 //! Coverage spans the primitives (landscape grids, sample MSEs, noisy
 //! grids, cold and warm `reduce_pool`), the noisy pipeline, the
 //! `red_qaoa::engine` batch front door (PR 5: mixed job batches and the
-//! content-hash reduction cache), and the four experiment modules migrated
+//! content-hash reduction cache), the four experiment modules migrated
 //! onto `reduce_pool` in PR 4 (`dataset_eval`, `noisy_mse`,
-//! `convergence`/Figure 20, `landscapes`).
+//! `convergence`/Figure 20, `landscapes`), and the depth-scheduled job
+//! modes introduced with the `CircuitReduction` knob (PR 10).
 
 use graphlib::generators::connected_gnp;
 use mathkit::parallel::with_threads;
@@ -24,7 +25,7 @@ use red_qaoa::engine::{
     Engine, Job, JobOutput, LandscapeJob, OptimizeJob, PipelineJob, ReduceJob, ThroughputJob,
 };
 use red_qaoa::mse::{ideal_sample_mse, noisy_grid_comparison};
-use red_qaoa::pipeline::{run_noisy, PipelineOptions};
+use red_qaoa::pipeline::{run_noisy, CircuitReduction, PipelineOptions};
 use red_qaoa::reduction::{reduce_pool, ReductionOptions, WarmDecision, WarmStart};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
@@ -379,6 +380,107 @@ proptest! {
         }
     }
 
+    /// Depth-scheduled batches (PR 10): a mixed batch in which every job
+    /// routes through the depth-reduction subsystem — a depth-only
+    /// landscape, a node+depth landscape on the cached reduction, a noisy
+    /// node+depth pipeline, and a node+depth optimize session — must be
+    /// bitwise-identical across every combination of kernel mode ∈
+    /// {scalar, vectorized} and worker count ∈ {1, 2, 4}. The greedy
+    /// interaction scheduler is RNG-free (lowest-index tie-breaks
+    /// throughout), so composing it with node reduction must add exactly
+    /// zero nondeterminism on top of the PR-9 contract.
+    #[test]
+    fn depth_scheduled_batches_are_thread_and_kernel_invariant(seed in 0u64..100) {
+        let graphs: Vec<_> = (0..2)
+            .map(|i| {
+                let nodes = 8 + (i % 2);
+                connected_gnp(nodes, 0.45, &mut seeded(derive_seed(seed, i as u64))).unwrap()
+            })
+            .collect();
+        let pipeline_options = PipelineOptions {
+            layers: 1,
+            reduction: ReductionOptions::default(),
+            optimize: qaoa::optimize::OptimizeOptions {
+                restarts: 1,
+                max_iters: 10,
+            },
+            refine_iters: 5,
+            circuit: CircuitReduction::NodeAndDepth,
+        };
+        let jobs = vec![
+            Job::Landscape(
+                LandscapeJob::new(graphs[0].clone(), 4).with_circuit(CircuitReduction::Depth),
+            ),
+            Job::Landscape(
+                LandscapeJob::new(graphs[1].clone(), 3)
+                    .reduced()
+                    .with_circuit(CircuitReduction::NodeAndDepth),
+            ),
+            Job::Pipeline(
+                PipelineJob::new(graphs[0].clone())
+                    .with_options(pipeline_options)
+                    .noisy(4),
+            ),
+            Job::Optimize(
+                OptimizeJob::new(graphs[1].clone())
+                    .with_circuit(CircuitReduction::NodeAndDepth)
+                    .with_restarts(1)
+                    .with_max_iters(8),
+            ),
+        ];
+        let run = |mode: KernelMode, threads: usize| {
+            with_kernel(mode, || {
+                with_threads(threads, || {
+                    let engine = Engine::builder()
+                        .noise(qsim::devices::fake_toronto().noise)
+                        .build()
+                        .unwrap();
+                    engine.run_batch(&jobs, derive_seed(seed, 1010))
+                })
+            })
+        };
+        let reference = run(KernelMode::Scalar, 1);
+        for mode in [KernelMode::Scalar, KernelMode::Vectorized] {
+            for threads in THREAD_COUNTS {
+                let batch = run(mode, threads);
+                prop_assert_eq!(reference.len(), batch.len());
+                for (a, b) in reference.iter().zip(&batch) {
+                    let a = a.as_ref().expect("reference job succeeds");
+                    let b = b.as_ref().expect("batch job succeeds");
+                    // PartialEq first (structural drift, including the
+                    // attached DepthMetrics), then bitwise spot checks on
+                    // the floating-point payloads.
+                    prop_assert_eq!(a, b);
+                    match (a, b) {
+                        (JobOutput::Landscape(x), JobOutput::Landscape(y)) => {
+                            prop_assert_eq!(bits(&x.values), bits(&y.values));
+                        }
+                        (JobOutput::NoisyPipeline(x), JobOutput::NoisyPipeline(y)) => {
+                            prop_assert!(x.depth.is_some(), "node+depth pipeline reports metrics");
+                            prop_assert_eq!(
+                                x.red_qaoa_ideal_value.to_bits(),
+                                y.red_qaoa_ideal_value.to_bits()
+                            );
+                            prop_assert_eq!(
+                                x.baseline_ideal_value.to_bits(),
+                                y.baseline_ideal_value.to_bits()
+                            );
+                        }
+                        (JobOutput::Optimize(x), JobOutput::Optimize(y)) => {
+                            prop_assert!(x.depth.is_some(), "node+depth session reports metrics");
+                            prop_assert_eq!(
+                                x.transfer.transferred_value.to_bits(),
+                                y.transfer.transferred_value.to_bits()
+                            );
+                            prop_assert_eq!(x.cost_ratio.to_bits(), y.cost_ratio.to_bits());
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
     /// A noisy landscape scan evaluated point-by-point with a fresh scratch
     /// per point equals the scan through `Landscape::evaluate` — the
     /// per-point substream really is a pure function of the index.
@@ -421,6 +523,7 @@ fn noisy_pipeline_is_thread_count_invariant() {
             max_iters: 25,
         },
         refine_iters: 10,
+        circuit: CircuitReduction::None,
     };
     let noise = qsim::devices::fake_toronto().noise;
     let run = |threads: usize| {
@@ -464,6 +567,7 @@ fn engine_run_batch_is_thread_count_invariant() {
             max_iters: 10,
         },
         refine_iters: 5,
+        circuit: CircuitReduction::None,
     };
     let jobs = vec![
         Job::Reduce(ReduceJob::new(graphs[0].clone())),

@@ -9,7 +9,7 @@ use qaoa::expectation::QaoaInstance;
 use qaoa::optimize::OptimizeOptions;
 use qsim::devices::fake_toronto;
 use red_qaoa::mse::ideal_sample_mse;
-use red_qaoa::pipeline::{run_ideal, run_noisy, PipelineOptions};
+use red_qaoa::pipeline::{run_ideal, run_noisy, CircuitReduction, PipelineOptions};
 use red_qaoa::reduction::{reduce, ReductionOptions};
 
 fn quick_pipeline() -> PipelineOptions {
@@ -21,6 +21,7 @@ fn quick_pipeline() -> PipelineOptions {
             max_iters: 40,
         },
         refine_iters: 20,
+        circuit: CircuitReduction::None,
     }
 }
 

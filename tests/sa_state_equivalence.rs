@@ -36,6 +36,59 @@ fn expected_boundary(graph: &Graph, nodes: &[usize]) -> Vec<usize> {
         .collect()
 }
 
+/// Regression net for the adjacency-bitset size cap: beyond 4096 nodes
+/// `SaState` disables its bitset rows (`words == 0`) and every membership
+/// and connectivity query falls back to the CSR binary-search path. A
+/// ~4200-node graph therefore exercises exactly the code the bitset fast
+/// paths shadow on small graphs — each evaluated and committed move is
+/// pinned to the from-scratch debug oracle, bit for bit.
+#[test]
+fn beyond_bitset_cap_moves_match_from_scratch_oracle() {
+    let mut rng = seeded(0xC5);
+    // Sparse, so the 4200-node graph stays cheap to build and to rebuild
+    // from scratch in the oracle (mean degree ~6).
+    let graph = connected_gnp(4200, 0.0015, &mut rng).unwrap();
+    assert!(
+        graph.node_count() > 4096,
+        "graph must exceed the bitset cap"
+    );
+    let k = 60;
+    let initial = random_connected_subgraph(&graph, k, &mut rng).unwrap();
+    let target = average_node_degree(&graph);
+    let mut state = SaState::new(&graph, &initial.nodes, target, PENALTY).unwrap();
+    let mut current: Vec<usize> = initial.nodes.clone();
+
+    for step in 0..60 {
+        let Some((out, inn)) = state.propose(&mut rng) else {
+            break;
+        };
+        let mut candidate = current.clone();
+        candidate.retain(|&u| u != out);
+        candidate.push(inn);
+        let (expected_value, _, _) = from_scratch(&graph, &candidate, target);
+        let got = state.evaluate_swap(out, inn);
+        assert_eq!(
+            expected_value.to_bits(),
+            got.to_bits(),
+            "evaluate_swap diverged from the oracle at step {step}"
+        );
+        // Random accept/reject, so the walk also visits disconnected
+        // (penalized) selections on the CSR path.
+        if rng.gen::<bool>() {
+            state.apply_swap(out, inn);
+            current = candidate;
+        }
+        let (value, and, components) = from_scratch(&graph, &current, target);
+        assert_eq!(value.to_bits(), state.objective().to_bits());
+        assert_eq!(and.to_bits(), state.and_value().to_bits());
+        assert_eq!(components, state.components());
+    }
+
+    let mut boundary = state.boundary().to_vec();
+    boundary.sort_unstable();
+    assert_eq!(expected_boundary(&graph, &current), boundary);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 

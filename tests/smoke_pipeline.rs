@@ -13,7 +13,7 @@ use qaoa::optimize::OptimizeOptions;
 use qsim::devices::fake_toronto;
 use red_qaoa::annealing::{anneal_subgraph, SaOptions};
 use red_qaoa::mse::ideal_sample_mse;
-use red_qaoa::pipeline::{run_noisy, PipelineOptions};
+use red_qaoa::pipeline::{run_noisy, CircuitReduction, PipelineOptions};
 use red_qaoa::reduction::{reduce, ReductionOptions};
 
 #[test]
@@ -48,6 +48,7 @@ fn full_pipeline_smoke_on_small_er_graph() {
             max_iters: 25,
         },
         refine_iters: 10,
+        circuit: CircuitReduction::None,
     };
     let noise = fake_toronto().noise;
     let outcome = run_noisy(&graph, &options, &noise, 6, &mut rng).unwrap();
